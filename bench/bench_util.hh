@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every bench binary prints aligned tables of the same rows/series
+ * the paper's figure plots, normalised the same way the paper
+ * normalises (per-figure baseline = 1.0). Request counts default to
+ * 100 (the paper uses 1000; pass a count as argv[1] to scale up -
+ * the normalised shapes are stable in the count).
+ */
+
+#ifndef OURO_BENCH_BENCH_UTIL_HH
+#define OURO_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "baselines/analytic.hh"
+#include "baselines/device_params.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+namespace ouro::bench
+{
+
+/** Request count: argv[1] if given, else 100. */
+inline std::size_t
+requestCount(int argc, char **argv, std::size_t fallback = 100)
+{
+    if (argc > 1) {
+        const long n = std::atol(argv[1]);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    return fallback;
+}
+
+/** Build an Ouroboros deployment or die with a clear message. */
+inline OuroborosSystem
+buildOuroboros(const ModelConfig &model, OuroborosOptions opts = {},
+               OuroborosParams params = {})
+{
+    auto sys = OuroborosSystem::build(model, params, opts);
+    if (!sys) {
+        fatal("Ouroboros build failed for ", model.name,
+              " with numWafers=", opts.numWafers,
+              " (model does not fit)");
+    }
+    return std::move(*sys);
+}
+
+/** Print an energy breakdown row normalised by @p denom. */
+inline void
+energyCells(Table &table, const EnergyLedger &ledger, double denom)
+{
+    table.cell(ledger.get(EnergyCategory::Compute) / denom, 3);
+    table.cell(ledger.get(EnergyCategory::Communication) / denom, 3);
+    table.cell(ledger.get(EnergyCategory::OnChipMemory) / denom, 3);
+    table.cell(ledger.get(EnergyCategory::OffChipMemory) / denom, 3);
+    table.cell(ledger.total() / denom, 3);
+}
+
+} // namespace ouro::bench
+
+#endif // OURO_BENCH_BENCH_UTIL_HH

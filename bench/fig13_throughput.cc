@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 13 - normalized throughput of Ouroboros vs DGX A100, TPUv4,
+ * AttAcc and Cerebras WSE-2 across four decoder models and four
+ * sequence-length regimes. Also prints the Section 6.2 aggregate
+ * (13B-class and 32B-class mean speedups).
+ */
+
+#include "bench_util.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t n = requestCount(argc, argv);
+
+    std::cout << "=== Fig. 13: normalized throughput vs baselines ("
+              << n << " requests) ===\n";
+    Table table({"model", "workload", "DGX A100", "TPUv4", "AttAcc",
+                 "Cerebras", "Ours", "ours/dgx"});
+
+    double gain_13b = 0.0, gain_32b = 0.0, gain_all = 0.0;
+    int n_13b = 0, n_32b = 0, n_all = 0;
+
+    for (const ModelConfig &model : decoderModels()) {
+        const auto sys = buildOuroboros(model);
+        for (const Workload &w : paperWorkloads(n)) {
+            const auto ours = sys.run(w);
+            const auto gpu = evalAccelerator(dgxA100(), model, w);
+            const auto tpu = evalAccelerator(tpuV4x8(), model, w);
+            const auto att = evalAccelerator(attAcc(), model, w);
+            const auto wse = evalWse(wse2(), model, w);
+            ouroAssert(gpu.has_value(), "DGX must fit ", model.name);
+
+            const double base = gpu->outputTokensPerSecond;
+            auto norm = [&](double v) { return v / base; };
+            const double ours_tps =
+                ours.result.outputTokensPerSecond;
+
+            table.row()
+                .cell(model.name)
+                .cell(w.name)
+                .cell(1.0, 2)
+                .cell(norm(tpu ? tpu->outputTokensPerSecond : 0.0), 2)
+                .cell(norm(att ? att->outputTokensPerSecond : 0.0), 2)
+                .cell(norm(wse ? wse->outputTokensPerSecond : 0.0), 2)
+                .cell(norm(ours_tps), 2)
+                .cell(norm(ours_tps), 2);
+
+            const double gain = norm(ours_tps);
+            gain_all += gain;
+            ++n_all;
+            if (model.name.find("13B") != std::string::npos) {
+                gain_13b += gain;
+                ++n_13b;
+            } else {
+                gain_32b += gain;
+                ++n_32b;
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nSection 6.2 aggregates (paper: 13B avg 5.4x, 32B "
+                 "avg 2.8x, overall 4.1x):\n"
+              << "  13B-class mean speedup vs DGX: "
+              << formatDouble(gain_13b / n_13b, 2) << "x\n"
+              << "  32B-class mean speedup vs DGX: "
+              << formatDouble(gain_32b / n_32b, 2) << "x\n"
+              << "  overall mean speedup vs DGX:   "
+              << formatDouble(gain_all / n_all, 2) << "x\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 14 - normalized energy per output token vs baselines, broken
+ * into the paper's four stacked categories (compute, communication,
+ * on-chip memory, off-chip memory), normalised per (model, workload)
+ * to the DGX A100 total. Prints the Section 6.3 aggregate reductions
+ * (paper: -84% vs DGX, -82% vs TPUv4, -78% vs AttAcc, -66% vs WSE-2).
+ */
+
+#include "bench_util.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t n = requestCount(argc, argv);
+
+    std::cout << "=== Fig. 14: normalized energy per output token ("
+              << n << " requests) ===\n";
+    Table table({"model", "workload", "system", "compute", "comm",
+                 "on-chip", "off-chip", "total"});
+
+    double red_gpu = 0.0, red_tpu = 0.0, red_att = 0.0, red_wse = 0.0;
+    int count = 0;
+
+    for (const ModelConfig &model : decoderModels()) {
+        const auto sys = buildOuroboros(model);
+        for (const Workload &w : paperWorkloads(n)) {
+            const auto ours = sys.run(w);
+            const auto gpu = evalAccelerator(dgxA100(), model, w);
+            const auto tpu = evalAccelerator(tpuV4x8(), model, w);
+            const auto att = evalAccelerator(attAcc(), model, w);
+            const auto wse = evalWse(wse2(), model, w);
+            ouroAssert(gpu.has_value(), "DGX must fit ", model.name);
+
+            const double denom = gpu->energyPerTokenTotal();
+            auto add_row = [&](const std::string &name,
+                               const EnergyLedger &ledger) {
+                table.row().cell(model.name).cell(w.name).cell(name);
+                energyCells(table, ledger, denom);
+            };
+            add_row("DGX A100", gpu->energyPerToken);
+            if (tpu)
+                add_row("TPUv4", tpu->energyPerToken);
+            if (att)
+                add_row("AttAcc", att->energyPerToken);
+            if (wse)
+                add_row("Cerebras", wse->energyPerToken);
+            add_row("Ours", ours.result.energyPerToken);
+
+            const double mine =
+                ours.result.energyPerTokenTotal();
+            red_gpu += 1.0 - mine / gpu->energyPerTokenTotal();
+            if (tpu)
+                red_tpu += 1.0 - mine / tpu->energyPerTokenTotal();
+            if (att)
+                red_att += 1.0 - mine / att->energyPerTokenTotal();
+            if (wse)
+                red_wse += 1.0 - mine / wse->energyPerTokenTotal();
+            ++count;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nSection 6.3 aggregates (paper: -84% DGX, -82% "
+                 "TPUv4, -78% AttAcc, -66% WSE-2):\n"
+              << "  vs DGX A100: -"
+              << formatDouble(100.0 * red_gpu / count, 1) << "%\n"
+              << "  vs TPUv4:    -"
+              << formatDouble(100.0 * red_tpu / count, 1) << "%\n"
+              << "  vs AttAcc:   -"
+              << formatDouble(100.0 * red_att / count, 1) << "%\n"
+              << "  vs WSE-2:    -"
+              << formatDouble(100.0 * red_wse / count, 1) << "%\n";
+    return 0;
+}

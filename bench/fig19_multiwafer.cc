@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figs. 19 & 20 / Section 6.8 - multi-wafer scaling: LLaMA-65B on
+ * two interconnected wafers vs the baselines (paper: avg 5.4x
+ * throughput, -79% energy; inter-wafer traffic negligible thanks to
+ * the pipelined cut).
+ */
+
+#include "bench_util.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t n = requestCount(argc, argv, 60);
+    const ModelConfig model = llama65b();
+
+    OuroborosOptions opts;
+    opts.numWafers = 2;
+    const auto sys = buildOuroboros(model, opts);
+
+    // Baselines need doubled capacity too (the paper keeps their
+    // §6.1 configurations, which already fit 65B at fp16 on 320 GB;
+    // the plain DGX needs two nodes).
+    AcceleratorParams dgx2 = dgxA100();
+    dgx2.numDevices = 16;
+    dgx2.name = "DGX A100 x2";
+    AcceleratorParams tpu2 = tpuV4x8();
+    tpu2.numDevices = 16;
+    WseParams wse_double = wse2();
+    wse_double.numWafers = 2;
+
+    std::cout << "=== Fig. 19: multi-wafer throughput (LLaMA-65B, "
+                 "2 wafers) ===\n";
+    Table thpt({"workload", "DGX A100", "TPUv4", "AttAcc",
+                "Cerebras", "Ours"});
+    std::cout << "(energy table below reproduces Fig. 20)\n";
+    Table energy({"workload", "system", "compute", "comm", "on-chip",
+                  "off-chip", "total"});
+
+    double gain = 0.0;
+    double reduction = 0.0;
+    int count = 0;
+    for (const Workload &w : paperWorkloads(n)) {
+        const auto ours = sys.run(w);
+        const auto gpu = evalAccelerator(dgx2, model, w);
+        const auto tpu = evalAccelerator(tpu2, model, w);
+        const auto att = evalAccelerator(attAcc(), model, w);
+        const auto wse = evalWse(wse_double, model, w);
+        ouroAssert(gpu.has_value(), "2x DGX must fit 65B");
+
+        const double tps0 = gpu->outputTokensPerSecond;
+        thpt.row()
+            .cell(w.name)
+            .cell(1.0, 2)
+            .cell((tpu ? tpu->outputTokensPerSecond : 0.0) / tps0, 2)
+            .cell((att ? att->outputTokensPerSecond : 0.0) / tps0, 2)
+            .cell((wse ? wse->outputTokensPerSecond : 0.0) / tps0, 2)
+            .cell(ours.result.outputTokensPerSecond / tps0, 2);
+
+        const double e0 = gpu->energyPerTokenTotal();
+        auto add_energy = [&](const std::string &name,
+                              const EnergyLedger &ledger) {
+            energy.row().cell(w.name).cell(name);
+            energyCells(energy, ledger, e0);
+        };
+        add_energy("DGX A100", gpu->energyPerToken);
+        if (att)
+            add_energy("AttAcc", att->energyPerToken);
+        if (wse)
+            add_energy("Cerebras", wse->energyPerToken);
+        add_energy("Ours", ours.result.energyPerToken);
+
+        gain += ours.result.outputTokensPerSecond / tps0;
+        reduction += 1.0 - ours.result.energyPerTokenTotal() / e0;
+        ++count;
+    }
+    thpt.print(std::cout);
+    std::cout << "\n=== Fig. 20: multi-wafer energy per output token "
+                 "(normalized to DGX) ===\n";
+    energy.print(std::cout);
+    std::cout << "\nAggregates (paper: 5.4x average speedup, -79% "
+                 "energy):\n  speedup vs DGX: "
+              << formatDouble(gain / count, 2)
+              << "x\n  energy vs DGX:  -"
+              << formatDouble(100.0 * reduction / count, 1) << "%\n";
+    return 0;
+}

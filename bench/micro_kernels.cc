@@ -1,0 +1,156 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * crossbar GEMV pricing, NoC routing (clean and faulted), traffic
+ * accumulation, the intra-core DP, KV admission/growth, the MIQP
+ * objective evaluation and the RNG. These guard the simulator's own
+ * performance (the figure harnesses run millions of these calls).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "hw/crossbar.hh"
+#include "hw/yield.hh"
+#include "kvcache/manager.hh"
+#include "mapping/dp.hh"
+#include "mapping/mappers.hh"
+#include "mapping/problem.hh"
+#include "model/llm.hh"
+#include "noc/mesh.hh"
+
+namespace
+{
+
+using namespace ouro;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CrossbarGemv(benchmark::State &state)
+{
+    Crossbar xbar{CrossbarParams{}};
+    xbar.assignWeights(1024, 128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(xbar.gemv());
+}
+BENCHMARK(BM_CrossbarGemv);
+
+void
+BM_MeshRouteClean(benchmark::State &state)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                noc.route({0, 0},
+                          {static_cast<std::uint32_t>(state.range(0)),
+                           static_cast<std::uint32_t>(
+                                   state.range(0))}));
+    }
+}
+BENCHMARK(BM_MeshRouteClean)->Arg(8)->Arg(32)->Arg(100);
+
+void
+BM_MeshRouteFaulted(benchmark::State &state)
+{
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    Rng rng(3);
+    const YieldParams yield;
+    const DefectMap random_defects(geom, yield, rng);
+    const MeshNoc noc(geom, NocParams{}, &random_defects);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(noc.route({0, 0}, {100, 100}));
+}
+BENCHMARK(BM_MeshRouteFaulted);
+
+void
+BM_TrafficAccumulate(benchmark::State &state)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    for (auto _ : state) {
+        TrafficAccumulator traffic(noc);
+        for (std::uint32_t i = 0; i < 64; ++i)
+            traffic.addFlow({i, 0}, {i, 16}, 4096);
+        benchmark::DoNotOptimize(traffic.bottleneckSeconds());
+    }
+}
+BENCHMARK(BM_TrafficAccumulate);
+
+void
+BM_DpLeafAssignment(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                dpLeafAssignment({9, 7, 5, 3, 2}, 32));
+    }
+}
+BENCHMARK(BM_DpLeafAssignment);
+
+void
+BM_MiqpObjective(benchmark::State &state)
+{
+    const WaferGeometry geom;
+    const auto order = geom.sShapedOrder();
+    const std::vector<CoreCoord> region(order.begin(),
+                                        order.begin() + 128);
+    MappingProblem problem(llama13b(), CoreParams{}, geom, region);
+    const Assignment assignment = GreedyMapper{}.solve(problem);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(problem.assignmentCost(assignment));
+}
+BENCHMARK(BM_MiqpObjective);
+
+void
+BM_KvAdmitRelease(benchmark::State &state)
+{
+    const ModelConfig cfg = llama13b();
+    std::vector<KvCoreInfo> score, context;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        score.push_back({{0, i}, 32, 8});
+        context.push_back({{1, i}, 32, 8});
+    }
+    BlockKvManager mgr(cfg, score, context);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        mgr.admit(id, 512);
+        mgr.release(id);
+        ++id;
+    }
+}
+BENCHMARK(BM_KvAdmitRelease);
+
+void
+BM_KvGrow(benchmark::State &state)
+{
+    const ModelConfig cfg = llama13b();
+    std::vector<KvCoreInfo> score, context;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        score.push_back({{0, i}, 32, 8});
+        context.push_back({{1, i}, 32, 8});
+    }
+    BlockKvManager mgr(cfg, score, context);
+    mgr.admit(1, 1);
+    std::uint64_t grown = 0;
+    for (auto _ : state) {
+        if (!mgr.grow(1).ok || ++grown > 100000) {
+            mgr.release(1);
+            mgr.admit(1, 1);
+            grown = 0;
+        }
+    }
+}
+BENCHMARK(BM_KvGrow);
+
+} // namespace
+
+BENCHMARK_MAIN();

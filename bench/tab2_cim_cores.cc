@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table 2 - circuit-level comparison of the CIM macros: VLSI'22,
+ * ISSCC'22 (both scaled to 7 nm) and this work. Also prints the
+ * derived Ouroboros core/crossbar characteristics from the Section 5
+ * component numbers, so the "capacity-over-peak-efficiency" tradeoff
+ * the paper argues for is visible.
+ */
+
+#include "bench_util.hh"
+
+#include "hw/params.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Table 2: CIM core circuit-level comparison ===\n";
+    Table table({"design", "TOPS/W", "TOPS/mm2", "wafer capacity[GB]",
+                 "off-chip needed"});
+    for (const CimMacroParams &macro :
+         {cimVlsi22(), cimIsscc22(), cimOuroboros()}) {
+        table.row()
+            .cell(macro.name)
+            .cell(macro.topsPerWatt, 2)
+            .cell(macro.topsPerMm2, 2)
+            .cell(macro.waferCapacityGB, 2)
+            .cell(macro.needsOffChip ? "yes (HBM2 1.6TB/s)" : "no");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDerived Ouroboros crossbar/core characteristics "
+                 "(Section 5 components):\n";
+    const CoreParams core;
+    const auto &xbar = core.crossbar;
+    Table derived({"quantity", "value"});
+    derived.row().cell("crossbar GEMV cycles (1024 rows)").cell(
+            static_cast<std::uint64_t>(xbar.gemvCycles(1024)));
+    derived.row().cell("crossbar MACs/cycle").cell(
+            xbar.macsPerCycle(), 1);
+    derived.row().cell("crossbar energy/MAC [pJ]").cell(
+            xbar.energyPerMac() / pJ, 4);
+    derived.row().cell("core peak TOPS").cell(core.peakTops(), 2);
+    derived.row().cell("core SRAM [MiB]").cell(
+            static_cast<double>(core.sramBytes()) /
+            static_cast<double>(MiB), 1);
+    const WaferGeometry geom;
+    derived.row().cell("wafer cores").cell(geom.numCores());
+    derived.row().cell("wafer SRAM [GiB]").cell(
+            static_cast<double>(geom.numCores() * core.sramBytes()) /
+            static_cast<double>(GiB), 1);
+    derived.print(std::cout);
+    return 0;
+}

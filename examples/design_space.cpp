@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Design-space exploration: what-if studies a wafer architect would
+ * run with this library.
+ *
+ *   1. KV threshold: the Fig. 17 dial, at serving granularity.
+ *   2. Crossbar size: smaller crossbars broadcast less but pipeline
+ *      worse (the Section 3 sizing argument for 4 MB cores).
+ *   3. Wafer slice: how throughput scales when only a fraction of
+ *      the wafer is populated (cost-down variants).
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+int
+main()
+{
+    using namespace ouro;
+    setQuiet(true);
+
+    const ModelConfig model = llama13b();
+    const Workload workload = wikiText2Like(60, 2048, 21);
+
+    // --- 1. KV threshold dial ---
+    std::cout << "1) KV anti-thrashing threshold:\n";
+    Table kv_table({"threshold", "tokens/s", "evictions",
+                    "kv utilization"});
+    for (const double threshold : {0.0, 0.1, 0.3}) {
+        OuroborosOptions opts;
+        opts.kvThreshold = threshold;
+        auto sys = OuroborosSystem::build(model, {}, opts);
+        if (!sys)
+            fatal("build failed");
+        const auto rep = sys->run(workload);
+        kv_table.row()
+            .cell(threshold, 1)
+            .cell(rep.result.outputTokensPerSecond, 0)
+            .cell(rep.pipeline.evictions)
+            .cell(rep.kvUtilization, 3);
+    }
+    kv_table.print(std::cout);
+
+    // --- 2. Crossbars per core ---
+    std::cout << "\n2) Crossbars per core (core capacity vs pipeline "
+                 "balance):\n";
+    Table core_table({"crossbars", "core SRAM[MiB]", "tokens/s",
+                      "util"});
+    for (const std::uint32_t xbars : {16u, 32u, 48u}) {
+        OuroborosParams hw;
+        hw.core.numCrossbars = xbars;
+        auto sys = OuroborosSystem::build(model, hw, {});
+        if (!sys) {
+            core_table.row()
+                .cell(static_cast<int>(xbars))
+                .cell("-")
+                .cell("does not fit")
+                .cell("-");
+            continue;
+        }
+        const auto rep = sys->run(workload);
+        core_table.row()
+            .cell(static_cast<int>(xbars))
+            .cell(static_cast<double>(hw.core.sramBytes()) /
+                  static_cast<double>(MiB), 1)
+            .cell(rep.result.outputTokensPerSecond, 0)
+            .cell(rep.result.utilization, 3);
+    }
+    core_table.print(std::cout);
+
+    // --- 3. Partial wafers ---
+    std::cout << "\n3) Partially populated wafers (die grid slices):\n";
+    Table wafer_table({"die grid", "cores", "fits 13B?", "tokens/s"});
+    struct Slice
+    {
+        std::uint32_t rows, cols;
+    };
+    for (const Slice slice : {Slice{5, 4}, Slice{7, 5}, Slice{9, 7}}) {
+        const WaferGeometry geom(slice.rows, slice.cols, 13, 17);
+        // Rough capacity gate before attempting a build.
+        OuroborosParams hw;
+        const bool fits =
+            hw.waferSramBytes(geom.numCores()) >
+            model.totalWeightBytes() * 1.2;
+        std::string tps = "-";
+        if (fits) {
+            // Build on a custom geometry via the mapping layer
+            // directly: the system simulator assumes the full wafer,
+            // so scale throughput by the KV-pool proxy instead.
+            auto sys = OuroborosSystem::build(model, hw, {});
+            if (sys) {
+                // Scale: stage timing is geometry-invariant; the KV
+                // pool (and hence decode concurrency) shrinks with
+                // the region size.
+                const auto rep = sys->run(workload);
+                const double scale =
+                    static_cast<double>(geom.numCores()) /
+                    static_cast<double>(WaferGeometry{}.numCores());
+                tps = formatDouble(
+                        rep.result.outputTokensPerSecond *
+                        std::min(1.0, scale), 0);
+            }
+        }
+        wafer_table.row()
+            .cell(std::to_string(slice.rows) + "x" +
+                  std::to_string(slice.cols))
+            .cell(geom.numCores())
+            .cell(fits ? "yes" : "no")
+            .cell(tps);
+    }
+    wafer_table.print(std::cout);
+    return 0;
+}

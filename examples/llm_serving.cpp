@@ -1,0 +1,103 @@
+/**
+ * @file
+ * LLM serving study: how Ouroboros behaves as a *serving* system
+ * under mixed traffic - the scenario the paper's introduction
+ * motivates (an inference service receiving requests of wildly
+ * varying lengths, where sequence-grained pipelines bubble).
+ *
+ * The example contrasts token-grained and sequence-grained
+ * pipelining on the same deployment across three traffic mixes
+ * (chat-like short prompts, document summarisation, and a heavy
+ * mixed bag), reporting throughput, utilisation, bubbles, KV
+ * evictions and recompute waste.
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+namespace
+{
+
+using namespace ouro;
+
+/** Chat: short prompts, medium answers. */
+Workload
+chatTraffic(std::size_t n)
+{
+    Workload w = wikiText2Like(n, 512, 11);
+    w.name = "chat";
+    for (auto &r : w.requests) {
+        r.prefillLen = std::max<std::uint64_t>(16, r.prefillLen / 4);
+        r.decodeLen = std::max<std::uint64_t>(32, r.decodeLen);
+    }
+    return w;
+}
+
+/** Summarisation: long prompts, short outputs. */
+Workload
+summarizeTraffic(std::size_t n)
+{
+    Workload w = fixedWorkload(1536, 96, n);
+    w.name = "summarize";
+    return w;
+}
+
+/** Mixed: the WikiText-2-like heavy-tailed mix. */
+Workload
+mixedTraffic(std::size_t n)
+{
+    Workload w = wikiText2Like(n, 2048, 13);
+    w.name = "mixed";
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ouro;
+    setQuiet(true);
+
+    const ModelConfig model = llama13b();
+
+    OuroborosOptions tgp_opts;
+    OuroborosOptions sgp_opts;
+    sgp_opts.tokenGrained = false;
+
+    auto tgp_sys = OuroborosSystem::build(model, {}, tgp_opts);
+    auto sgp_sys = OuroborosSystem::build(model, {}, sgp_opts);
+    if (!tgp_sys || !sgp_sys)
+        fatal("build failed");
+
+    std::cout << "LLM serving on Ouroboros (" << model.name
+              << "): token-grained vs sequence-grained\n\n";
+    Table table({"traffic", "pipeline", "tokens/s", "util",
+                 "bubbles", "evictions", "recomputed", "peak conc"});
+
+    for (const Workload &w :
+         {chatTraffic(80), summarizeTraffic(80), mixedTraffic(80)}) {
+        for (const bool tgp : {true, false}) {
+            const auto &sys = tgp ? *tgp_sys : *sgp_sys;
+            const OuroborosReport rep = sys.run(w);
+            table.row()
+                .cell(w.name)
+                .cell(tgp ? "token-grained" : "sequence-grained")
+                .cell(rep.result.outputTokensPerSecond, 0)
+                .cell(rep.pipeline.utilization, 3)
+                .cell(rep.pipeline.bubbleFraction, 3)
+                .cell(rep.pipeline.evictions)
+                .cell(rep.pipeline.recomputedTokens)
+                .cell(rep.pipeline.peakConcurrency, 0);
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nTGP should dominate on every mix, with the edge "
+                 "largest on 'mixed' (length\nvariance is what "
+                 "sequence granularity cannot absorb).\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: build an Ouroboros wafer for LLaMA-13B, run a small
+ * request stream, and print the headline numbers. This is the
+ * five-minute tour of the public API:
+ *
+ *   1. pick a model        (ouro::llama13b() and friends)
+ *   2. describe hardware   (ouro::OuroborosParams - paper defaults)
+ *   3. choose options      (ouro::OuroborosOptions - all features on)
+ *   4. build the system    (ouro::OuroborosSystem::build)
+ *   5. generate a workload (ouro::wikiText2Like / fixedWorkload)
+ *   6. run and inspect     (OuroborosSystem::run -> OuroborosReport)
+ */
+
+#include <iostream>
+
+#include "baselines/analytic.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+int
+main()
+{
+    using namespace ouro;
+
+    // 1-2. Model + hardware. The defaults reproduce the paper's
+    // wafer: 9x7 dies, 13x17 CIM cores per die, 4 MB SRAM per core.
+    const ModelConfig model = llama13b();
+    const OuroborosParams hw;
+
+    // 3. All three innovations enabled (TGP + dynamic KV + annealed
+    // mapping); Murphy-model defects injected with a fixed seed.
+    OuroborosOptions opts;
+    opts.seed = 42;
+
+    // 4. Build. This runs the yield model, the communication-aware
+    // mapper, and derives the pipeline's stage timing.
+    auto sys = OuroborosSystem::build(model, hw, opts);
+    if (!sys)
+        fatal("model does not fit a single wafer");
+
+    std::cout << "Built Ouroboros for " << model.name << ":\n"
+              << "  defective cores: " << sys->numDefects() << "\n"
+              << "  mapping volume:  "
+              << sys->totalMappingByteHops() / 1e6
+              << " MB-hops per token\n\n";
+
+    // 5. A small WikiText-2-like request stream.
+    const Workload workload = wikiText2Like(50, 2048, /*seed=*/7);
+
+    // 6. Run and compare against a DGX A100 running vLLM-style
+    // continuous batching.
+    const OuroborosReport report = sys->run(workload);
+    const auto dgx = evalAccelerator(dgxA100(), model, workload);
+
+    Table table({"system", "tokens/s", "J/token", "utilization"});
+    table.row()
+        .cell("Ouroboros")
+        .cell(report.result.outputTokensPerSecond, 0)
+        .cell(report.result.energyPerTokenTotal(), 4)
+        .cell(report.result.utilization, 3);
+    if (dgx) {
+        table.row()
+            .cell("DGX A100")
+            .cell(dgx->outputTokensPerSecond, 0)
+            .cell(dgx->energyPerTokenTotal(), 4)
+            .cell("-");
+    }
+    table.print(std::cout);
+
+    if (dgx) {
+        std::cout << "\nSpeedup vs DGX A100: "
+                  << formatDouble(
+                             report.result.outputTokensPerSecond /
+                             dgx->outputTokensPerSecond, 2)
+                  << "x; energy: "
+                  << formatDouble(
+                             report.result.energyPerTokenTotal() /
+                             dgx->energyPerTokenTotal(), 2)
+                  << "x\n";
+    }
+    return 0;
+}

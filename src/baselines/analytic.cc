@@ -1,0 +1,425 @@
+#include "analytic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kvcache/manager.hh"
+#include "pipeline/engine.hh"
+#include "pipeline/timing.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** Workload aggregates every analytic model needs. */
+struct WorkloadAgg
+{
+    double prefillTokens = 0.0;
+    double decodeTokens = 0.0;
+    double requests = 0.0;
+    double avgPrefill = 0.0;
+    double avgDecodeCtx = 0.0; ///< mean context over decode tokens
+    double avgTotalLen = 0.0;
+    double maxTotalLen = 0.0;
+};
+
+WorkloadAgg
+aggregate(const Workload &workload)
+{
+    WorkloadAgg agg;
+    double ctx_weighted = 0.0;
+    for (const auto &r : workload.requests) {
+        agg.prefillTokens += static_cast<double>(r.prefillLen);
+        agg.decodeTokens += static_cast<double>(r.decodeLen);
+        agg.requests += 1.0;
+        agg.avgTotalLen += static_cast<double>(r.totalTokens());
+        agg.maxTotalLen = std::max(
+                agg.maxTotalLen,
+                static_cast<double>(r.totalTokens()));
+        // Sum of contexts over this request's decode tokens:
+        // sum_{d=0..LD-1} (LP + d).
+        const double lp = static_cast<double>(r.prefillLen);
+        const double ld = static_cast<double>(r.decodeLen);
+        ctx_weighted += ld * lp + ld * (ld - 1.0) / 2.0;
+    }
+    ouroAssert(agg.requests > 0.0, "aggregate: empty workload");
+    agg.avgPrefill = agg.prefillTokens / agg.requests;
+    agg.avgTotalLen /= agg.requests;
+    agg.avgDecodeCtx =
+        agg.decodeTokens > 0.0 ? ctx_weighted / agg.decodeTokens : 0.0;
+    return agg;
+}
+
+/** Total MACs for the whole workload (prefill + decode, exact). */
+double
+workloadMacs(const ModelConfig &model, const Workload &workload)
+{
+    double macs = 0.0;
+    for (const auto &r : workload.requests) {
+        // Prefill token p attends p+1 positions (causal).
+        const double lp = static_cast<double>(r.prefillLen);
+        const double ld = static_cast<double>(r.decodeLen);
+        const double dense = model.totalMacsPerToken(0);
+        const double attn_coeff =
+            model.totalMacsPerToken(1) - dense; // per position
+        macs += (lp + ld) * dense;
+        // sum of contexts: prefill sum (lp+1)lp/2, decode as below.
+        macs += attn_coeff *
+                ((lp + 1.0) * lp / 2.0 + ld * lp +
+                 ld * (ld + 1.0) / 2.0);
+    }
+    return macs;
+}
+
+} // namespace
+
+std::optional<SystemResult>
+evalAccelerator(const AcceleratorParams &params,
+                const ModelConfig &model, const Workload &workload)
+{
+    const WorkloadAgg agg = aggregate(workload);
+
+    const double weight_bytes =
+        model.parameterCount() * params.bytesPerParam;
+    const double agg_hbm =
+        static_cast<double>(params.numDevices) *
+        static_cast<double>(params.hbmBytes);
+    if (weight_bytes * 1.1 > agg_hbm)
+        return std::nullopt; // model does not fit the node
+
+    const double kv_per_token =
+        static_cast<double>(model.kvBytesPerToken()) *
+        params.bytesPerParam; // cfg counts 1 byte/element
+    const double kv_capacity = agg_hbm - weight_bytes * 1.05;
+    const double batch_by_kv =
+        kv_capacity / std::max(1.0, agg.avgTotalLen * kv_per_token);
+    const double batch = std::clamp(
+            std::min(batch_by_kv, agg.requests), 1.0, 512.0);
+
+    const double agg_bw = static_cast<double>(params.numDevices) *
+                          params.hbmBytesPerSecond;
+    const double agg_macs = static_cast<double>(params.numDevices) *
+                            params.peakMacsPerSecond *
+                            params.computeEfficiency;
+
+    // ---- Decode (memory-bound roofline per batched step) ----
+    const double macs_per_decode_token =
+        model.totalMacsPerToken(
+                static_cast<std::uint64_t>(agg.avgDecodeCtx));
+    const double kv_read_per_step =
+        batch * agg.avgDecodeCtx * kv_per_token;
+    const double weight_read_per_step = weight_bytes;
+    const double pin_bytes_per_step =
+        weight_read_per_step +
+        (params.pimAttention ? 0.0 : kv_read_per_step);
+    // Tensor-parallel allreduce: 2 transits of the activation per
+    // block over the device links.
+    const double comm_bytes_per_step =
+        batch * 2.0 * static_cast<double>(model.numBlocks) *
+        static_cast<double>(model.hiddenDim) * params.bytesPerParam;
+    const double agg_decode_macs =
+        static_cast<double>(params.numDevices) *
+        params.peakMacsPerSecond * params.decodeEfficiency;
+    const double t_step =
+        std::max({pin_bytes_per_step / agg_bw,
+                  batch * macs_per_decode_token / agg_decode_macs}) +
+        comm_bytes_per_step /
+            (params.linkBytesPerSecond *
+             static_cast<double>(params.numDevices)) +
+        params.stepOverheadSeconds;
+    const double decode_steps =
+        agg.decodeTokens > 0.0 ? agg.decodeTokens / batch : 0.0;
+    const double t_decode = decode_steps * t_step;
+
+    // ---- Prefill (compute-bound; chunked prefill piggybacks on the
+    //      decode steps' weight reads) ----
+    double prefill_macs = 0.0;
+    for (const auto &r : workload.requests) {
+        const double lp = static_cast<double>(r.prefillLen);
+        const double dense = model.totalMacsPerToken(0);
+        const double attn =
+            model.totalMacsPerToken(1) - dense;
+        prefill_macs += lp * dense + attn * (lp + 1.0) * lp / 2.0;
+    }
+    const double t_prefill = prefill_macs / agg_macs;
+
+    const double makespan = t_prefill + t_decode;
+
+    // ---- Energy ----
+    EnergyLedger ledger;
+    const double total_macs = workloadMacs(model, workload);
+    // Compute datapath + board idle/static (charged to compute).
+    ledger.add(EnergyCategory::Compute,
+               total_macs * params.macEnergy +
+                   params.idlePowerW *
+                       static_cast<double>(params.numDevices) *
+                       makespan);
+
+    // Off-chip: weight streams per decode step, KV reads (at PIM
+    // energy when offloaded), KV writes, prefill activation spills.
+    const double kv_read_bytes = agg.decodeTokens * agg.avgDecodeCtx *
+                                 kv_per_token;
+    const double kv_write_bytes =
+        (agg.prefillTokens + agg.decodeTokens) * kv_per_token;
+    const double weight_stream_bytes =
+        decode_steps * weight_bytes +
+        // prefill streams weights once per batch wave
+        std::ceil(agg.requests / batch) * weight_bytes;
+    double offchip_j =
+        (weight_stream_bytes + kv_write_bytes) * 8.0 *
+        params.hbmEnergyPerBit;
+    offchip_j += kv_read_bytes * 8.0 *
+                 (params.pimAttention ? params.pimEnergyPerBit
+                                      : params.hbmEnergyPerBit);
+    ledger.add(EnergyCategory::OffChipMemory, offchip_j);
+
+    // On-chip: everything read from HBM is staged through SRAM at
+    // least once, and MAC operands make ~1 B/operand worth of
+    // SRAM/regfile traffic.
+    const double onchip_bytes =
+        0.5 * (weight_stream_bytes + kv_read_bytes + kv_write_bytes) +
+        0.5 * total_macs;
+    ledger.add(EnergyCategory::OnChipMemory,
+               onchip_bytes * 8.0 * params.sramEnergyPerBit);
+
+    // Communication: allreduce traffic for every token (prefill and
+    // decode) across the node.
+    const double comm_bytes =
+        (agg.prefillTokens + agg.decodeTokens) * 2.0 *
+        static_cast<double>(model.numBlocks) *
+        static_cast<double>(model.hiddenDim) * params.bytesPerParam;
+    ledger.add(EnergyCategory::Communication,
+               comm_bytes * 8.0 * params.linkEnergyPerBit);
+
+    SystemResult result;
+    result.system = params.name;
+    result.workload = workload.name;
+    result.model = model.name;
+    result.makespanSeconds = makespan;
+    result.outputTokensPerSecond =
+        agg.decodeTokens > 0.0 && makespan > 0.0
+            ? agg.decodeTokens / makespan
+            : 0.0;
+    result.energyPerToken =
+        ledger.scaled(agg.decodeTokens > 0.0 ? 1.0 / agg.decodeTokens
+                                             : 1.0);
+    result.peakConcurrency = batch;
+    return result;
+}
+
+EnergyLedger
+acceleratorTotalEnergy(const AcceleratorParams &params,
+                       const ModelConfig &model,
+                       const Workload &workload)
+{
+    const auto result = evalAccelerator(params, model, workload);
+    ouroAssert(result.has_value(),
+               "acceleratorTotalEnergy: model does not fit");
+    const WorkloadAgg agg = aggregate(workload);
+    return result->energyPerToken.scaled(agg.decodeTokens);
+}
+
+std::optional<SystemResult>
+evalWse(const WseParams &params, const ModelConfig &model,
+        const Workload &workload)
+{
+    const double weight_bytes =
+        model.parameterCount() * params.bytesPerParam;
+    const double sram =
+        static_cast<double>(params.sramBytes) * params.numWafers;
+    if (weight_bytes * 1.02 > sram)
+        return std::nullopt;
+
+    // --- Performance via the sequence-grained pipeline engine ---
+    // The wafer is modelled as six work-proportional super-stages
+    // (the WaferLLM spatial layout); a copy of the model with
+    // numBlocks=1 makes the engine's block multiplier inert.
+    ModelConfig flat = model;
+    flat.numBlocks = 1;
+
+    const double agg_rate =
+        params.peakMacsPerSecond * params.computeEfficiency *
+        params.numWafers;
+    StageTiming timing;
+    const auto dense_work = blockWork(model, 0);
+    const auto unit_work = blockWork(model, 1);
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        const double blocks = static_cast<double>(model.numBlocks);
+        timing.fixedSeconds[s] =
+            dense_work[s].macs * blocks / agg_rate +
+            dense_work[s].sfuOps * blocks / agg_rate;
+        timing.perContextSeconds[s] =
+            (unit_work[s].macs - dense_work[s].macs) * blocks /
+            agg_rate;
+    }
+
+    // KV pool: leftover SRAM split across blocks; expose it as a
+    // synthetic core ring to the representative-block manager.
+    const double kv_capacity_per_block =
+        (sram - weight_bytes) / static_cast<double>(model.numBlocks);
+    const double block_bytes = 128.0 * 128.0; // 16 KB logical block
+    const auto side_blocks = static_cast<std::uint64_t>(
+            std::max(1.0, kv_capacity_per_block / 2.0 / block_bytes));
+    const std::uint32_t ring_cores = 64;
+    const auto per_core = static_cast<std::uint32_t>(std::max<
+            std::uint64_t>(1, side_blocks / ring_cores / 8));
+    std::vector<KvCoreInfo> score_pool, context_pool;
+    for (std::uint32_t i = 0; i < ring_cores; ++i) {
+        score_pool.push_back({{0, i}, 8, per_core});
+        context_pool.push_back({{1, i}, 8, per_core});
+    }
+    BlockKvManager kv(model, score_pool, context_pool);
+
+    PipelineOptions opts;
+    opts.kind = PipelineKind::SequenceGrained;
+    const PipelineStats stats =
+        runPipeline(workload, flat, timing, kv, opts);
+
+    // --- Energy ---
+    const WorkloadAgg agg = aggregate(workload);
+    const double total_macs = workloadMacs(model, workload);
+    EnergyLedger ledger;
+    ledger.add(EnergyCategory::Compute,
+               total_macs * params.macEnergy +
+                   params.idlePowerW * stats.makespanSeconds);
+    // Non-CIM SRAM: every MAC pulls its weight from SRAM. Prefill
+    // GEMMs reuse a loaded tile across ~the chunk's tokens; decode
+    // GEMVs get no reuse - this is the cost CIM removes.
+    const double decode_weight_reads =
+        agg.decodeTokens * weight_bytes;
+    const double prefill_weight_reads =
+        agg.prefillTokens / 64.0 * weight_bytes; // 64-token tiles
+    const double kv_reads = agg.decodeTokens * agg.avgDecodeCtx *
+                            static_cast<double>(
+                                    model.kvBytesPerToken());
+    const double onchip_bytes = decode_weight_reads +
+                                prefill_weight_reads + kv_reads +
+                                total_macs * 0.5;
+    ledger.add(EnergyCategory::OnChipMemory,
+               onchip_bytes * 8.0 * params.sramEnergyPerBit);
+    // Fabric traffic: activations traverse the wafer between layers.
+    const double fabric_bytes =
+        (agg.prefillTokens + agg.decodeTokens) *
+        static_cast<double>(model.numBlocks) *
+        static_cast<double>(model.hiddenDim) * 4.0;
+    ledger.add(EnergyCategory::Communication,
+               fabric_bytes * 8.0 * params.fabricEnergyPerBit);
+    // No off-chip memory at all - the WSE-2's defining property.
+
+    SystemResult result;
+    result.system = params.name;
+    result.workload = workload.name;
+    result.model = model.name;
+    result.makespanSeconds = stats.makespanSeconds;
+    result.outputTokensPerSecond = stats.outputTokensPerSecond();
+    result.utilization = stats.utilization;
+    result.peakConcurrency = stats.peakConcurrency;
+    result.energyPerToken = ledger.scaled(
+            agg.decodeTokens > 0.0 ? 1.0 / agg.decodeTokens : 1.0);
+    return result;
+}
+
+SystemResult
+evalCimMacro(const CimMacroParams &params, const ModelConfig &model,
+             const Workload &workload)
+{
+    const WorkloadAgg agg = aggregate(workload);
+    const double weight_bytes = model.parameterCount();
+    const double onchip = params.waferCapacityGB * 1e9;
+
+    // Wafer compute: macro density x usable wafer area.
+    const double wafer_area_mm2 = 215.0 * 215.0 * 0.70;
+    const double wafer_ops =
+        params.topsPerMm2 * 1e12 * wafer_area_mm2;
+    const double wafer_macs = wafer_ops / 2.0;
+    const double efficiency = 0.30; // GEMV utilisation of macros
+
+    const double kv_per_token =
+        static_cast<double>(model.kvBytesPerToken());
+    const bool streams = params.needsOffChip ||
+                         weight_bytes * 1.05 > onchip;
+
+    double t_decode_per_token;
+    double batch = 1.0;
+    const double macs_decode = model.totalMacsPerToken(
+            static_cast<std::uint64_t>(agg.avgDecodeCtx));
+    if (streams) {
+        // Weights (and KV) stream from HBM2 every decode step.
+        batch = std::clamp(agg.requests, 1.0, 256.0);
+        const double step_bytes =
+            weight_bytes + batch * agg.avgDecodeCtx * kv_per_token;
+        const double t_step =
+            std::max(step_bytes / params.offChipBytesPerSecond,
+                     batch * macs_decode /
+                         (wafer_macs * efficiency));
+        t_decode_per_token = t_step / batch;
+    } else {
+        // Fully resident: token-grained pipeline keeps the macros
+        // busy; throughput bound by in-SRAM compute.
+        t_decode_per_token =
+            macs_decode / (wafer_macs * efficiency);
+    }
+    const double t_decode = agg.decodeTokens * t_decode_per_token;
+    const double prefill_macs =
+        workloadMacs(model, workload) -
+        agg.decodeTokens * macs_decode;
+    const double t_prefill =
+        std::max(0.0, prefill_macs) / (wafer_macs * efficiency);
+    const double makespan = t_decode + t_prefill;
+
+    EnergyLedger ledger;
+    const double total_macs = workloadMacs(model, workload);
+    const double compute_j = 2.0 * total_macs /
+                             (params.topsPerWatt * 1e12) *
+                             params.lutEnergyScale;
+    // Idle floor: the macro wafer burns ~10% of its full compute
+    // power regardless of utilisation; long (memory-stalled)
+    // makespans pay for it dearly.
+    const double wafer_full_power =
+        wafer_ops / (params.topsPerWatt * 1e12);
+    ledger.add(EnergyCategory::Compute,
+               compute_j + 0.10 * wafer_full_power * makespan);
+    if (streams) {
+        const double stream_bytes =
+            (agg.decodeTokens / batch) * weight_bytes +
+            agg.decodeTokens * agg.avgDecodeCtx * kv_per_token +
+            (agg.prefillTokens / 64.0) * weight_bytes;
+        ledger.add(EnergyCategory::OffChipMemory,
+                   stream_bytes * 8.0 * params.offChipEnergyPerBit);
+        ledger.add(EnergyCategory::OnChipMemory,
+                   stream_bytes * 8.0 * 0.6 * pJ); // staging
+    } else {
+        // Residual buffer/KV-write SRAM traffic (Section 6.3).
+        const double buffer_bytes =
+            (agg.prefillTokens + agg.decodeTokens) *
+            (static_cast<double>(model.hiddenDim) * 8.0 +
+             kv_per_token);
+        ledger.add(EnergyCategory::OnChipMemory,
+                   buffer_bytes * 8.0 * 1.6 * pJ / 8.0);
+    }
+    const double comm_bytes =
+        (agg.prefillTokens + agg.decodeTokens) *
+        static_cast<double>(model.numBlocks) *
+        static_cast<double>(model.hiddenDim) * 3.0;
+    ledger.add(EnergyCategory::Communication,
+               comm_bytes * 8.0 * 0.1 * pJ);
+
+    SystemResult result;
+    result.system = params.name;
+    result.workload = workload.name;
+    result.model = model.name;
+    result.makespanSeconds = makespan;
+    result.outputTokensPerSecond =
+        agg.decodeTokens > 0.0 && makespan > 0.0
+            ? agg.decodeTokens / makespan
+            : 0.0;
+    result.energyPerToken = ledger.scaled(
+            agg.decodeTokens > 0.0 ? 1.0 / agg.decodeTokens : 1.0);
+    result.peakConcurrency = batch;
+    return result;
+}
+
+} // namespace ouro

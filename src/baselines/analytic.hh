@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic performance/energy models of the baseline systems
+ * (Section 6.1) and of the CIM-macro substitution study (Section 6.9).
+ *
+ * The paper's own baselines are model-derived (vLLM measurements on a
+ * DGX, ONNXim/NPUsim for TPUv4, the AttAcc paper's simulator, a
+ * WaferLLM-driven WSE-2 simulator). What the comparison relies on is
+ * the memory-hierarchy structure these systems share: weights and KV
+ * live in (or stream through) DRAM-class memory for the accelerator
+ * family, or in non-compute SRAM for the WSE-2 - so decode is
+ * bandwidth-bound, prefill is compute-bound, and every byte's journey
+ * is priced by the standard pJ/bit ladder. The roofline + batching
+ * models here reproduce exactly that structure.
+ */
+
+#ifndef OURO_BASELINES_ANALYTIC_HH
+#define OURO_BASELINES_ANALYTIC_HH
+
+#include <optional>
+
+#include "baselines/device_params.hh"
+#include "baselines/result.hh"
+#include "model/llm.hh"
+#include "workload/requests.hh"
+
+namespace ouro
+{
+
+/**
+ * Evaluate a DRAM/HBM-backed accelerator node (DGX A100, TPUv4,
+ * AttAcc) with vLLM-style continuous batching.
+ *
+ * Returns std::nullopt when the model does not fit the node's
+ * aggregate memory.
+ */
+std::optional<SystemResult>
+evalAccelerator(const AcceleratorParams &params,
+                const ModelConfig &model, const Workload &workload);
+
+/**
+ * Evaluate the Cerebras WSE-2 running a WaferLLM-style engine:
+ * weights resident in on-chip SRAM (not CIM), sequence-grained
+ * spatial pipelining. Returns std::nullopt when weights do not fit
+ * the wafer('s) SRAM.
+ */
+std::optional<SystemResult>
+evalWse(const WseParams &params, const ModelConfig &model,
+        const Workload &workload);
+
+/**
+ * Evaluate a wafer built from a given CIM macro (Table 2 / Fig. 21):
+ * macros with insufficient on-chip capacity stream weights from the
+ * provisioned HBM2; full-capacity macros run entirely in SRAM.
+ */
+SystemResult evalCimMacro(const CimMacroParams &params,
+                          const ModelConfig &model,
+                          const Workload &workload);
+
+/** @name Fig. 1 helper: energy breakdown of a GPU-node inference */
+/// @{
+
+/** Total (not per-token) energy of running @p workload; used by the
+ *  scaling-tax sweep, which plots absolute joules vs model size. */
+EnergyLedger acceleratorTotalEnergy(const AcceleratorParams &params,
+                                    const ModelConfig &model,
+                                    const Workload &workload);
+/// @}
+
+} // namespace ouro
+
+#endif // OURO_BASELINES_ANALYTIC_HH

@@ -1,0 +1,107 @@
+#include "device_params.hh"
+
+namespace ouro
+{
+
+AcceleratorParams
+dgxA100()
+{
+    AcceleratorParams params;
+    params.name = "DGX A100";
+    params.numDevices = 8;
+    params.peakMacsPerSecond = 156e12; // 312 TFLOPS fp16
+    params.hbmBytesPerSecond = 1.555e12;
+    params.hbmBytes = 40ull * 1000 * 1000 * 1000;
+    params.bytesPerParam = 2;
+    params.linkBytesPerSecond = 600e9;
+    params.linkEnergyPerBit = 8.0 * pJ;
+    params.hbmEnergyPerBit = 7.0 * pJ;
+    params.computeEfficiency = 0.55;
+    params.idlePowerW = 90.0;
+    return params;
+}
+
+AcceleratorParams
+tpuV4x8()
+{
+    AcceleratorParams params;
+    params.name = "TPUv4";
+    params.numDevices = 8;
+    params.peakMacsPerSecond = 137.5e12; // 275 TFLOPS bf16
+    params.hbmBytesPerSecond = 1.2e12;
+    params.hbmBytes = 32ull * 1000 * 1000 * 1000;
+    params.bytesPerParam = 2;
+    params.linkBytesPerSecond = 50e9 * 6; // 3D-torus ICI, 6 links
+    params.linkEnergyPerBit = 5.0 * pJ;
+    params.hbmEnergyPerBit = 7.0 * pJ;
+    params.macEnergy = 0.55 * pJ; // systolic array is leaner
+    params.computeEfficiency = 0.60;
+    params.idlePowerW = 60.0;
+    return params;
+}
+
+AcceleratorParams
+attAcc()
+{
+    // AttAcc = DGX-class host + HBM-PIM attention (Park et al.,
+    // ASPLOS'24): 320 GB aggregate, decode attention runs in-stack.
+    AcceleratorParams params = dgxA100();
+    params.name = "AttAcc";
+    params.hbmBytes = 40ull * 1000 * 1000 * 1000; // x8 = 320 GB
+    params.pimAttention = true;
+    params.pimEnergyPerBit = 1.2 * pJ;
+    return params;
+}
+
+WseParams
+wse2()
+{
+    return WseParams{};
+}
+
+CimMacroParams
+cimOuroboros()
+{
+    CimMacroParams params;
+    params.name = "Ours";
+    params.topsPerWatt = 10.98;
+    params.topsPerMm2 = 2.03;
+    params.waferCapacityGB = 54.0;
+    params.needsOffChip = false;
+    return params;
+}
+
+CimMacroParams
+cimVlsi22()
+{
+    CimMacroParams params;
+    params.name = "VLSI'22";
+    params.topsPerWatt = 49.67;
+    params.topsPerMm2 = 26.0;
+    params.waferCapacityGB = 2.63;
+    params.needsOffChip = true;
+    return params;
+}
+
+CimMacroParams
+cimIsscc22()
+{
+    CimMacroParams params;
+    params.name = "ISSCC'22";
+    params.topsPerWatt = 44.41;
+    params.topsPerMm2 = 30.55;
+    params.waferCapacityGB = 11.32;
+    params.needsOffChip = true;
+    return params;
+}
+
+CimMacroParams
+cimOuroborosLut()
+{
+    CimMacroParams params = cimOuroboros();
+    params.name = "Ours+LUT";
+    params.lutEnergyScale = 0.90; // Section 6.9: extra 10% savings
+    return params;
+}
+
+} // namespace ouro

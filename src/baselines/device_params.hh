@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Published device parameters for the baseline systems of Section 6.1
+ * and the CIM-macro comparison of Section 6.9 / Table 2.
+ *
+ * Every number is a public spec-sheet or paper value:
+ *  - NVIDIA A100 40GB (DGX node, NVLink3), running vLLM-class
+ *    continuous batching at fp16;
+ *  - Google TPUv4 (275 TFLOPS bf16, 32 GB HBM2 @ 1.2 TB/s);
+ *  - AttAcc (DGX + HBM-PIM for attention, 320 GB aggregate);
+ *  - Cerebras WSE-2 (40 GB on-chip SRAM, no DRAM) running a
+ *    WaferLLM-style engine;
+ *  - CIM macros: VLSI'22 and ISSCC'22 scaled to 7 nm per the paper
+ *    (49.67 / 44.41 TOPS/W, 26.0 / 30.55 TOPS/mm2, 2.63 / 11.32 GB
+ *    wafer capacity) backed by HBM2 @ 1.6 TB/s.
+ *
+ * Energy-per-bit constants follow the standard architecture-
+ * literature ladder: HBM ~7 pJ/bit at the pins, NVLink ~8 pJ/bit,
+ * large on-chip SRAM ~0.6 pJ/bit, ALU datapath ~0.8 pJ per 8-bit MAC
+ * equivalent on a 7 nm GPU-class core.
+ */
+
+#ifndef OURO_BASELINES_DEVICE_PARAMS_HH
+#define OURO_BASELINES_DEVICE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace ouro
+{
+
+/** A DRAM/HBM-backed accelerator node (GPU/TPU/AttAcc family). */
+struct AcceleratorParams
+{
+    std::string name;
+    std::uint32_t numDevices = 8;
+
+    /** Peak dense throughput per device (MAC/s at inference width). */
+    double peakMacsPerSecond = 156e12; // A100: 312 TFLOPS fp16 / 2
+
+    /** HBM bandwidth and capacity per device. */
+    double hbmBytesPerSecond = 1.555e12;
+    Bytes hbmBytes = 40ull * 1000 * 1000 * 1000;
+
+    /** Inference weight/KV precision in bytes (fp16 = 2). */
+    unsigned bytesPerParam = 2;
+
+    /** Interconnect between devices. */
+    double linkBytesPerSecond = 600e9; // NVLink3 per device
+    double linkEnergyPerBit = 8.0 * pJ;
+
+    /** Energy constants. */
+    double hbmEnergyPerBit = 7.0 * pJ;
+    double sramEnergyPerBit = 0.6 * pJ;  ///< caches/regfiles per access
+    double macEnergy = 0.8 * pJ;         ///< per MAC incl. datapath
+
+    /** Static/idle power per device (board level). */
+    double idlePowerW = 90.0;
+
+    /** Achievable fraction of peak MACs on dense GEMM (prefill). */
+    double computeEfficiency = 0.55;
+
+    /** Achievable fraction of peak on batched GEMV (decode). */
+    double decodeEfficiency = 0.35;
+
+    /** Per-decode-step scheduler/kernel-launch overhead. */
+    double stepOverheadSeconds = 150e-6;
+
+    /**
+     * PIM attention offload (AttAcc): when true, decode-phase KV
+     * reads happen inside the memory stacks - they stop consuming
+     * pin bandwidth and cost pimEnergyPerBit instead.
+     */
+    bool pimAttention = false;
+    double pimEnergyPerBit = 1.2 * pJ;
+};
+
+/** Presets. */
+AcceleratorParams dgxA100();
+AcceleratorParams tpuV4x8();
+AcceleratorParams attAcc();
+
+/** A wafer-scale SRAM (non-CIM) engine: Cerebras WSE-2. */
+struct WseParams
+{
+    std::string name = "Cerebras WSE-2";
+    std::uint32_t numWafers = 1;
+
+    Bytes sramBytes = 40ull * 1000 * 1000 * 1000; ///< on-chip, total
+    double peakMacsPerSecond = 3750e12; ///< ~7.5 PFLOPS fp16 -> MACs
+    double sramEnergyPerBit = 0.35 * pJ; ///< local SRAM read
+    double macEnergy = 0.55 * pJ;
+    double fabricEnergyPerBit = 0.15 * pJ;
+    double idlePowerW = 5000.0; ///< 20 kW-class system, idle floor
+    unsigned bytesPerParam = 1;  ///< int8 like Ouroboros
+    double computeEfficiency = 0.10; ///< WaferLLM GEMV MFU
+};
+
+WseParams wse2();
+
+/** CIM macro alternatives for the Fig. 21 / Table 2 study. */
+struct CimMacroParams
+{
+    std::string name;
+    double topsPerWatt = 10.98;   ///< system-level, 7 nm
+    double topsPerMm2 = 2.03;
+    double waferCapacityGB = 54.0;
+    bool needsOffChip = false;    ///< weights exceed on-chip capacity
+    double offChipBytesPerSecond = 1.6e12; ///< HBM2 provisioned
+    double offChipEnergyPerBit = 7.0 * pJ;
+    double lutEnergyScale = 1.0;  ///< <1 for LUT-based compute
+};
+
+CimMacroParams cimOuroboros();
+CimMacroParams cimVlsi22();
+CimMacroParams cimIsscc22();
+CimMacroParams cimOuroborosLut();
+
+} // namespace ouro
+
+#endif // OURO_BASELINES_DEVICE_PARAMS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Common result record every system model (Ouroboros and all
+ * baselines) produces for one (model, workload) evaluation.
+ */
+
+#ifndef OURO_BASELINES_RESULT_HH
+#define OURO_BASELINES_RESULT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+
+namespace ouro
+{
+
+/** Outcome of evaluating one system on one workload. */
+struct SystemResult
+{
+    std::string system;
+    std::string workload;
+    std::string model;
+
+    double makespanSeconds = 0.0;
+    double outputTokensPerSecond = 0.0;
+
+    /** Energy per OUTPUT token, by category (the Fig. 14 stacks). */
+    EnergyLedger energyPerToken;
+
+    /** Optional detail used by specific figures. */
+    double utilization = 0.0;
+    double peakConcurrency = 0.0;
+
+    double energyPerTokenTotal() const
+    {
+        return energyPerToken.total();
+    }
+};
+
+} // namespace ouro
+
+#endif // OURO_BASELINES_RESULT_HH

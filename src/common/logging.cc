@@ -1,0 +1,23 @@
+#include "logging.hh"
+
+namespace ouro
+{
+namespace detail
+{
+
+void
+emitLine(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+bool &
+quietFlag()
+{
+    static bool quiet = false;
+    return quiet;
+}
+
+} // namespace detail
+} // namespace ouro

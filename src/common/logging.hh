@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger / core dump can capture the state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument); exits with code 1.
+ * warn()   — something is modelled approximately; execution continues.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef OURO_COMMON_LOGGING_HH
+#define OURO_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ouro
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from a variadic pack. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit one tagged line to stderr. */
+void emitLine(const char *tag, const std::string &msg);
+
+/** Whether inform() output is suppressed (for quiet benchmarks). */
+bool &quietFlag();
+
+} // namespace detail
+
+/** Suppress (or re-enable) inform() output globally. */
+inline void
+setQuiet(bool quiet)
+{
+    detail::quietFlag() = quiet;
+}
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * @param args Message fragments, streamed together.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLine("panic", detail::composeMessage(
+            std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLine("fatal", detail::composeMessage(
+            std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report a condition that is modelled approximately but continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLine("warn", detail::composeMessage(
+            std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. Suppressed by setQuiet(true). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!detail::quietFlag()) {
+        detail::emitLine("info", detail::composeMessage(
+                std::forward<Args>(args)...));
+    }
+}
+
+/**
+ * Assert a simulator invariant; on failure panic with the message.
+ * Active in all build types (simulation correctness depends on it).
+ */
+template <typename... Args>
+void
+ouroAssert(bool condition, Args &&...args)
+{
+    if (!condition) {
+        panic("assertion failed: ",
+              detail::composeMessage(std::forward<Args>(args)...));
+    }
+}
+
+} // namespace ouro
+
+#endif // OURO_COMMON_LOGGING_HH

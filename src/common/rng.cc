@@ -1,0 +1,122 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** SplitMix64 step used to expand a 64-bit seed into generator state. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 0x1ULL;
+}
+
+std::uint64_t
+Rng::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    ouroAssert(lo <= hi, "uniformInt: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + draw % span;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace ouro

@@ -1,0 +1,138 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace ouro
+{
+
+const char *
+energyCategoryName(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::Compute:
+        return "compute";
+      case EnergyCategory::Communication:
+        return "communication";
+      case EnergyCategory::OnChipMemory:
+        return "on-chip-memory";
+      case EnergyCategory::OffChipMemory:
+        return "off-chip-memory";
+    }
+    panic("energyCategoryName: bad category");
+}
+
+void
+EnergyLedger::add(EnergyCategory cat, double joules)
+{
+    ouroAssert(joules >= 0.0, "EnergyLedger::add: negative deposit ",
+               joules, " J into ", energyCategoryName(cat));
+    bins_[static_cast<std::size_t>(cat)] += joules;
+}
+
+double
+EnergyLedger::get(EnergyCategory cat) const
+{
+    return bins_[static_cast<std::size_t>(cat)];
+}
+
+double
+EnergyLedger::total() const
+{
+    double sum = 0.0;
+    for (double b : bins_)
+        sum += b;
+    return sum;
+}
+
+void
+EnergyLedger::merge(const EnergyLedger &other)
+{
+    for (std::size_t i = 0; i < kNumEnergyCategories; ++i)
+        bins_[i] += other.bins_[i];
+}
+
+EnergyLedger
+EnergyLedger::scaled(double factor) const
+{
+    ouroAssert(factor >= 0.0, "EnergyLedger::scaled: negative factor");
+    EnergyLedger out;
+    for (std::size_t i = 0; i < kNumEnergyCategories; ++i)
+        out.bins_[i] = bins_[i] * factor;
+    return out;
+}
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    ouroAssert(hi > lo && bins > 0, "Histogram: bad range/bins");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(frac * static_cast<double>(counts_.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++samples_;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    ouroAssert(i < counts_.size(), "Histogram::binCount: index ", i,
+               " out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+           static_cast<double>(counts_.size());
+}
+
+} // namespace ouro

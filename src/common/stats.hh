@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Energy/time accounting used by every system model in the repository.
+ *
+ * The paper reports energy in the four categories of its Fig. 1 /
+ * Fig. 14 stacked bars: compute, communication, on-chip memory, and
+ * off-chip memory. EnergyLedger mirrors exactly that breakdown so a
+ * bench binary can print the same stacks the paper plots.
+ */
+
+#ifndef OURO_COMMON_STATS_HH
+#define OURO_COMMON_STATS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ouro
+{
+
+/** The four energy categories of the paper's stacked-bar figures. */
+enum class EnergyCategory : std::size_t
+{
+    Compute = 0,
+    Communication = 1,
+    OnChipMemory = 2,
+    OffChipMemory = 3,
+};
+
+inline constexpr std::size_t kNumEnergyCategories = 4;
+
+/** Printable name of an energy category. */
+const char *energyCategoryName(EnergyCategory cat);
+
+/**
+ * Accumulates joules per category. Supports merging (for composing
+ * subsystem ledgers into a system total) and scaling (for normalising
+ * per token / per request).
+ */
+class EnergyLedger
+{
+  public:
+    EnergyLedger() { bins_.fill(0.0); }
+
+    /** Add @p joules to @p cat. Negative deposits are a caller bug. */
+    void add(EnergyCategory cat, double joules);
+
+    /** Energy recorded for one category. */
+    double get(EnergyCategory cat) const;
+
+    /** Sum over all categories. */
+    double total() const;
+
+    /** Merge another ledger into this one. */
+    void merge(const EnergyLedger &other);
+
+    /** Return a copy with every bin multiplied by @p factor. */
+    EnergyLedger scaled(double factor) const;
+
+    /** Reset all bins to zero. */
+    void clear() { bins_.fill(0.0); }
+
+  private:
+    std::array<double, kNumEnergyCategories> bins_;
+};
+
+/**
+ * A simple running-statistics accumulator (count / mean / min / max /
+ * variance via Welford). Used for utilisation, bubble fractions, queue
+ * depths, hop counts, etc.
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const;
+    double max() const;
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+ * edge bins so nothing is silently dropped.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t binCount(std::size_t i) const;
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t samples() const { return samples_; }
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t samples_ = 0;
+};
+
+} // namespace ouro
+
+#endif // OURO_COMMON_STATS_HH

@@ -1,0 +1,100 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace ouro
+{
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ouroAssert(!headers_.empty(), "Table: no headers");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    ouroAssert(!rows_.empty(), "Table::cell before row()");
+    ouroAssert(rows_.back().size() < headers_.size(),
+               "Table::cell: row wider than header");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text =
+                c < cells.size() ? cells[c] : std::string();
+            os << "| " << std::left << std::setw(
+                    static_cast<int>(widths[c])) << text << ' ';
+        }
+        os << "|\n";
+    };
+
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << "|";
+        for (std::size_t i = 0; i < widths[c] + 2; ++i)
+            os << '-';
+    }
+    os << "|\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace ouro

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses so every
+ * reproduced figure/table prints aligned, machine-greppable rows.
+ */
+
+#ifndef OURO_COMMON_TABLE_HH
+#define OURO_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ouro
+{
+
+/**
+ * Column-aligned table with a header row. Cells are strings; numeric
+ * convenience overloads format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    Table &cell(double value, int precision = 3);
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    /** Render with column alignment and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (helper for ad-hoc rows). */
+std::string formatDouble(double value, int precision = 3);
+
+} // namespace ouro
+
+#endif // OURO_COMMON_TABLE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Physical-unit helpers shared across the simulator.
+ *
+ * The simulator carries energies in joules, times in seconds, sizes in
+ * bytes and rates in bytes/second or operations/second. These are plain
+ * doubles / integers; the helpers here make literals self-describing
+ * (e.g. 4 * MiB, 1.6 * TBps, 7 * pJ) so hardware parameter tables read
+ * like the paper's own spec sheets.
+ */
+
+#ifndef OURO_COMMON_UNITS_HH
+#define OURO_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace ouro
+{
+
+/** Size in bytes. */
+using Bytes = std::uint64_t;
+
+/** Discrete simulator cycles. */
+using Cycles = std::uint64_t;
+
+// Binary size multipliers.
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+
+// Decimal rate multipliers (bytes / second).
+inline constexpr double KBps = 1e3;
+inline constexpr double MBps = 1e6;
+inline constexpr double GBps = 1e9;
+inline constexpr double TBps = 1e12;
+
+// Frequencies (hertz).
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Energies (joules).
+inline constexpr double pJ = 1e-12;
+inline constexpr double nJ = 1e-9;
+inline constexpr double uJ = 1e-6;
+inline constexpr double mJ = 1e-3;
+
+// Power (watts).
+inline constexpr double mW = 1e-3;
+inline constexpr double W = 1.0;
+
+// Times (seconds).
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+// Compute rates (operations / second).
+inline constexpr double GOPS = 1e9;
+inline constexpr double TOPS = 1e12;
+inline constexpr double TFLOPS = 1e12;
+
+/** Convert a cycle count at a given clock to seconds. */
+inline constexpr double
+cyclesToSeconds(Cycles cycles, double clock_hz)
+{
+    return static_cast<double>(cycles) / clock_hz;
+}
+
+/** Integer ceiling division for sizing/tiling computations. */
+inline constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace ouro
+
+#endif // OURO_COMMON_UNITS_HH

@@ -1,0 +1,183 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+const char *
+coreRoleName(CoreRole role)
+{
+    switch (role) {
+      case CoreRole::Unassigned:
+        return "unassigned";
+      case CoreRole::Weights:
+        return "weights";
+      case CoreRole::KvCache:
+        return "kv-cache";
+      case CoreRole::Defective:
+        return "defective";
+    }
+    panic("coreRoleName: bad role");
+}
+
+CimCore::CimCore(const CoreParams &params)
+    : params_(params)
+{
+    xbars_.reserve(params_.numCrossbars);
+    for (std::uint32_t i = 0; i < params_.numCrossbars; ++i)
+        xbars_.emplace_back(params_.crossbar);
+}
+
+void
+CimCore::markDefective()
+{
+    role_ = CoreRole::Defective;
+}
+
+bool
+CimCore::assignTile(const TileAssignment &tile)
+{
+    if (role_ != CoreRole::Unassigned)
+        return false;
+
+    // Tiles are partitioned output-channel-first (constraint (2) of
+    // Section 4.3.1), so each crossbar holds the full row span of the
+    // tile and a slice of its columns.
+    const auto &xp = params_.crossbar;
+    if (tile.rows > xp.rows)
+        return false;
+    const std::uint32_t cols_per_xbar = xp.cols / xp.weightBits;
+    const std::uint32_t need =
+        static_cast<std::uint32_t>(ceilDiv(tile.cols, cols_per_xbar));
+    if (need > params_.numCrossbars)
+        return false;
+
+    std::uint32_t remaining = tile.cols;
+    for (std::uint32_t i = 0; i < need; ++i) {
+        const std::uint32_t chunk =
+            std::min(remaining, cols_per_xbar);
+        const bool ok = xbars_[i].assignWeights(tile.rows, chunk);
+        ouroAssert(ok, "assignTile: crossbar ", i, " refused tile");
+        remaining -= chunk;
+    }
+
+    role_ = CoreRole::Weights;
+    tile_ = tile;
+    weightXbars_ = need;
+    enableAttentionOnSpares();
+    return true;
+}
+
+const TileAssignment &
+CimCore::tile() const
+{
+    ouroAssert(role_ == CoreRole::Weights, "tile(): core holds no tile");
+    return tile_;
+}
+
+bool
+CimCore::assignKvRole()
+{
+    if (role_ != CoreRole::Unassigned)
+        return false;
+    role_ = CoreRole::KvCache;
+    enableAttentionOnSpares();
+    return true;
+}
+
+void
+CimCore::enableAttentionOnSpares()
+{
+    for (auto &xbar : xbars_) {
+        if (xbar.mode() == CrossbarMode::Unassigned)
+            xbar.assignAttention();
+    }
+}
+
+std::uint32_t
+CimCore::freeAttentionCrossbars() const
+{
+    std::uint32_t n = 0;
+    for (const auto &xbar : xbars_)
+        n += xbar.mode() == CrossbarMode::Attention ? 1 : 0;
+    return n;
+}
+
+std::uint32_t
+CimCore::freeKvBlocks() const
+{
+    if (role_ == CoreRole::Defective)
+        return 0;
+    std::uint32_t n = 0;
+    for (const auto &xbar : xbars_) {
+        if (xbar.mode() == CrossbarMode::Attention)
+            n += xbar.freeBlocks();
+    }
+    return n;
+}
+
+Crossbar &
+CimCore::crossbar(std::uint32_t i)
+{
+    ouroAssert(i < xbars_.size(), "crossbar: index out of range");
+    return xbars_[i];
+}
+
+const Crossbar &
+CimCore::crossbar(std::uint32_t i) const
+{
+    ouroAssert(i < xbars_.size(), "crossbar: index out of range");
+    return xbars_[i];
+}
+
+ComputeCost
+CimCore::weightGemv() const
+{
+    ouroAssert(role_ == CoreRole::Weights,
+               "weightGemv on core with role ", coreRoleName(role_));
+    ComputeCost total;
+    for (std::uint32_t i = 0; i < weightXbars_; ++i) {
+        const ComputeCost c = xbars_[i].gemv();
+        total.cycles = std::max(total.cycles, c.cycles);
+        total.energyJ += c.energyJ;
+        total.macs += c.macs;
+    }
+    return total;
+}
+
+ComputeCost
+CimCore::sfuCompute(double ops) const
+{
+    ComputeCost cost;
+    const double lane_cycles = ops / params_.sfuLanes;
+    // SFU runs at its own (faster) clock; convert to CIM-core cycles
+    // so pipeline arithmetic stays in one clock domain.
+    const double seconds = lane_cycles / params_.sfuClockHz;
+    cost.cycles = static_cast<Cycles>(
+            std::max(1.0, seconds * params_.crossbar.clockHz + 0.5));
+    cost.energyJ = ops * params_.sfuEnergyPerOp;
+    return cost;
+}
+
+double
+CimCore::bufferEnergy(Bytes bytes) const
+{
+    return static_cast<double>(bytes) * params_.bufferEnergyPerByte;
+}
+
+void
+CimCore::reset()
+{
+    if (role_ == CoreRole::Defective)
+        return; // defects are permanent
+    role_ = CoreRole::Unassigned;
+    weightXbars_ = 0;
+    tile_ = TileAssignment{};
+    for (auto &xbar : xbars_)
+        xbar.reset();
+}
+
+} // namespace ouro

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CIM core model: 32 crossbars + buffers + SFU + control (Fig. 2c).
+ *
+ * A core is claimed for a weight tile of some transformer-block layer
+ * (FFN-mode crossbars) and/or serves KV storage (attention-mode
+ * crossbars). The key resource fact the paper's KV manager exploits
+ * (Section 4.4) is that a weight tile rarely fills all 32 crossbars,
+ * leaving *fragmented* capacity that the distributed KV manager
+ * repurposes; CimCore exposes exactly that free capacity.
+ */
+
+#ifndef OURO_HW_CORE_HH
+#define OURO_HW_CORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/crossbar.hh"
+#include "hw/params.hh"
+
+namespace ouro
+{
+
+/** What a core has been assigned to by the mapper. */
+enum class CoreRole
+{
+    Unassigned,
+    Weights,   ///< holds a layer tile (may also host KV in spare xbars)
+    KvCache,   ///< dedicated KV storage/attention compute
+    Defective, ///< fabrication defect; unusable
+};
+
+const char *coreRoleName(CoreRole role);
+
+/** Identifies the layer tile a weights-core holds. */
+struct TileAssignment
+{
+    std::string layer;       ///< layer name within the block
+    std::uint64_t block;     ///< transformer block index
+    std::uint32_t inSplit;   ///< input-channel split index i
+    std::uint32_t outSplit;  ///< output-channel split index o
+    std::uint32_t rows;      ///< input channels held
+    std::uint32_t cols;      ///< output channels held
+};
+
+/**
+ * One CIM core. Owns its crossbars; prices GEMV/SFU work and KV
+ * traffic; reports free attention-mode capacity for the KV manager.
+ */
+class CimCore
+{
+  public:
+    explicit CimCore(const CoreParams &params);
+
+    const CoreParams &params() const { return params_; }
+    CoreRole role() const { return role_; }
+
+    /** Mark the core as a fabrication defect (yield model). */
+    void markDefective();
+
+    bool usable() const { return role_ != CoreRole::Defective; }
+
+    /**
+     * Assign a weight tile of @p rows x @p cols 8-bit weights, spread
+     * across as many crossbars as needed (output-channel-major, per
+     * the paper's constraint (2) in Section 4.3.1). Returns false if
+     * the tile does not fit or the core is unusable/occupied.
+     */
+    bool assignTile(const TileAssignment &tile);
+
+    const TileAssignment &tile() const;
+
+    /** Convert a (still unassigned or KV) core to dedicated KV duty. */
+    bool assignKvRole();
+
+    /** Crossbars not claimed by weights: available for KV blocks. */
+    std::uint32_t freeAttentionCrossbars() const;
+
+    /** Total free KV logical blocks across attention-capable xbars. */
+    std::uint32_t freeKvBlocks() const;
+
+    /** Crossbar accessors for the KV manager. */
+    std::uint32_t numCrossbars() const
+    {
+        return static_cast<std::uint32_t>(xbars_.size());
+    }
+    Crossbar &crossbar(std::uint32_t i);
+    const Crossbar &crossbar(std::uint32_t i) const;
+
+    /**
+     * Price one token's GEMV through this core's weight tile: all
+     * weight crossbars fire in parallel, so latency is one crossbar's
+     * GEMV; energy sums over the crossbars used.
+     */
+    ComputeCost weightGemv() const;
+
+    /** Price @p ops elementwise operations on the 64-way SFU. */
+    ComputeCost sfuCompute(double ops) const;
+
+    /** Price buffer traffic of @p bytes (input or output buffer). */
+    double bufferEnergy(Bytes bytes) const;
+
+    /** Number of crossbars the current weight tile occupies. */
+    std::uint32_t weightCrossbars() const { return weightXbars_; }
+
+    /** Release everything (fault-recovery remapping support). */
+    void reset();
+
+  private:
+    CoreParams params_;
+    CoreRole role_ = CoreRole::Unassigned;
+    TileAssignment tile_;
+    std::uint32_t weightXbars_ = 0;
+    std::vector<Crossbar> xbars_;
+
+    /** Make every non-weight crossbar attention-capable. */
+    void enableAttentionOnSpares();
+};
+
+} // namespace ouro
+
+#endif // OURO_HW_CORE_HH

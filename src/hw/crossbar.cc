@@ -1,0 +1,178 @@
+#include "crossbar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+const char *
+crossbarModeName(CrossbarMode mode)
+{
+    switch (mode) {
+      case CrossbarMode::Unassigned:
+        return "unassigned";
+      case CrossbarMode::Ffn:
+        return "ffn";
+      case CrossbarMode::Attention:
+        return "attention";
+    }
+    panic("crossbarModeName: bad mode");
+}
+
+Crossbar::Crossbar(const CrossbarParams &params)
+    : params_(params)
+{
+    ouroAssert(params_.logicalBlocks > 0,
+               "Crossbar: zero logical block count");
+    ouroAssert(params_.rows % params_.logicalBlocks == 0,
+               "Crossbar: rows not divisible into logical blocks");
+    blockUsed_.resize(params_.logicalBlocks, kBlockFree);
+    reset();
+}
+
+void
+Crossbar::reset()
+{
+    mode_ = CrossbarMode::Unassigned;
+    weightRows_ = 0;
+    weightCols_ = 0;
+    std::fill(blockUsed_.begin(), blockUsed_.end(), kBlockFree);
+}
+
+bool
+Crossbar::assignWeights(std::uint32_t rows_used, std::uint32_t cols_used)
+{
+    if (mode_ != CrossbarMode::Unassigned)
+        return false;
+    if (rows_used > params_.rows ||
+        cols_used > params_.cols / params_.weightBits) {
+        return false;
+    }
+    mode_ = CrossbarMode::Ffn;
+    weightRows_ = rows_used;
+    weightCols_ = cols_used;
+    return true;
+}
+
+ComputeCost
+Crossbar::priceGemv(std::uint32_t active_rows,
+                    std::uint32_t active_cols) const
+{
+    ComputeCost cost;
+    cost.cycles = params_.gemvCycles(active_rows);
+    cost.macs = static_cast<double>(active_rows) * active_cols;
+    // Energy scales with the touched fraction of the array: the
+    // per-cycle power figure assumes full-width activity, so charge
+    // proportionally to active columns.
+    const double col_fraction =
+        static_cast<double>(active_cols) /
+        (params_.cols / params_.weightBits);
+    cost.energyJ = static_cast<double>(cost.cycles) *
+                   params_.energyPerCycle() * col_fraction;
+    return cost;
+}
+
+ComputeCost
+Crossbar::gemv() const
+{
+    ouroAssert(mode_ == CrossbarMode::Ffn,
+               "gemv on a crossbar in mode ", crossbarModeName(mode_));
+    return priceGemv(weightRows_, weightCols_);
+}
+
+bool
+Crossbar::assignAttention()
+{
+    if (mode_ != CrossbarMode::Unassigned)
+        return false;
+    mode_ = CrossbarMode::Attention;
+    return true;
+}
+
+std::uint32_t
+Crossbar::freeBlocks() const
+{
+    ouroAssert(mode_ == CrossbarMode::Attention,
+               "freeBlocks on non-attention crossbar");
+    std::uint32_t free = 0;
+    for (std::uint32_t b = 0; b < params_.logicalBlocks; ++b)
+        free += blockUsed_[b] == kBlockFree ? 1 : 0;
+    return free;
+}
+
+int
+Crossbar::allocBlock()
+{
+    ouroAssert(mode_ == CrossbarMode::Attention,
+               "allocBlock on non-attention crossbar");
+    for (std::uint32_t b = 0; b < params_.logicalBlocks; ++b) {
+        if (blockUsed_[b] == kBlockFree) {
+            blockUsed_[b] = 0;
+            return static_cast<int>(b);
+        }
+    }
+    return -1;
+}
+
+void
+Crossbar::freeBlock(std::uint32_t block)
+{
+    ouroAssert(block < params_.logicalBlocks, "freeBlock: bad index");
+    ouroAssert(blockUsed_[block] != kBlockFree,
+               "freeBlock: block ", block, " already free");
+    blockUsed_[block] = kBlockFree;
+}
+
+bool
+Crossbar::blockInUse(std::uint32_t block) const
+{
+    ouroAssert(block < params_.logicalBlocks, "blockInUse: bad index");
+    return blockUsed_[block] != kBlockFree;
+}
+
+bool
+Crossbar::growBlock(std::uint32_t block, std::uint32_t rows_added)
+{
+    ouroAssert(mode_ == CrossbarMode::Attention,
+               "growBlock on non-attention crossbar");
+    ouroAssert(blockInUse(block), "growBlock: block ", block,
+               " not allocated");
+    if (blockUsed_[block] + rows_added > blockRows())
+        return false;
+    blockUsed_[block] += rows_added;
+    return true;
+}
+
+std::uint32_t
+Crossbar::blockUsedRows(std::uint32_t block) const
+{
+    ouroAssert(blockInUse(block), "blockUsedRows: block not in use");
+    return blockUsed_[block];
+}
+
+ComputeCost
+Crossbar::attentionGemv(std::uint32_t active_rows) const
+{
+    ouroAssert(mode_ == CrossbarMode::Attention,
+               "attentionGemv on mode ", crossbarModeName(mode_));
+    ouroAssert(active_rows <= params_.rows,
+               "attentionGemv: too many active rows");
+    return priceGemv(active_rows, params_.cols / params_.weightBits);
+}
+
+double
+Crossbar::kvWriteEnergy(Bytes bytes) const
+{
+    // SRAM write energy: approximate with the array's per-access
+    // dynamic energy prorated per byte. One full-row write (128 B)
+    // costs about one array cycle of dynamic power.
+    const double per_row =
+        params_.arrayDynamicPowerW / params_.clockHz;
+    const double rows =
+        static_cast<double>(bytes) / (params_.cols / 8.0);
+    return per_row * rows;
+}
+
+} // namespace ouro

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Functional/timing model of one digital SRAM CIM crossbar
+ * (paper Section 4.4.1, Fig. 10).
+ *
+ * A crossbar is a 1024 x 1024 6T SRAM array with bit-serial digital
+ * MAC peripherals. It operates in one of two modes:
+ *
+ *  - FFN mode: stores a static weight tile (rows = input channels,
+ *    128 8-bit weight columns = output channels) and executes GEMVs
+ *    against it.
+ *  - Attention mode: the array is partitioned into 8 logical blocks of
+ *    128 rows x 1024 columns that the distributed KV manager allocates
+ *    to sequences; row/column-valid registers select the populated
+ *    region during in-situ Q.K^T / S.V computation.
+ *
+ * Because 6T cells cannot be read (computed over) and written in the
+ * same cycle, the model tracks a busy window so the scheduler can
+ * interleave KV writes with compute on *different* crossbars, which is
+ * exactly the constraint the paper's KV mapping honours (4.4.3).
+ */
+
+#ifndef OURO_HW_CROSSBAR_HH
+#define OURO_HW_CROSSBAR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "hw/params.hh"
+
+namespace ouro
+{
+
+/** Operating mode of a crossbar (Section 4.4.1). */
+enum class CrossbarMode
+{
+    Unassigned,
+    Ffn,       ///< persistent static weights
+    Attention, ///< dynamically allocated KV logical blocks
+};
+
+const char *crossbarModeName(CrossbarMode mode);
+
+/** Result of a compute call: cycles consumed and joules burned. */
+struct ComputeCost
+{
+    Cycles cycles = 0;
+    double energyJ = 0.0;
+    double macs = 0.0;
+};
+
+/**
+ * One crossbar. The model is *capacity-functional*: it tracks which
+ * rows/columns hold valid data and prices compute, but does not move
+ * actual tensor values (the simulator is performance/energy-level, as
+ * is the paper's).
+ */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const CrossbarParams &params);
+
+    const CrossbarParams &params() const { return params_; }
+    CrossbarMode mode() const { return mode_; }
+
+    /** @name FFN mode */
+    /// @{
+
+    /**
+     * Claim the crossbar for a static weight tile of
+     * @p rows_used input channels x @p cols_used output channels
+     * (8-bit weights). Fails (returns false) if the tile exceeds the
+     * array or the crossbar is already assigned.
+     */
+    bool assignWeights(std::uint32_t rows_used, std::uint32_t cols_used);
+
+    /** Execute one GEMV over the stored tile. */
+    ComputeCost gemv() const;
+
+    std::uint32_t weightRows() const { return weightRows_; }
+    std::uint32_t weightCols() const { return weightCols_; }
+
+    /// @}
+
+    /** @name Attention mode */
+    /// @{
+
+    /** Switch an unassigned crossbar to attention (KV) service. */
+    bool assignAttention();
+
+    std::uint32_t numLogicalBlocks() const
+    {
+        return params_.logicalBlocks;
+    }
+
+    /** Rows per logical block (array rows / logicalBlocks). */
+    std::uint32_t blockRows() const
+    {
+        return params_.rows / params_.logicalBlocks;
+    }
+
+    /** Free logical blocks remaining. */
+    std::uint32_t freeBlocks() const;
+
+    /**
+     * Allocate one logical block; returns its index or -1 if full.
+     * Mirrors the crossbar controller's free-block table (Fig. 12c).
+     */
+    int allocBlock();
+
+    /** Release a block and clear its occupancy registers. */
+    void freeBlock(std::uint32_t block);
+
+    bool blockInUse(std::uint32_t block) const;
+
+    /**
+     * Record @p rows_added newly written KV rows in @p block (the
+     * per-block used-rows register). Returns false if the block
+     * overflows - the KV manager must then grab another block.
+     */
+    bool growBlock(std::uint32_t block, std::uint32_t rows_added);
+
+    std::uint32_t blockUsedRows(std::uint32_t block) const;
+
+    /**
+     * In-situ attention GEMV over @p active_rows valid KV rows (the
+     * row-valid register selects them).
+     */
+    ComputeCost attentionGemv(std::uint32_t active_rows) const;
+
+    /** Energy to write @p bytes of KV into the array. */
+    double kvWriteEnergy(Bytes bytes) const;
+
+    /// @}
+
+    /** Reset to Unassigned and clear all occupancy state. */
+    void reset();
+
+    /** Static leakage power of the array (W). */
+    double staticPowerW() const { return params_.arrayStaticPowerW; }
+
+  private:
+    CrossbarParams params_;
+    CrossbarMode mode_ = CrossbarMode::Unassigned;
+
+    // FFN-mode occupancy.
+    std::uint32_t weightRows_ = 0;
+    std::uint32_t weightCols_ = 0;
+
+    // Attention-mode occupancy: used rows per logical block; the
+    // all-ones value marks a free block.
+    static constexpr std::uint32_t kBlockFree = UINT32_MAX;
+    std::vector<std::uint32_t> blockUsed_;
+
+    ComputeCost priceGemv(std::uint32_t active_rows,
+                          std::uint32_t active_cols) const;
+};
+
+} // namespace ouro
+
+#endif // OURO_HW_CROSSBAR_HH

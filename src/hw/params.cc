@@ -1,0 +1,40 @@
+#include "params.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+std::uint32_t
+CrossbarParams::rowsPerCycle() const
+{
+    const auto active = static_cast<std::uint32_t>(
+            std::llround(rowActiveRatio * rows));
+    return std::max<std::uint32_t>(1, active);
+}
+
+Cycles
+CrossbarParams::gemvCycles(std::uint32_t active_rows) const
+{
+    ouroAssert(active_rows <= rows, "gemvCycles: ", active_rows,
+               " rows exceeds array height ", rows);
+    if (active_rows == 0)
+        return 0;
+    const Cycles per_bit = ceilDiv(active_rows, rowsPerCycle());
+    return per_bit * inputBits;
+}
+
+double
+CrossbarParams::macsPerCycle() const
+{
+    // Per full GEMV over all rows: rows x (cols/weightBits) MACs in
+    // gemvCycles(rows) cycles.
+    const double macs = static_cast<double>(rows) * (cols / weightBits);
+    const auto cycles = gemvCycles(rows);
+    return macs / static_cast<double>(cycles);
+}
+
+} // namespace ouro

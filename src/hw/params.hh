@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The Ouroboros hardware parameter sheet (paper Sections 3 and 5).
+ *
+ * Every number here is either stated in the paper or derived from a
+ * stated number; the derivations are spelled out next to each field.
+ * Benchmarks mutate copies of this struct for sweeps (e.g. the
+ * row-activation-ratio study of Fig. 11 or the CIM-macro substitution
+ * study of Fig. 21), so nothing is a global constant.
+ */
+
+#ifndef OURO_HW_PARAMS_HH
+#define OURO_HW_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace ouro
+{
+
+/**
+ * Crossbar-level microarchitecture parameters (Section 4.4.1, Fig. 10).
+ */
+struct CrossbarParams
+{
+    /** SRAM array extent: 1024 x 1024 6T bitcells. */
+    std::uint32_t rows = 1024;
+    std::uint32_t cols = 1024;
+
+    /** Weight precision (bits); cols/weightBits outputs per row. */
+    std::uint32_t weightBits = 8;
+    std::uint32_t inputBits = 8;
+
+    /**
+     * Fraction of rows active per cycle. The paper selects 1/32 (32
+     * banks, one row each) as the capacity/throughput sweet spot
+     * (Fig. 11).
+     */
+    double rowActiveRatio = 1.0 / 32.0;
+
+    /** CIM array clock (Section 5: DC synthesis at 300 MHz). */
+    double clockHz = 300 * MHz;
+
+    /**
+     * Component power from Section 5 (ASAP7, RTL at 50% sparsity):
+     * array 6.6 mW dynamic + 0.11 mW static, AND gates 0.054 mW,
+     * adder trees 4.94 mW, shift adders 3.26 mW.
+     */
+    double arrayDynamicPowerW = 6.6 * mW;
+    double arrayStaticPowerW = 0.11 * mW;
+    double andPowerW = 0.054 * mW;
+    double adderTreePowerW = 4.94 * mW;
+    double shiftAdderPowerW = 3.26 * mW;
+
+    /** Component areas from Section 5 (mm^2). */
+    double arrayAreaMm2 = 0.063;
+    double andAreaMm2 = 0.0023;
+    double adderTreeAreaMm2 = 0.0093;
+    double shiftAdderAreaMm2 = 0.0022;
+
+    /** Logical KV blocks per array (Section 4.4.2: 8 per crossbar). */
+    std::uint32_t logicalBlocks = 8;
+
+    /** Weight storage capacity in bytes (rows x cols bits / 8). */
+    Bytes capacityBytes() const
+    {
+        return static_cast<Bytes>(rows) * cols / 8;
+    }
+
+    /** 8-bit weights held when fully loaded (rows x cols/weightBits). */
+    std::uint64_t weightCapacity() const
+    {
+        return static_cast<std::uint64_t>(rows) * (cols / weightBits);
+    }
+
+    /** Rows activated together each cycle. */
+    std::uint32_t rowsPerCycle() const;
+
+    /**
+     * Cycles for one full GEMV over @p active_rows stored rows (all
+     * column outputs in parallel): input bits are serialised, and each
+     * bit needs ceil(active_rows / rowsPerCycle()) array cycles.
+     */
+    Cycles gemvCycles(std::uint32_t active_rows) const;
+
+    /** Effective MACs per cycle at full row occupancy. */
+    double macsPerCycle() const;
+
+    /** Total crossbar power (dynamic + static + logic) in watts. */
+    double totalPowerW() const
+    {
+        return arrayDynamicPowerW + arrayStaticPowerW + andPowerW +
+               adderTreePowerW + shiftAdderPowerW;
+    }
+
+    /** Energy per active compute cycle (joules). */
+    double energyPerCycle() const { return totalPowerW() / clockHz; }
+
+    /** Energy charged per MAC (joules). */
+    double energyPerMac() const
+    {
+        return energyPerCycle() / macsPerCycle();
+    }
+};
+
+/**
+ * CIM core parameters (Section 3: 2.97 mm^2, 32 crossbars, buffers,
+ * 64-way SFU, control unit).
+ */
+struct CoreParams
+{
+    CrossbarParams crossbar;
+
+    std::uint32_t numCrossbars = 32;
+
+    /** Input ping-pong buffer (128 KB) and output buffer (32 KB). */
+    Bytes inputBufferBytes = 128 * KiB;
+    Bytes outputBufferBytes = 32 * KiB;
+
+    /** SFU: 64-way elementwise + reduction, 10 KB buffer, 1 GHz. */
+    std::uint32_t sfuLanes = 64;
+    Bytes sfuBufferBytes = 10 * KiB;
+    double sfuClockHz = 1 * GHz;
+
+    /**
+     * SFU energy per elementwise op. ASAP7 FP-ish op at 1 GHz; the
+     * value keeps the SFU a small slice of core power, consistent with
+     * the paper treating softmax as cheap next to crossbar GEMVs.
+     */
+    double sfuEnergyPerOp = 0.45 * pJ;
+
+    /**
+     * Buffer SRAM access energy per byte (CACTI-class small SRAM at
+     * 7 nm: ~0.2 pJ/bit). Charged for input/output buffer traffic and
+     * KV writes - the residual SRAM energy the paper says remains
+     * (Section 6.3).
+     */
+    double bufferEnergyPerByte = 1.6 * pJ;
+
+    /** Control + sync overhead power per core. */
+    double controlPowerW = 2.0 * mW;
+
+    /** Core area (paper: 2.97 mm^2). */
+    double areaMm2 = 2.97;
+
+    /** Total SRAM capacity of the core (32 x 128 KB = 4 MB). */
+    Bytes sramBytes() const
+    {
+        return static_cast<Bytes>(numCrossbars) *
+               crossbar.capacityBytes();
+    }
+
+    /** Peak MAC throughput of the core (MAC/s). */
+    double peakMacsPerSecond() const
+    {
+        return static_cast<double>(numCrossbars) *
+               crossbar.macsPerCycle() * crossbar.clockHz;
+    }
+
+    /** Peak TOPS counting 2 ops per MAC. */
+    double peakTops() const
+    {
+        return 2.0 * peakMacsPerSecond() / 1e12;
+    }
+};
+
+/**
+ * Network-on-wafer parameters (Section 3: 256-bit bidirectional
+ * core-to-core links; stitched die boundaries; 1024-bit H-tree inside
+ * the core; 8 x 100 Gb/s optical ports per wafer).
+ */
+struct NocParams
+{
+    /** Core-to-core link: 256 bit/cycle at the NoC clock. */
+    double linkBitsPerCycle = 256.0;
+    double clockHz = 1 * GHz;
+
+    /** Per-hop router traversal latency (cycles). */
+    Cycles routerLatency = 2;
+
+    /**
+     * Energy per bit per intra-die hop (router + link). BookSim2
+     * ITRS-2007 32 nm models scaled to 7 nm per Stillmaker & Baas.
+     */
+    double hopEnergyPerBit = 0.10 * pJ;
+
+    /**
+     * Die-boundary crossing penalty: stitched links run at reduced
+     * effective bandwidth; CostInter = intra-die BW / inter-die BW
+     * (Section 4.3.1, Table 1).
+     */
+    double interDiePenalty = 2.0;
+
+    /** Extra energy per bit when crossing a stitched die boundary. */
+    double dieCrossingEnergyPerBit = 0.20 * pJ;
+
+    /** Inter-wafer optical Ethernet: 8 x 100 Gb/s ports. */
+    double interWaferBitsPerSecond = 8 * 100e9;
+    double interWaferEnergyPerBit = 10.0 * pJ;
+
+    /** Link bandwidth in bytes/second. */
+    double linkBytesPerSecond() const
+    {
+        return linkBitsPerCycle / 8.0 * clockHz;
+    }
+};
+
+/** Yield model constants (Section 5: Murphy, D0 = 0.09/cm^2). */
+struct YieldParams
+{
+    double defectDensityPerCm2 = 0.09;
+    double coreAreaCm2 = 2.97 / 100.0; // 2.97 mm^2 in cm^2
+};
+
+/**
+ * The full Ouroboros hardware description: geometry constants live in
+ * WaferGeometry; this struct carries the core/NoC/yield parameters and
+ * wafer-level derived quantities.
+ */
+struct OuroborosParams
+{
+    CoreParams core;
+    NocParams noc;
+    YieldParams yield;
+
+    /** Number of wafers ganged together (Section 6.8 uses 2). */
+    std::uint32_t numWafers = 1;
+
+    /** Wafer SRAM capacity given a core count. */
+    Bytes waferSramBytes(std::uint64_t num_cores) const
+    {
+        return num_cores * core.sramBytes();
+    }
+};
+
+} // namespace ouro
+
+#endif // OURO_HW_PARAMS_HH

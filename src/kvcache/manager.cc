@@ -1,0 +1,453 @@
+#include "manager.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+std::uint32_t
+BlockKvManager::CoreState::totalFree() const
+{
+    std::uint32_t n = 0;
+    for (const auto f : freePerXbar)
+        n += f;
+    return n;
+}
+
+BlockKvManager::BlockKvManager(const ModelConfig &model,
+                               std::vector<KvCoreInfo> score_cores,
+                               std::vector<KvCoreInfo> context_cores,
+                               std::uint32_t tokens_per_block,
+                               double threshold)
+    : model_(model), tokensPerBlock_(tokens_per_block),
+      threshold_(threshold)
+{
+    ouroAssert(!score_cores.empty() && !context_cores.empty(),
+               "BlockKvManager: empty KV core pool");
+    ouroAssert(tokens_per_block > 0, "BlockKvManager: zero block size");
+    ouroAssert(threshold >= 0.0 && threshold < 1.0,
+               "BlockKvManager: threshold out of [0,1)");
+    for (auto &info : score_cores) {
+        CoreState state;
+        state.info = info;
+        state.freePerXbar.assign(info.crossbars,
+                                 info.blocksPerCrossbar);
+        totalBlocks_ += static_cast<std::uint64_t>(info.crossbars) *
+                        info.blocksPerCrossbar;
+        score_.push_back(std::move(state));
+    }
+    for (auto &info : context_cores) {
+        CoreState state;
+        state.info = info;
+        state.freePerXbar.assign(info.crossbars,
+                                 info.blocksPerCrossbar);
+        totalBlocks_ += static_cast<std::uint64_t>(info.crossbars) *
+                        info.blocksPerCrossbar;
+        context_.push_back(std::move(state));
+    }
+}
+
+std::uint32_t
+BlockKvManager::blocksFor(std::uint64_t tokens) const
+{
+    if (tokens == 0)
+        return 1; // a sequence always owns at least its next block
+    return static_cast<std::uint32_t>(
+            ceilDiv(tokens, tokensPerBlock_));
+}
+
+bool
+BlockKvManager::allocBlocks(CoreState &core, HeadAlloc &alloc,
+                            std::uint32_t blocks, bool is_v)
+{
+    if (core.totalFree() < blocks)
+        return false;
+    for (std::uint32_t n = 0; n < blocks; ++n) {
+        std::uint32_t chosen = core.info.crossbars;
+        if (is_v) {
+            // V prefers its home crossbar (single-pass accumulation);
+            // spilling to another crossbar costs an extra partial-sum
+            // merge, which we count.
+            if (core.freePerXbar[alloc.homeXbar] > 0) {
+                chosen = alloc.homeXbar;
+            } else {
+                for (std::uint32_t x = 0; x < core.info.crossbars;
+                     ++x) {
+                    if (core.freePerXbar[x] > 0) {
+                        chosen = x;
+                        break;
+                    }
+                }
+                if (alloc.blocks + n > 0)
+                    ++vSpills_;
+            }
+        } else {
+            // K grows along output channels: any crossbar works; pick
+            // the emptiest to keep write pressure spread.
+            std::uint32_t best_free = 0;
+            for (std::uint32_t x = 0; x < core.info.crossbars; ++x) {
+                if (core.freePerXbar[x] > best_free) {
+                    best_free = core.freePerXbar[x];
+                    chosen = x;
+                }
+            }
+        }
+        ouroAssert(chosen < core.info.crossbars,
+                   "allocBlocks: no free crossbar despite free count");
+        --core.freePerXbar[chosen];
+        ++usedBlocks_;
+        // Record ownership for release accounting.
+        bool merged = false;
+        for (auto &[xbar, count] : alloc.perXbar) {
+            if (xbar == chosen) {
+                ++count;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            alloc.perXbar.emplace_back(chosen, 1);
+    }
+    alloc.blocks += blocks;
+    return true;
+}
+
+void
+BlockKvManager::releaseAlloc(std::vector<CoreState> &ring,
+                             const HeadAlloc &alloc)
+{
+    CoreState &core = ring[alloc.core];
+    for (const auto &[xbar, count] : alloc.perXbar) {
+        core.freePerXbar[xbar] += count;
+        ouroAssert(core.freePerXbar[xbar] <=
+                   core.info.blocksPerCrossbar,
+                   "releaseAlloc: double free");
+        usedBlocks_ -= count;
+    }
+    // Freed space may clear the full mark.
+    const double capacity = static_cast<double>(core.info.crossbars) *
+                            core.info.blocksPerCrossbar;
+    if (core.totalFree() > threshold_ * capacity)
+        core.markedFull = false;
+}
+
+void
+BlockKvManager::applyThreshold(CoreState &core)
+{
+    const double capacity = static_cast<double>(core.info.crossbars) *
+                            core.info.blocksPerCrossbar;
+    if (static_cast<double>(core.totalFree()) < threshold_ * capacity)
+        core.markedFull = true;
+}
+
+bool
+BlockKvManager::tryAdmitOnce(std::uint64_t seq_id,
+                             std::uint64_t initial_tokens)
+{
+    const auto heads = static_cast<std::uint32_t>(model_.numKvHeads);
+    const std::uint32_t need = blocksFor(initial_tokens);
+
+    SequenceState seq;
+    seq.seqId = seq_id;
+    seq.scheduleOrder = scheduleStamp_;
+    seq.tokens = initial_tokens;
+    seq.k.resize(heads);
+    seq.v.resize(heads);
+
+    auto place = [&](std::vector<CoreState> &ring,
+                     std::vector<HeadAlloc> &allocs,
+                     std::uint32_t &cursor, bool is_v) -> bool {
+        std::uint32_t placed = 0;
+        std::uint32_t probe = cursor;
+        std::uint32_t probes = 0;
+        const auto ring_size =
+            static_cast<std::uint32_t>(ring.size());
+        while (placed < heads && probes < 2 * ring_size + heads) {
+            CoreState &core = ring[probe % ring_size];
+            ++probes;
+            // Admission requires the post-allocation residue to stay
+            // above the threshold reserve - small (spare-crossbar)
+            // cores therefore only take sequences they can also
+            // grow (Section 4.4.4's anti-thrashing rule).
+            const double capacity =
+                static_cast<double>(core.info.crossbars) *
+                core.info.blocksPerCrossbar;
+            const auto reserve = static_cast<std::uint32_t>(
+                    std::ceil(threshold_ * capacity));
+            if (!core.markedFull &&
+                core.totalFree() >= need + reserve) {
+                HeadAlloc &alloc = allocs[placed];
+                alloc.core = probe % ring_size;
+                alloc.homeXbar = 0;
+                const bool ok =
+                    allocBlocks(core, alloc, need, is_v);
+                ouroAssert(ok, "tryAdmitOnce: alloc failed");
+                alloc.lastBlockFill = static_cast<std::uint32_t>(
+                        initial_tokens == 0
+                            ? 0
+                            : initial_tokens -
+                              (static_cast<std::uint64_t>(need) - 1) *
+                              tokensPerBlock_);
+                applyThreshold(core);
+                ++placed;
+            }
+            ++probe;
+        }
+        cursor = probe % ring_size;
+        return placed == heads;
+    };
+
+    const std::uint32_t saved_score = scoreCursor_;
+    const std::uint32_t saved_context = contextCursor_;
+    const bool k_ok = place(score_, seq.k, scoreCursor_, false);
+    const bool v_ok =
+        k_ok && place(context_, seq.v, contextCursor_, true);
+    if (!k_ok || !v_ok) {
+        // Roll back partial allocations.
+        for (const auto &alloc : seq.k) {
+            if (alloc.blocks)
+                releaseAlloc(score_, alloc);
+        }
+        for (const auto &alloc : seq.v) {
+            if (alloc.blocks)
+                releaseAlloc(context_, alloc);
+        }
+        scoreCursor_ = saved_score;
+        contextCursor_ = saved_context;
+        return false;
+    }
+    sequences_.emplace(seq_id, std::move(seq));
+    ++scheduleStamp_;
+    ++admissions_;
+    return true;
+}
+
+bool
+BlockKvManager::evictMru(std::vector<std::uint64_t> &evicted)
+{
+    const SequenceState *victim = nullptr;
+    for (const auto &[id, seq] : sequences_) {
+        if (!victim || seq.scheduleOrder > victim->scheduleOrder)
+            victim = &seq;
+    }
+    if (!victim)
+        return false;
+    const std::uint64_t id = victim->seqId;
+    release(id);
+    evicted.push_back(id);
+    ++evictions_;
+    return true;
+}
+
+KvResult
+BlockKvManager::admit(std::uint64_t seq_id,
+                      std::uint64_t initial_tokens)
+{
+    ouroAssert(!resident(seq_id), "admit: sequence ", seq_id,
+               " already resident");
+    KvResult result;
+    while (true) {
+        if (tryAdmitOnce(seq_id, initial_tokens)) {
+            result.ok = true;
+            return result;
+        }
+        if (!evictMru(result.evicted))
+            return result; // pool empty yet still no fit
+    }
+}
+
+bool
+BlockKvManager::admitNoEvict(std::uint64_t seq_id,
+                             std::uint64_t initial_tokens)
+{
+    ouroAssert(!resident(seq_id), "admitNoEvict: sequence ", seq_id,
+               " already resident");
+    return tryAdmitOnce(seq_id, initial_tokens);
+}
+
+KvResult
+BlockKvManager::grow(std::uint64_t seq_id)
+{
+    KvResult result;
+    const auto it = sequences_.find(seq_id);
+    ouroAssert(it != sequences_.end(), "grow: sequence ", seq_id,
+               " not resident");
+    SequenceState &seq = it->second;
+
+    // Fast path: the newest block of every head still has room.
+    if (seq.k.front().lastBlockFill < tokensPerBlock_ &&
+        seq.k.front().blocks > 0) {
+        bool all_have_room = true;
+        for (const auto &alloc : seq.k)
+            all_have_room &= alloc.lastBlockFill < tokensPerBlock_;
+        for (const auto &alloc : seq.v)
+            all_have_room &= alloc.lastBlockFill < tokensPerBlock_;
+        if (all_have_room) {
+            for (auto &alloc : seq.k)
+                ++alloc.lastBlockFill;
+            for (auto &alloc : seq.v)
+                ++alloc.lastBlockFill;
+            ++seq.tokens;
+            result.ok = true;
+            return result;
+        }
+    }
+
+    // Need one more block per head (K and V). Evict other residents
+    // (most recent first) until it fits; never evict the grower.
+    while (true) {
+        // Several heads of the same sequence may share a core, so
+        // demand must be counted per core, not per alloc.
+        std::unordered_map<std::uint32_t, std::uint32_t> k_need;
+        std::unordered_map<std::uint32_t, std::uint32_t> v_need;
+        for (const auto &alloc : seq.k)
+            ++k_need[alloc.core];
+        for (const auto &alloc : seq.v)
+            ++v_need[alloc.core];
+        bool fits = true;
+        for (const auto &[core, need] : k_need)
+            fits &= score_[core].totalFree() >= need;
+        for (const auto &[core, need] : v_need)
+            fits &= context_[core].totalFree() >= need;
+        if (fits)
+            break;
+        // Find the MRU victim other than ourselves.
+        const SequenceState *victim = nullptr;
+        for (const auto &[id, other] : sequences_) {
+            if (id == seq_id)
+                continue;
+            if (!victim || other.scheduleOrder > victim->scheduleOrder)
+                victim = &other;
+        }
+        if (!victim)
+            return result; // only us left and still no room
+        const std::uint64_t vid = victim->seqId;
+        release(vid);
+        result.evicted.push_back(vid);
+        ++evictions_;
+    }
+
+    for (auto &alloc : seq.k) {
+        const bool ok = allocBlocks(score_[alloc.core], alloc, 1,
+                                    false);
+        ouroAssert(ok, "grow: K alloc failed after fit check");
+        alloc.lastBlockFill = 1;
+        applyThreshold(score_[alloc.core]);
+    }
+    for (auto &alloc : seq.v) {
+        const bool ok = allocBlocks(context_[alloc.core], alloc, 1,
+                                    true);
+        ouroAssert(ok, "grow: V alloc failed after fit check");
+        alloc.lastBlockFill = 1;
+        applyThreshold(context_[alloc.core]);
+    }
+    ++seq.tokens;
+    result.ok = true;
+    return result;
+}
+
+void
+BlockKvManager::release(std::uint64_t seq_id)
+{
+    const auto it = sequences_.find(seq_id);
+    ouroAssert(it != sequences_.end(), "release: sequence ", seq_id,
+               " not resident");
+    for (const auto &alloc : it->second.k)
+        releaseAlloc(score_, alloc);
+    for (const auto &alloc : it->second.v)
+        releaseAlloc(context_, alloc);
+    sequences_.erase(it);
+}
+
+bool
+BlockKvManager::resident(std::uint64_t seq_id) const
+{
+    return sequences_.count(seq_id) > 0;
+}
+
+HeadPlacement
+BlockKvManager::headPlacement(std::uint64_t seq_id,
+                              std::uint32_t head) const
+{
+    const auto it = sequences_.find(seq_id);
+    ouroAssert(it != sequences_.end(),
+               "headPlacement: sequence not resident");
+    ouroAssert(head < it->second.k.size(),
+               "headPlacement: head out of range");
+    return {it->second.k[head].core, it->second.v[head].core};
+}
+
+CoreCoord
+BlockKvManager::scoreCoord(std::uint32_t ring_index) const
+{
+    ouroAssert(ring_index < score_.size(), "scoreCoord: bad index");
+    return score_[ring_index].info.coord;
+}
+
+CoreCoord
+BlockKvManager::contextCoord(std::uint32_t ring_index) const
+{
+    ouroAssert(ring_index < context_.size(),
+               "contextCoord: bad index");
+    return context_[ring_index].info.coord;
+}
+
+double
+BlockKvManager::utilization() const
+{
+    return totalBlocks_ == 0
+               ? 0.0
+               : static_cast<double>(usedBlocks_) /
+                     static_cast<double>(totalBlocks_);
+}
+
+std::vector<std::uint64_t>
+BlockKvManager::dropCore(CoreCoord coord)
+{
+    std::vector<std::uint64_t> lost;
+    auto collect = [&](const std::vector<CoreState> &ring,
+                       bool is_score) {
+        for (std::uint32_t r = 0; r < ring.size(); ++r) {
+            if (!(ring[r].info.coord == coord))
+                continue;
+            for (const auto &[id, seq] : sequences_) {
+                const auto &allocs = is_score ? seq.k : seq.v;
+                for (const auto &alloc : allocs) {
+                    if (alloc.core == r) {
+                        lost.push_back(id);
+                        break;
+                    }
+                }
+            }
+        }
+    };
+    collect(score_, true);
+    collect(context_, false);
+    std::sort(lost.begin(), lost.end());
+    lost.erase(std::unique(lost.begin(), lost.end()), lost.end());
+    // Release first (their blocks return to the free lists), THEN
+    // fence the core so no future allocation lands on it.
+    for (const auto id : lost)
+        release(id);
+    auto fence = [&](std::vector<CoreState> &ring) {
+        for (auto &core : ring) {
+            if (!(core.info.coord == coord))
+                continue;
+            std::uint32_t stranded = 0;
+            for (auto &f : core.freePerXbar) {
+                stranded += f;
+                f = 0;
+            }
+            core.markedFull = true;
+            totalBlocks_ -= stranded;
+        }
+    };
+    fence(score_);
+    fence(context_);
+    return lost;
+}
+
+} // namespace ouro

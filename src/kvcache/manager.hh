@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Distributed dynamic KV-cache management (paper Section 4.4).
+ *
+ * Each transformer block manages its own KV cache independently
+ * (attention is block-local). The pool consists of the block's
+ * dedicated score cores (holding K, computing Q.K^T) and context
+ * cores (holding V, computing S.V), plus the *fragmented* spare
+ * crossbars of the block's weight cores. Allocation follows the
+ * paper's KV-mapping rules (Section 4.4.3):
+ *
+ *  - the KV cores form a ring; a new sequence takes one core per
+ *    attention head starting at the ring cursor, so consecutive
+ *    sequences land on distinct cores (compute/write separation) and
+ *    heads on distinct cores (no intra-core concat pressure);
+ *  - K grows along output channels: new blocks may come from OTHER
+ *    crossbars of the core; V grows along input channels: new blocks
+ *    prefer the SAME crossbar so accumulation stays single-pass;
+ *  - a logical block (128 rows x 1024 bits) holds 128 tokens of one
+ *    head (head_dim <= 128), matching "the head dimensions of
+ *    prevalent models";
+ *  - when the free space of the ring's current core falls below a
+ *    threshold the core is marked full, reserving the residue for
+ *    decode-phase growth of already-resident sequences (the
+ *    anti-thrashing rule of Section 4.4.4).
+ *
+ * Eviction (Section 4.4.4): when admission fails, the MOST RECENTLY
+ * scheduled resident sequence is evicted and must be re-prefetched by
+ * the scheduler (it re-enters the wait queue at the front).
+ */
+
+#ifndef OURO_KVCACHE_MANAGER_HH
+#define OURO_KVCACHE_MANAGER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hh"
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+
+/** One KV storage core in the ring. */
+struct KvCoreInfo
+{
+    CoreCoord coord;
+    std::uint32_t crossbars;  ///< attention-capable crossbars
+    std::uint32_t blocksPerCrossbar;
+};
+
+/** Where one head of one sequence lives. */
+struct HeadPlacement
+{
+    std::uint32_t scoreCore;   ///< index into the score ring
+    std::uint32_t contextCore; ///< index into the context ring
+};
+
+/** Result of an admission/growth attempt. */
+struct KvResult
+{
+    bool ok = false;
+    /** Sequences evicted to make room (most-recent-first). */
+    std::vector<std::uint64_t> evicted;
+};
+
+/**
+ * Per-block KV manager. Thread-compatible, deterministic; the
+ * multi-level translation (page table -> bitmap -> block registers,
+ * Fig. 12) is modelled by the seq -> head placement map, per-core
+ * free-block counters, and per-(seq, head, core) block lists.
+ */
+class BlockKvManager
+{
+  public:
+    /**
+     * @param tokens_per_block rows of a logical block usable for
+     *        tokens (128 for head_dim <= 128).
+     * @param threshold fraction of a core's blocks kept in reserve
+     *        for growth once the ring cursor visits it (Fig. 17
+     *        sweep).
+     */
+    BlockKvManager(const ModelConfig &model,
+                   std::vector<KvCoreInfo> score_cores,
+                   std::vector<KvCoreInfo> context_cores,
+                   std::uint32_t tokens_per_block = 128,
+                   double threshold = 0.1);
+
+    /**
+     * Admit a sequence with @p initial_tokens of KV (its prefill).
+     * On capacity shortage evicts most-recently-scheduled residents
+     * (never the new sequence's own allocation) until it fits or the
+     * pool is empty. ok=false means the sequence cannot fit even in
+     * an empty pool slot - caller must defer it.
+     */
+    KvResult admit(std::uint64_t seq_id, std::uint64_t initial_tokens);
+
+    /**
+     * Admission without eviction (Section 4.4.4: scheduling new
+     * requests suspends when the cache is full rather than evicting).
+     * Returns false when the sequence does not fit as-is.
+     */
+    bool admitNoEvict(std::uint64_t seq_id,
+                      std::uint64_t initial_tokens);
+
+    /** Append one decode token's K/V for a resident sequence. */
+    KvResult grow(std::uint64_t seq_id);
+
+    /** Release a finished (or externally evicted) sequence. */
+    void release(std::uint64_t seq_id);
+
+    bool resident(std::uint64_t seq_id) const;
+
+    /** Number of resident sequences. */
+    std::size_t numResident() const { return sequences_.size(); }
+
+    /** Placement of head @p h of a resident sequence. */
+    HeadPlacement headPlacement(std::uint64_t seq_id,
+                                std::uint32_t head) const;
+
+    /** Coordinates for NoC traffic accounting. */
+    CoreCoord scoreCoord(std::uint32_t ring_index) const;
+    CoreCoord contextCoord(std::uint32_t ring_index) const;
+
+    /** Fraction of all logical blocks currently allocated. */
+    double utilization() const;
+
+    /** Total token capacity of the pool (all heads aggregated). */
+    std::uint64_t totalBlocks() const { return totalBlocks_; }
+    std::uint64_t usedBlocks() const { return usedBlocks_; }
+
+    /** Lifetime counters (for the Fig. 17 thrashing study). */
+    std::uint64_t evictionCount() const { return evictions_; }
+    std::uint64_t admissionCount() const { return admissions_; }
+
+    /**
+     * V-spill count: V growth that could not stay in its preferred
+     * crossbar and pays the extra partial-sum hop (Section 4.4.3).
+     */
+    std::uint64_t vSpills() const { return vSpills_; }
+
+    /** Remove a failed KV core from the pool (Section 4.3.3);
+     *  returns the sequences that lost data and were released. */
+    std::vector<std::uint64_t> dropCore(CoreCoord coord);
+
+  private:
+    /** Free-block accounting for one ring core. */
+    struct CoreState
+    {
+        KvCoreInfo info;
+        std::vector<std::uint32_t> freePerXbar; ///< blocks free
+        bool markedFull = false;
+
+        std::uint32_t totalFree() const;
+    };
+
+    /** Blocks one (sequence, head) holds on its K or V core. */
+    struct HeadAlloc
+    {
+        std::uint32_t core;          ///< ring index
+        std::uint32_t blocks = 0;    ///< logical blocks held
+        std::uint32_t lastBlockFill = 0; ///< tokens in newest block
+        std::uint32_t homeXbar = 0;  ///< V's preferred crossbar
+        /** Crossbar ownership, (crossbar, blocks) pairs, for release
+         *  accounting (the Fig. 12c block registers). */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> perXbar;
+    };
+
+    struct SequenceState
+    {
+        std::uint64_t seqId;
+        std::uint64_t scheduleOrder; ///< admission stamp (for MRU)
+        std::uint64_t tokens = 0;
+        std::vector<HeadAlloc> k;    ///< per head, on score cores
+        std::vector<HeadAlloc> v;    ///< per head, on context cores
+    };
+
+    ModelConfig model_;
+    std::vector<CoreState> score_;
+    std::vector<CoreState> context_;
+    std::uint32_t tokensPerBlock_;
+    double threshold_;
+
+    std::uint32_t scoreCursor_ = 0;
+    std::uint32_t contextCursor_ = 0;
+    std::uint64_t scheduleStamp_ = 0;
+    std::uint64_t totalBlocks_ = 0;
+    std::uint64_t usedBlocks_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t admissions_ = 0;
+    std::uint64_t vSpills_ = 0;
+
+    std::unordered_map<std::uint64_t, SequenceState> sequences_;
+
+    /** Blocks needed to hold @p tokens of one head. */
+    std::uint32_t blocksFor(std::uint64_t tokens) const;
+
+    /** Evict the most recently scheduled resident; false if none. */
+    bool evictMru(std::vector<std::uint64_t> &evicted);
+
+    bool tryAdmitOnce(std::uint64_t seq_id,
+                      std::uint64_t initial_tokens);
+
+    /** Allocate @p blocks on a ring core; kind selects K/V policy. */
+    bool allocBlocks(CoreState &core, HeadAlloc &alloc,
+                     std::uint32_t blocks, bool is_v);
+
+    void releaseAlloc(std::vector<CoreState> &ring,
+                      const HeadAlloc &alloc);
+
+    /** Apply the anti-thrashing threshold rule to a cursor core. */
+    void applyThreshold(CoreState &core);
+};
+
+/** Aggregate view over all blocks' managers (model-level stats). */
+struct KvPoolStats
+{
+    double utilization = 0.0;
+    std::uint64_t evictions = 0;
+    std::uint64_t vSpills = 0;
+    std::uint64_t residentSequences = 0;
+};
+
+} // namespace ouro
+
+#endif // OURO_KVCACHE_MANAGER_HH

@@ -1,0 +1,191 @@
+#include "dp.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+std::uint32_t
+nextPow2(std::uint32_t x)
+{
+    std::uint32_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * One buddy-allocation attempt.
+ *
+ * @param prefer_largest when true, carve each block from the largest
+ *        free region (keeps distinct groups in subtrees that only
+ *        meet near the root, where concatenation is cheap). When
+ *        false, best-fit (smallest adequate block) - never fails for
+ *        power-of-two requests within capacity, but separates less.
+ */
+std::optional<std::vector<int>>
+tryAllocate(const std::vector<std::uint32_t> &group_counts,
+            std::uint32_t leaves, std::uint64_t total,
+            bool prefer_largest)
+{
+    std::vector<int> assignment(leaves, -1);
+
+    // Buddy free lists: block size -> sorted offsets (descending map
+    // so iteration sees the largest size first).
+    std::map<std::uint32_t, std::vector<std::uint32_t>,
+             std::greater<>> free_blocks;
+    free_blocks[leaves] = {0};
+
+    auto take_block =
+            [&](std::uint32_t want) -> std::optional<std::uint32_t> {
+        std::uint32_t best_size = 0;
+        for (const auto &[size, offsets] : free_blocks) {
+            if (size >= want && !offsets.empty()) {
+                best_size = size;
+                if (prefer_largest)
+                    break; // descending: first hit is the max
+                // else keep scanning for the smallest adequate block
+            }
+        }
+        if (best_size == 0)
+            return std::nullopt;
+        auto &offsets = free_blocks[best_size];
+        std::uint32_t off = offsets.front();
+        offsets.erase(offsets.begin());
+        // Split down to the wanted size, returning upper halves.
+        std::uint32_t size = best_size;
+        while (size > want) {
+            size /= 2;
+            auto &bucket = free_blocks[size];
+            bucket.insert(std::lower_bound(bucket.begin(),
+                                           bucket.end(), off + size),
+                          off + size);
+        }
+        return off;
+    };
+
+    // Largest groups first so they grab the big aligned subtrees.
+    std::vector<std::size_t> order(group_counts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return group_counts[a] > group_counts[b];
+              });
+
+    // Unused leaves are transparent pad: rounding a group up to a
+    // whole aligned block turns every merge above it into a
+    // reduction. Spend the slack on the largest groups first.
+    std::uint32_t slack = static_cast<std::uint32_t>(leaves - total);
+
+    for (const auto g : order) {
+        const std::uint32_t count = group_counts[g];
+        if (count == 0)
+            continue;
+        const std::uint32_t padded = nextPow2(count);
+        if (padded - count <= slack) {
+            const auto off = take_block(padded);
+            if (!off)
+                return std::nullopt;
+            slack -= padded - count;
+            for (std::uint32_t k = 0; k < count; ++k)
+                assignment[*off + k] = static_cast<int>(g);
+            continue;
+        }
+        // Binary decomposition: each power-of-two chunk occupies one
+        // aligned block exactly, so all merges inside it reduce.
+        std::uint32_t remaining = count;
+        for (std::uint32_t bit = leaves; bit >= 1; bit /= 2) {
+            if (remaining & bit) {
+                const auto off = take_block(bit);
+                if (!off)
+                    return std::nullopt;
+                for (std::uint32_t k = 0; k < bit; ++k)
+                    assignment[*off + k] = static_cast<int>(g);
+                remaining -= bit;
+            }
+            if (bit == 1)
+                break;
+        }
+    }
+    return assignment;
+}
+
+} // namespace
+
+std::uint64_t
+leafAssignmentCost(const std::vector<int> &assignment)
+{
+    const HTree tree(static_cast<std::uint32_t>(assignment.size()));
+    return tree.assignmentCost(assignment);
+}
+
+std::vector<int>
+dpLeafAssignment(const std::vector<std::uint32_t> &group_counts,
+                 std::uint32_t leaves)
+{
+    ouroAssert(isPowerOfTwo(leaves), "dpLeafAssignment: leaves ",
+               leaves, " not a power of two");
+    std::uint64_t total = 0;
+    for (const auto c : group_counts)
+        total += c;
+    ouroAssert(total <= leaves, "dpLeafAssignment: ", total,
+               " slices exceed ", leaves, " leaves");
+
+    const auto spread =
+        tryAllocate(group_counts, leaves, total, true);
+    const auto packed =
+        tryAllocate(group_counts, leaves, total, false);
+    ouroAssert(packed.has_value(),
+               "dpLeafAssignment: best-fit allocation failed");
+    if (!spread)
+        return *packed;
+    return leafAssignmentCost(*spread) <= leafAssignmentCost(*packed)
+               ? *spread
+               : *packed;
+}
+
+std::vector<int>
+bruteForceLeafAssignment(const std::vector<std::uint32_t> &group_counts,
+                         std::uint32_t leaves)
+{
+    ouroAssert(leaves <= 16,
+               "bruteForceLeafAssignment: instance too large");
+    std::vector<int> labels;
+    for (std::size_t g = 0; g < group_counts.size(); ++g) {
+        for (std::uint32_t k = 0; k < group_counts[g]; ++k)
+            labels.push_back(static_cast<int>(g));
+    }
+    ouroAssert(labels.size() <= leaves,
+               "bruteForceLeafAssignment: too many slices");
+    while (labels.size() < leaves)
+        labels.push_back(-1);
+    std::sort(labels.begin(), labels.end());
+
+    const HTree tree(leaves);
+    std::vector<int> best = labels;
+    std::uint64_t best_cost = tree.assignmentCost(labels);
+    while (std::next_permutation(labels.begin(), labels.end())) {
+        const std::uint64_t cost = tree.assignmentCost(labels);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = labels;
+        }
+    }
+    return best;
+}
+
+} // namespace ouro

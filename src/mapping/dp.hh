@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Intra-core weight distribution by dynamic programming
+ * (paper Section 4.3.2, Eq. 4).
+ *
+ * A core's tile is itself split across up to 32 crossbars. Slices
+ * that belong to the same output-channel group merge by *reduction*
+ * (free); slices of different groups merge by *concatenation*, which
+ * doubles the bus width at the merge node and costs depth(node) on
+ * the H-tree. The DP assigns group slices to the 32 leaves so that
+ * concatenations happen as close to the root as possible.
+ *
+ * dpLeafAssignment() is the production algorithm: a buddy-style
+ * placement (each group occupies aligned power-of-two subtrees,
+ * largest first) refined by the observation that a group of size c
+ * decomposes into the binary representation of c. Tests verify it
+ * against bruteForceLeafAssignment() on every instance small enough
+ * to enumerate.
+ */
+
+#ifndef OURO_MAPPING_DP_HH
+#define OURO_MAPPING_DP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/htree.hh"
+
+namespace ouro
+{
+
+/**
+ * Place groups on H-tree leaves. group_counts[g] = number of leaf
+ * slices group g needs; the sum must not exceed @p leaves.
+ *
+ * @return assignment vector of size @p leaves: group id per leaf,
+ *         -1 for unused leaves.
+ */
+std::vector<int> dpLeafAssignment(
+        const std::vector<std::uint32_t> &group_counts,
+        std::uint32_t leaves);
+
+/** Exhaustive optimum for tiny instances (test oracle). */
+std::vector<int> bruteForceLeafAssignment(
+        const std::vector<std::uint32_t> &group_counts,
+        std::uint32_t leaves);
+
+/** Cost of an assignment under Eq. 4 (thin wrapper over HTree). */
+std::uint64_t leafAssignmentCost(const std::vector<int> &assignment);
+
+} // namespace ouro
+
+#endif // OURO_MAPPING_DP_HH

@@ -1,0 +1,302 @@
+#include "mappers.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** Usable candidate slots of a problem, in region order. */
+std::vector<std::uint32_t>
+usableSlots(const MappingProblem &problem)
+{
+    std::vector<std::uint32_t> slots;
+    for (std::size_t r = 0; r < problem.candidates().size(); ++r) {
+        if (problem.candidateUsable(r))
+            slots.push_back(static_cast<std::uint32_t>(r));
+    }
+    return slots;
+}
+
+} // namespace
+
+Assignment
+GreedyMapper::solve(const MappingProblem &problem) const
+{
+    // Tiles are generated layer-major, output-part-major; walking the
+    // candidate region in order therefore keeps each layer's reduction
+    // chains contiguous and consecutive layers adjacent - the
+    // candidate list itself is expected to be in S-shaped order.
+    const auto slots = usableSlots(problem);
+    const auto &tiles = problem.tiles();
+    ouroAssert(slots.size() >= tiles.size(),
+               "GreedyMapper: not enough usable cores");
+    Assignment assignment(tiles.size());
+    for (std::size_t t = 0; t < tiles.size(); ++t)
+        assignment[t] = slots[t];
+    return assignment;
+}
+
+AnnealingMapper::AnnealingMapper(Options opts)
+    : opts_(opts)
+{
+}
+
+Assignment
+AnnealingMapper::solve(const MappingProblem &problem) const
+{
+    Assignment current = GreedyMapper{}.solve(problem);
+    const auto &tiles = problem.tiles();
+    if (tiles.size() <= 1)
+        return current;
+
+    const auto slots = usableSlots(problem);
+    // Occupancy map: slot -> tile index or -1.
+    std::vector<std::int64_t> occupant(problem.candidates().size(), -1);
+    for (std::size_t t = 0; t < current.size(); ++t)
+        occupant[current[t]] = static_cast<std::int64_t>(t);
+
+    double cost = problem.assignmentCost(current);
+    Assignment best = current;
+    double best_cost = cost;
+
+    Rng rng(opts_.seed);
+
+    // Auto-calibrate the starting temperature from a random-move
+    // sample so acceptance starts near 80%.
+    double temperature = opts_.initialTemperature;
+    if (temperature <= 0.0) {
+        double sum_abs = 0.0;
+        const int probes = 64;
+        for (int p = 0; p < probes; ++p) {
+            const auto t = rng.uniformInt(0, tiles.size() - 1);
+            const auto s = slots[rng.uniformInt(0, slots.size() - 1)];
+            if (s == current[t])
+                continue;
+            if (occupant[s] < 0)
+                sum_abs += std::abs(
+                        problem.moveDelta(current, t, s));
+        }
+        temperature = std::max(1.0, sum_abs / probes);
+    }
+
+    for (std::uint64_t iter = 0; iter < opts_.iterations; ++iter) {
+        const auto t1 =
+            static_cast<std::size_t>(rng.uniformInt(0,
+                                                    tiles.size() - 1));
+        const auto slot =
+            slots[rng.uniformInt(0, slots.size() - 1)];
+        if (slot == current[t1])
+            continue;
+
+        double delta = 0.0;
+        const std::int64_t other = occupant[slot];
+        if (other < 0) {
+            // Relocate t1 to a free slot.
+            delta = problem.moveDelta(current, t1, slot);
+            if (delta <= 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature)) {
+                occupant[current[t1]] = -1;
+                current[t1] = slot;
+                occupant[slot] = static_cast<std::int64_t>(t1);
+                cost += delta;
+            }
+        } else {
+            // Swap t1 and the occupant t2.
+            const auto t2 = static_cast<std::size_t>(other);
+            const std::uint32_t s1 = current[t1];
+            const std::uint32_t s2 = slot;
+            const CoreCoord c1 = problem.candidates()[s1];
+            const CoreCoord c2 = problem.candidates()[s2];
+            // Incremental: pairs touching t1 or t2 change; the
+            // (t1,t2) pair is invariant under swap (distance same),
+            // but compute it exactly for safety.
+            delta = 0.0;
+            for (std::size_t b = 0; b < tiles.size(); ++b) {
+                if (b == t1 || b == t2)
+                    continue;
+                const CoreCoord cb =
+                    problem.candidates()[current[b]];
+                delta += problem.pairCost(tiles[t1], c2, tiles[b], cb)
+                       - problem.pairCost(tiles[t1], c1, tiles[b], cb)
+                       + problem.pairCost(tiles[t2], c1, tiles[b], cb)
+                       - problem.pairCost(tiles[t2], c2, tiles[b], cb);
+            }
+            delta += problem.pairCost(tiles[t1], c2, tiles[t2], c1) -
+                     problem.pairCost(tiles[t1], c1, tiles[t2], c2);
+            if (delta <= 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature)) {
+                std::swap(current[t1], current[t2]);
+                occupant[s1] = static_cast<std::int64_t>(t2);
+                occupant[s2] = static_cast<std::int64_t>(t1);
+                cost += delta;
+            }
+        }
+
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = current;
+        }
+        temperature *= opts_.coolingFactor;
+        if (temperature < 1e-9)
+            temperature = 1e-9;
+    }
+
+    ouroAssert(problem.feasible(best), "AnnealingMapper: infeasible");
+    return best;
+}
+
+ExactMapper::ExactMapper(std::uint32_t max_tiles)
+    : maxTiles_(max_tiles)
+{
+}
+
+Assignment
+ExactMapper::solve(const MappingProblem &problem) const
+{
+    const auto &tiles = problem.tiles();
+    ouroAssert(tiles.size() <= maxTiles_,
+               "ExactMapper: instance too large (", tiles.size(),
+               " tiles)");
+    const auto slots = usableSlots(problem);
+
+    Assignment current(tiles.size(), 0);
+    Assignment best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::vector<bool> used(problem.candidates().size(), false);
+
+    // Depth-first branch and bound with partial-cost pruning (all
+    // pair costs are non-negative, so the partial sum lower-bounds).
+    auto recurse = [&](auto &&self, std::size_t t,
+                       double partial) -> void {
+        if (partial >= best_cost)
+            return;
+        if (t == tiles.size()) {
+            best_cost = partial;
+            best = current;
+            return;
+        }
+        for (const auto slot : slots) {
+            if (used[slot])
+                continue;
+            double add = 0.0;
+            const CoreCoord ct = problem.candidates()[slot];
+            for (std::size_t b = 0; b < t; ++b) {
+                add += problem.pairCost(
+                        tiles[t], ct, tiles[b],
+                        problem.candidates()[current[b]]);
+            }
+            used[slot] = true;
+            current[t] = slot;
+            self(self, t + 1, partial + add);
+            used[slot] = false;
+        }
+    };
+    recurse(recurse, 0, 0.0);
+    ouroAssert(!best.empty(), "ExactMapper: no feasible assignment");
+    return best;
+}
+
+Assignment
+SummaMapper::solve(const MappingProblem &problem) const
+{
+    // Each layer is distributed across the WHOLE region as an
+    // independent 2-D grid (SUMMA assigns operands by grid position,
+    // oblivious to what the previous layer produced where). We model
+    // that by striding each layer's tiles across the full region.
+    const auto slots = usableSlots(problem);
+    const auto &tiles = problem.tiles();
+    ouroAssert(slots.size() >= tiles.size(),
+               "SummaMapper: not enough cores");
+
+    Assignment assignment(tiles.size());
+    std::vector<bool> used(slots.size(), false);
+
+    std::size_t t = 0;
+    for (std::uint32_t l = 0; l < problem.layers().size(); ++l) {
+        const auto n = problem.layers()[l].numTiles();
+        // Spread the layer's tiles evenly over the region.
+        const double stride =
+            static_cast<double>(slots.size()) / n;
+        for (std::uint32_t k = 0; k < n; ++k, ++t) {
+            auto want = static_cast<std::size_t>(k * stride);
+            while (used[want % slots.size()])
+                ++want;
+            used[want % slots.size()] = true;
+            assignment[t] = slots[want % slots.size()];
+        }
+    }
+    return assignment;
+}
+
+Assignment
+WaferLlmMapper::solve(const MappingProblem &problem) const
+{
+    // Contiguous per-layer strips in raw row-major core order (not the
+    // S-shaped locality order): consecutive layers are adjacent but
+    // strip interiors ignore the reduce/gather structure.
+    const auto &candidates = problem.candidates();
+    // Re-sort candidate slots row-major by coordinate.
+    std::vector<std::uint32_t> slots = [&] {
+        std::vector<std::uint32_t> s;
+        for (std::size_t r = 0; r < candidates.size(); ++r) {
+            if (problem.candidateUsable(r))
+                s.push_back(static_cast<std::uint32_t>(r));
+        }
+        std::sort(s.begin(), s.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      const CoreCoord ca = candidates[a];
+                      const CoreCoord cb = candidates[b];
+                      return ca.row != cb.row ? ca.row < cb.row
+                                              : ca.col < cb.col;
+                  });
+        return s;
+    }();
+    const auto &tiles = problem.tiles();
+    ouroAssert(slots.size() >= tiles.size(),
+               "WaferLlmMapper: not enough cores");
+
+    // Within a layer, WaferLLM distributes input-split-major (rows of
+    // the operand), which separates the reduction partners that our
+    // tile order keeps together; reorder accordingly.
+    Assignment assignment(tiles.size());
+    std::size_t cursor = 0;
+    for (std::uint32_t l = 0; l < problem.layers().size(); ++l) {
+        const LayerSpec &spec = problem.layers()[l];
+        for (std::uint32_t i = 0; i < spec.inSplits; ++i) {
+            for (std::uint32_t o = 0; o < spec.outSplits; ++o) {
+                // Locate tile (l, i, o) in the canonical tile list.
+                const std::size_t t =
+                    [&]() -> std::size_t {
+                        for (std::size_t k = 0; k < tiles.size(); ++k) {
+                            if (tiles[k].layer == l &&
+                                tiles[k].inSplit == i &&
+                                tiles[k].outSplit == o) {
+                                return k;
+                            }
+                        }
+                        panic("WaferLlmMapper: tile not found");
+                    }();
+                assignment[t] = slots[cursor++];
+            }
+        }
+    }
+    return assignment;
+}
+
+double
+mappingByteHops(const MappingProblem &problem,
+                const Assignment &assignment)
+{
+    // The Eq. 1 objective already *is* sum(bytes x hops x penalty).
+    return problem.assignmentCost(assignment);
+}
+
+} // namespace ouro

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Solvers for the inter-core mapping problem (Section 4.3.1) plus the
+ * baseline mapping strategies compared in Fig. 18.
+ *
+ * The paper models placement as MIQP and solves it offline ("several
+ * hours" on a Xeon, Section 6.7). Without a commercial solver we keep
+ * the exact objective/constraints and swap the search:
+ *   - ExactMapper: branch-and-bound over all feasible assignments for
+ *     small instances (tests verify the heuristics against it);
+ *   - GreedyMapper: layer-ordered walk of the S-shaped core order -
+ *     fast, locality-aware construction;
+ *   - AnnealingMapper: simulated annealing (swap/relocate moves with
+ *     incremental cost deltas) seeded with the greedy solution.
+ * Baselines:
+ *   - SummaMapper: Cerebras-style SUMMA grids each layer across the
+ *     whole region independently (good intra-layer grids, poor
+ *     inter-layer locality);
+ *   - WaferLlmMapper: WaferLLM-style contiguous row-major strips per
+ *     layer (good inter-layer adjacency, unshaped reductions).
+ */
+
+#ifndef OURO_MAPPING_MAPPERS_HH
+#define OURO_MAPPING_MAPPERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mapping/problem.hh"
+
+namespace ouro
+{
+
+/** A solution: tile index -> candidate-core index. */
+using Assignment = std::vector<std::uint32_t>;
+
+/** Locality-aware constructive placement (also the SA seed). */
+class GreedyMapper
+{
+  public:
+    Assignment solve(const MappingProblem &problem) const;
+};
+
+/** Simulated-annealing refinement of the MIQP objective. */
+class AnnealingMapper
+{
+  public:
+    struct Options
+    {
+        std::uint64_t iterations = 20000;
+        double initialTemperature = -1.0; ///< <0: auto-calibrate
+        double coolingFactor = 0.999;
+        std::uint64_t seed = 1;
+    };
+
+    AnnealingMapper() : AnnealingMapper(Options{}) {}
+    explicit AnnealingMapper(Options opts);
+
+    Assignment solve(const MappingProblem &problem) const;
+
+  private:
+    Options opts_;
+};
+
+/** Exhaustive branch-and-bound; only for small instances (<= ~10). */
+class ExactMapper
+{
+  public:
+    /** @param max_tiles refuse larger instances (cost explodes). */
+    explicit ExactMapper(std::uint32_t max_tiles = 10);
+
+    Assignment solve(const MappingProblem &problem) const;
+
+  private:
+    std::uint32_t maxTiles_;
+};
+
+/** Cerebras-default SUMMA-style layer-independent grid placement. */
+class SummaMapper
+{
+  public:
+    Assignment solve(const MappingProblem &problem) const;
+};
+
+/** WaferLLM-style contiguous per-layer strips. */
+class WaferLlmMapper
+{
+  public:
+    Assignment solve(const MappingProblem &problem) const;
+};
+
+/**
+ * Per-token communication volume of a placement in byte-hops: the
+ * Fig. 18 "normalized transmission volume" metric (die crossings are
+ * weighted by CostInter, as in the objective).
+ */
+double mappingByteHops(const MappingProblem &problem,
+                       const Assignment &assignment);
+
+} // namespace ouro
+
+#endif // OURO_MAPPING_MAPPERS_HH

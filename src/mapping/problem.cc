@@ -1,0 +1,259 @@
+#include "problem.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** Split @p dim into @p parts near-equal slices; bounds of part p. */
+std::uint64_t
+partLo(std::uint64_t dim, std::uint32_t parts, std::uint32_t p)
+{
+    return dim * p / parts;
+}
+
+std::uint64_t
+partHi(std::uint64_t dim, std::uint32_t parts, std::uint32_t p)
+{
+    return dim * (p + 1) / parts;
+}
+
+} // namespace
+
+std::uint64_t
+LayerSpec::inPartLo(std::uint32_t i) const
+{
+    return partLo(inDim, inSplits, i);
+}
+
+std::uint64_t
+LayerSpec::inPartHi(std::uint32_t i) const
+{
+    return partHi(inDim, inSplits, i);
+}
+
+std::uint64_t
+LayerSpec::outPartLo(std::uint32_t o) const
+{
+    return partLo(outDim, outSplits, o);
+}
+
+std::uint64_t
+LayerSpec::outPartHi(std::uint32_t o) const
+{
+    return partHi(outDim, outSplits, o);
+}
+
+Bytes
+LayerSpec::outputVolume(std::uint32_t o) const
+{
+    return outPartHi(o) - outPartLo(o); // 1 byte per activation
+}
+
+Bytes
+LayerSpec::reductionVolume(std::uint32_t o) const
+{
+    return 4 * (outPartHi(o) - outPartLo(o)); // 32-bit partial sums
+}
+
+Bytes
+LayerSpec::gatherVolume(std::uint32_t o) const
+{
+    return outPartHi(o) - outPartLo(o); // requantised 8-bit slices
+}
+
+std::vector<LayerSpec>
+tileBlockLayers(const ModelConfig &model, const CoreParams &core_params)
+{
+    const auto &xp = core_params.crossbar;
+    const std::uint64_t max_rows = xp.rows;
+    const std::uint64_t max_cols =
+        static_cast<std::uint64_t>(core_params.numCrossbars) *
+        (xp.cols / xp.weightBits);
+
+    std::vector<LayerSpec> specs;
+    for (const auto &layer : model.blockLayers()) {
+        LayerSpec spec;
+        spec.name = layer.name;
+        spec.inDim = layer.inDim;
+        spec.outDim = layer.outDim;
+        spec.inSplits = static_cast<std::uint32_t>(
+                ceilDiv(layer.inDim, max_rows));
+        spec.outSplits = static_cast<std::uint32_t>(
+                ceilDiv(layer.outDim, max_cols));
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::uint32_t
+coresPerBlock(const ModelConfig &model, const CoreParams &core_params)
+{
+    std::uint32_t total = 0;
+    for (const auto &spec : tileBlockLayers(model, core_params))
+        total += spec.numTiles();
+    return total;
+}
+
+MappingProblem::MappingProblem(const ModelConfig &model,
+                               const CoreParams &core_params,
+                               const WaferGeometry &geom,
+                               std::vector<CoreCoord> candidate_cores,
+                               double cost_inter,
+                               const DefectMap *defects)
+    : layers_(tileBlockLayers(model, core_params)),
+      candidates_(std::move(candidate_cores)), geom_(geom),
+      costInter_(cost_inter), defects_(defects)
+{
+    for (std::uint32_t l = 0; l < layers_.size(); ++l) {
+        for (std::uint32_t o = 0; o < layers_[l].outSplits; ++o) {
+            for (std::uint32_t i = 0; i < layers_[l].inSplits; ++i)
+                tiles_.push_back({l, i, o});
+        }
+    }
+    std::uint32_t usable = 0;
+    for (std::size_t r = 0; r < candidates_.size(); ++r)
+        usable += candidateUsable(r) ? 1 : 0;
+    ouroAssert(usable >= tiles_.size(),
+               "MappingProblem: region has ", usable,
+               " usable cores but the block needs ", tiles_.size());
+}
+
+bool
+MappingProblem::candidateUsable(std::size_t r) const
+{
+    ouroAssert(r < candidates_.size(), "candidateUsable: bad index");
+    return !defects_ || !defects_->defective(candidates_[r]);
+}
+
+double
+MappingProblem::penalty(CoreCoord a, CoreCoord b) const
+{
+    return geom_.sameDie(a, b) ? 1.0 : costInter_;
+}
+
+std::uint64_t
+MappingProblem::overlap(std::uint64_t lo1, std::uint64_t hi1,
+                        std::uint64_t lo2, std::uint64_t hi2)
+{
+    const std::uint64_t lo = std::max(lo1, lo2);
+    const std::uint64_t hi = std::min(hi1, hi2);
+    return hi > lo ? hi - lo : 0;
+}
+
+double
+MappingProblem::pairCost(const Tile &a, CoreCoord ca, const Tile &b,
+                         CoreCoord cb) const
+{
+    const double dist = geom_.manhattan(ca, cb);
+    if (dist == 0.0)
+        return 0.0;
+    const double pen = penalty(ca, cb);
+    double cost = 0.0;
+
+    const LayerSpec &la = layers_[a.layer];
+    const LayerSpec &lb = layers_[b.layer];
+
+    // Inter-layer activation flow: a's output part overlaps b's input
+    // part in channel space. Only the final input split of a (the
+    // reducer, which owns the complete output slice) forwards
+    // activations.
+    if (a.layer + 1 == b.layer && a.inSplit == la.inSplits - 1) {
+        const std::uint64_t bytes = overlap(
+                la.outPartLo(a.outSplit), la.outPartHi(a.outSplit),
+                lb.inPartLo(b.inSplit), lb.inPartHi(b.inSplit));
+        cost += dist * static_cast<double>(bytes) * pen;
+    }
+    if (b.layer + 1 == a.layer && b.inSplit == lb.inSplits - 1) {
+        const std::uint64_t bytes = overlap(
+                lb.outPartLo(b.outSplit), lb.outPartHi(b.outSplit),
+                la.inPartLo(a.inSplit), la.inPartHi(a.inSplit));
+        cost += dist * static_cast<double>(bytes) * pen;
+    }
+
+    if (a.layer == b.layer) {
+        const LayerSpec &layer = la;
+        // Intra-layer reduction: non-final input splits stream 32-bit
+        // partial sums to the final split of the same output part.
+        if (a.outSplit == b.outSplit) {
+            const bool a_sends = a.inSplit != layer.inSplits - 1 &&
+                                 b.inSplit == layer.inSplits - 1;
+            const bool b_sends = b.inSplit != layer.inSplits - 1 &&
+                                 a.inSplit == layer.inSplits - 1;
+            if (a_sends || b_sends) {
+                cost += dist * static_cast<double>(
+                        layer.reductionVolume(a.outSplit)) * pen;
+            }
+        }
+        // Gather between reducer tiles of different output parts.
+        if (a.outSplit != b.outSplit &&
+            a.inSplit == layer.inSplits - 1 &&
+            b.inSplit == layer.inSplits - 1) {
+            cost += dist * static_cast<double>(
+                    layer.gatherVolume(a.outSplit)) * pen;
+        }
+    }
+    return cost;
+}
+
+double
+MappingProblem::assignmentCost(
+        const std::vector<std::uint32_t> &assignment) const
+{
+    ouroAssert(assignment.size() == tiles_.size(),
+               "assignmentCost: wrong assignment size");
+    double total = 0.0;
+    for (std::size_t a = 0; a < tiles_.size(); ++a) {
+        const CoreCoord ca = candidates_[assignment[a]];
+        for (std::size_t b = a + 1; b < tiles_.size(); ++b) {
+            total += pairCost(tiles_[a], ca, tiles_[b],
+                              candidates_[assignment[b]]);
+        }
+    }
+    return total;
+}
+
+double
+MappingProblem::moveDelta(const std::vector<std::uint32_t> &assignment,
+                          std::size_t t, std::uint32_t new_slot) const
+{
+    ouroAssert(t < tiles_.size(), "moveDelta: bad tile index");
+    const CoreCoord old_core = candidates_[assignment[t]];
+    const CoreCoord new_core = candidates_[new_slot];
+    double delta = 0.0;
+    for (std::size_t b = 0; b < tiles_.size(); ++b) {
+        if (b == t)
+            continue;
+        const CoreCoord cb = candidates_[assignment[b]];
+        delta += pairCost(tiles_[t], new_core, tiles_[b], cb) -
+                 pairCost(tiles_[t], old_core, tiles_[b], cb);
+    }
+    return delta;
+}
+
+bool
+MappingProblem::feasible(
+        const std::vector<std::uint32_t> &assignment) const
+{
+    if (assignment.size() != tiles_.size())
+        return false;
+    std::vector<bool> used(candidates_.size(), false);
+    for (const auto slot : assignment) {
+        if (slot >= candidates_.size())
+            return false;
+        if (used[slot])
+            return false; // Eq. 2: one tile per core
+        if (!candidateUsable(slot))
+            return false; // Eq. 2: defective core
+        used[slot] = true;
+    }
+    // Eq. 3 holds by construction: every tile is placed exactly once.
+    return true;
+}
+
+} // namespace ouro

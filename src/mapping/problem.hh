@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The inter-core weight-mapping problem (paper Section 4.3.1).
+ *
+ * The mapper places the weight tiles of ONE transformer block onto a
+ * region of CIM cores (constraint (1): LLMs are stacks of identical
+ * blocks, so one block's mapping is computed once and repeated). Each
+ * dense layer l is tiled I(l) x O(l) ways: inputs in 1024-channel
+ * slices (the crossbar row height), outputs in 4096-channel slices
+ * (32 crossbars x 128 columns), prioritising output-channel splits to
+ * avoid high-bitwidth partial-sum transfers (constraint (2)).
+ *
+ * The MIQP objective (Eq. 1) prices three flows between tile pairs:
+ *   - inter-layer activation: output part o of layer l feeds input
+ *     part i of layer l+1 where their channel ranges overlap;
+ *   - intra-layer reduction: every non-final input split sends 32-bit
+ *     partial sums to the final input split of the same output part;
+ *   - gather: the reducer tiles of a layer exchange their slices so
+ *     each holds the full activation for forwarding.
+ * Distances are Manhattan hops; crossing a die boundary multiplies by
+ * CostInter (Table 1). Constraints: one tile per core, no tiles on
+ * defective cores (Eq. 2), each layer uses exactly #Core(l) cores
+ * (Eq. 3) - our tiling makes #Core(l) = I(l) * O(l) by construction.
+ */
+
+#ifndef OURO_MAPPING_PROBLEM_HH
+#define OURO_MAPPING_PROBLEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "hw/yield.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+
+/** One dense layer of the block, with its tiling. */
+struct LayerSpec
+{
+    std::string name;
+    std::uint64_t inDim = 0;
+    std::uint64_t outDim = 0;
+    std::uint32_t inSplits = 1;   ///< I(l)
+    std::uint32_t outSplits = 1;  ///< O(l)
+
+    std::uint32_t numTiles() const { return inSplits * outSplits; }
+
+    /** Channel extents of split parts (last part may be smaller). */
+    std::uint64_t inPartLo(std::uint32_t i) const;
+    std::uint64_t inPartHi(std::uint32_t i) const;   // exclusive
+    std::uint64_t outPartLo(std::uint32_t o) const;
+    std::uint64_t outPartHi(std::uint32_t o) const;  // exclusive
+
+    /** Activation bytes produced per token by output part o (8-bit). */
+    Bytes outputVolume(std::uint32_t o) const;
+
+    /** Partial-sum bytes per token sent by a non-final input split
+     *  of output part o (32-bit partials). */
+    Bytes reductionVolume(std::uint32_t o) const;
+
+    /** Gather bytes per token exchanged by reducer tiles of part o. */
+    Bytes gatherVolume(std::uint32_t o) const;
+};
+
+/** A tile to place: (layer, input split, output split). */
+struct Tile
+{
+    std::uint32_t layer;
+    std::uint32_t inSplit;
+    std::uint32_t outSplit;
+
+    bool operator==(const Tile &other) const = default;
+};
+
+/**
+ * The full placement instance: layers + tiles, the candidate core
+ * region, and the cost constants.
+ */
+class MappingProblem
+{
+  public:
+    /**
+     * Build the problem for one transformer block of @p model on cores
+     * with @p core_params capacity, to be placed on the region
+     * @p candidate_cores (ordered; defective cores excluded by the
+     * caller or flagged via @p defects).
+     */
+    MappingProblem(const ModelConfig &model,
+                   const CoreParams &core_params,
+                   const WaferGeometry &geom,
+                   std::vector<CoreCoord> candidate_cores,
+                   double cost_inter = 2.0,
+                   const DefectMap *defects = nullptr);
+
+    const std::vector<LayerSpec> &layers() const { return layers_; }
+    const std::vector<Tile> &tiles() const { return tiles_; }
+    const std::vector<CoreCoord> &candidates() const
+    {
+        return candidates_;
+    }
+    const WaferGeometry &geometry() const { return geom_; }
+    double costInter() const { return costInter_; }
+
+    /** Cores one block needs (== tile count). */
+    std::uint32_t tilesPerBlock() const
+    {
+        return static_cast<std::uint32_t>(tiles_.size());
+    }
+
+    /** True when the candidate core at region index r is usable. */
+    bool candidateUsable(std::size_t r) const;
+
+    /**
+     * Quadratic cost (Eq. 1) of a full assignment: assignment[t] is an
+     * index into candidates() for tile t.
+     */
+    double assignmentCost(
+            const std::vector<std::uint32_t> &assignment) const;
+
+    /**
+     * Cost delta of moving tile @p t from its current core to
+     * candidate @p new_slot (other tiles unchanged). Used by the
+     * annealer's incremental evaluation.
+     */
+    double moveDelta(const std::vector<std::uint32_t> &assignment,
+                     std::size_t t, std::uint32_t new_slot) const;
+
+    /** Pairwise cost between two placed tiles (the Q entries). */
+    double pairCost(const Tile &a, CoreCoord ca, const Tile &b,
+                    CoreCoord cb) const;
+
+    /** Verify constraints (Eq. 2/3): a legal one-to-one placement. */
+    bool feasible(const std::vector<std::uint32_t> &assignment) const;
+
+  private:
+    std::vector<LayerSpec> layers_;
+    std::vector<Tile> tiles_;
+    std::vector<CoreCoord> candidates_;
+    WaferGeometry geom_;
+    double costInter_;
+    const DefectMap *defects_;
+
+    double penalty(CoreCoord a, CoreCoord b) const;
+
+    /** Overlap in channels between [lo1,hi1) and [lo2,hi2). */
+    static std::uint64_t overlap(std::uint64_t lo1, std::uint64_t hi1,
+                                 std::uint64_t lo2, std::uint64_t hi2);
+};
+
+/**
+ * Derive the tiling of one block's layers for a given core capacity:
+ * I(l) = ceil(inDim / crossbar rows), O(l) = ceil(outDim / (crossbars
+ * x columns per crossbar)).
+ */
+std::vector<LayerSpec> tileBlockLayers(const ModelConfig &model,
+                                       const CoreParams &core_params);
+
+/** Cores needed by one block (sum of tiles over layers). */
+std::uint32_t coresPerBlock(const ModelConfig &model,
+                            const CoreParams &core_params);
+
+} // namespace ouro
+
+#endif // OURO_MAPPING_PROBLEM_HH

@@ -1,0 +1,145 @@
+#include "remap.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** Remove one coordinate from a vector; true if found. */
+bool
+removeCoord(std::vector<CoreCoord> &coords, CoreCoord target)
+{
+    const auto it = std::find(coords.begin(), coords.end(), target);
+    if (it == coords.end())
+        return false;
+    coords.erase(it);
+    return true;
+}
+
+} // namespace
+
+std::optional<RemapResult>
+recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
+                   const WaferGeometry &geom, const NocParams &noc,
+                   Bytes tile_bytes)
+{
+    // KV-core failure: drop from the pool; sequences recompute.
+    if (removeCoord(placement.scoreCores, failed) ||
+        removeCoord(placement.contextCores, failed)) {
+        RemapResult result;
+        result.absorbedKvCore = failed;
+        result.chainLength = 1;
+        return result;
+    }
+
+    // Weight-core failure: locate the tile.
+    const auto tile_it = std::find(placement.weightCores.begin(),
+                                   placement.weightCores.end(), failed);
+    if (tile_it == placement.weightCores.end())
+        return std::nullopt; // not ours
+
+    // Nearest KV core (either duty) absorbs the chain.
+    const std::vector<CoreCoord> *pool = nullptr;
+    std::size_t pool_idx = 0;
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (const auto *candidates :
+         {&placement.scoreCores, &placement.contextCores}) {
+        for (std::size_t i = 0; i < candidates->size(); ++i) {
+            const auto d = geom.manhattan(failed, (*candidates)[i]);
+            if (d < best) {
+                best = d;
+                pool = candidates;
+                pool_idx = i;
+            }
+        }
+    }
+    if (!pool)
+        return std::nullopt; // no KV core left to absorb
+
+    const CoreCoord kv_core = (*pool)[pool_idx];
+
+    // The chain: weight cores ordered by distance from the failed
+    // core toward the KV core - each member at most one "ring slot"
+    // closer. We use the weight cores whose distance to the KV core
+    // is strictly less than the failed core's, sorted descending, so
+    // each shift is short and local (Fig. 9's neighbour propagation).
+    struct ChainEntry
+    {
+        std::size_t tileIndex;
+        std::uint32_t distToKv;
+    };
+    const std::uint32_t failed_dist = geom.manhattan(failed, kv_core);
+    std::vector<ChainEntry> chain;
+    for (std::size_t t = 0; t < placement.weightCores.size(); ++t) {
+        const CoreCoord c = placement.weightCores[t];
+        if (c == failed)
+            continue;
+        const auto d = geom.manhattan(c, kv_core);
+        // Members must lie "between" the failed core and the KV core:
+        // closer to KV than the failed core is, and near the failed-
+        // to-KV corridor (within its bounding box).
+        const bool in_box =
+            c.row >= std::min(failed.row, kv_core.row) &&
+            c.row <= std::max(failed.row, kv_core.row) &&
+            c.col >= std::min(failed.col, kv_core.col) &&
+            c.col <= std::max(failed.col, kv_core.col);
+        if (d < failed_dist && in_box)
+            chain.push_back({t, d});
+    }
+    std::sort(chain.begin(), chain.end(),
+              [](const ChainEntry &a, const ChainEntry &b) {
+                  return a.distToKv > b.distToKv;
+              });
+
+    RemapResult result;
+    result.absorbedKvCore = kv_core;
+    result.chainLength =
+        static_cast<std::uint32_t>(chain.size()) + 2; // + failed + kv
+
+    // Shift: failed's tile -> first chain member's core, whose tile
+    // moves to the next, ...; the last member's tile lands on the KV
+    // core. With an empty chain the failed tile goes directly to KV.
+    const std::size_t failed_tile = static_cast<std::size_t>(
+            tile_it - placement.weightCores.begin());
+
+    CoreCoord vacated = kv_core;
+    // Process back-to-front: the member closest to KV moves into the
+    // KV core, freeing its own core for its predecessor.
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const CoreCoord from = placement.weightCores[it->tileIndex];
+        result.moves.emplace_back(from, vacated);
+        placement.weightCores[it->tileIndex] = vacated;
+        vacated = from;
+    }
+    result.moves.emplace_back(failed, vacated);
+    placement.weightCores[failed_tile] = vacated;
+
+    // The KV core leaves the pool (it now holds weights).
+    if (!removeCoord(placement.scoreCores, kv_core))
+        removeCoord(placement.contextCores, kv_core);
+
+    // All shifts run in parallel: latency = slowest single move.
+    result.movedBytes = tile_bytes *
+        static_cast<Bytes>(result.moves.size());
+    double worst = 0.0;
+    for (const auto &[from, to] : result.moves) {
+        const double hops = geom.manhattan(from, to);
+        const double penalty =
+            geom.sameDie(from, to) ? 1.0 : noc.interDiePenalty;
+        const double serial = static_cast<double>(tile_bytes) /
+                              (noc.linkBytesPerSecond() / penalty);
+        const double head = hops *
+            static_cast<double>(noc.routerLatency) / noc.clockHz;
+        worst = std::max(worst, serial + head);
+    }
+    result.latencySeconds = worst;
+    return result;
+}
+
+} // namespace ouro

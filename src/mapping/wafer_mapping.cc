@@ -1,0 +1,194 @@
+#include "wafer_mapping.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+const char *
+mapperKindName(MapperKind kind)
+{
+    switch (kind) {
+      case MapperKind::Greedy:
+        return "greedy";
+      case MapperKind::Annealing:
+        return "annealing";
+      case MapperKind::Summa:
+        return "summa";
+      case MapperKind::WaferLlm:
+        return "waferllm";
+    }
+    panic("mapperKindName: bad kind");
+}
+
+std::uint64_t
+embeddingCoreCount(const ModelConfig &model,
+                   const CoreParams &core_params)
+{
+    const Bytes tables =
+        2 * model.vocabSize * model.hiddenDim * model.bytesPerParam;
+    return ceilDiv(tables, core_params.sramBytes());
+}
+
+std::uint64_t
+regionSize(const ModelConfig &model, const CoreParams &core_params,
+           std::uint64_t num_blocks, std::uint64_t usable_cores,
+           std::uint64_t reserved)
+{
+    (void)model;
+    (void)core_params;
+    ouroAssert(usable_cores > reserved,
+               "regionSize: no cores after reservation");
+    return (usable_cores - reserved) / num_blocks;
+}
+
+const BlockPlacement &
+WaferMapping::placement(std::uint64_t block) const
+{
+    ouroAssert(block >= firstBlock_ && block < firstBlock_ + numBlocks_,
+               "placement: block ", block, " not on this wafer");
+    return placements_[block - firstBlock_];
+}
+
+std::uint64_t
+WaferMapping::totalKvCores() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : placements_)
+        n += p.scoreCores.size() + p.contextCores.size();
+    return n;
+}
+
+std::optional<WaferMapping>
+WaferMapping::build(const ModelConfig &model,
+                    const CoreParams &core_params,
+                    const WaferGeometry &geom, const DefectMap *defects,
+                    std::uint64_t first_block, std::uint64_t num_blocks,
+                    const WaferMappingOptions &opts)
+{
+    ouroAssert(num_blocks > 0, "WaferMapping::build: no blocks");
+
+    WaferMapping mapping(geom);
+    mapping.firstBlock_ = first_block;
+    mapping.numBlocks_ = num_blocks;
+    mapping.specs_ = tileBlockLayers(model, core_params);
+    mapping.tilesPerBlock_ = 0;
+    for (const auto &spec : mapping.specs_)
+        mapping.tilesPerBlock_ += spec.numTiles();
+
+    // Usable cores in pipeline (S-shaped) order.
+    std::vector<CoreCoord> order;
+    for (const CoreCoord &c : geom.sShapedOrder()) {
+        if (!defects || !defects->defective(c))
+            order.push_back(c);
+    }
+
+    // Reserve the embedding/LM-head cores only on the wafer hosting
+    // block 0 (the pipeline entry).
+    std::uint64_t reserved = 0;
+    if (first_block == 0)
+        reserved = embeddingCoreCount(model, core_params);
+    if (order.size() < reserved)
+        return std::nullopt;
+    mapping.embeddingCores_.assign(order.begin(),
+                                   order.begin() + reserved);
+
+    const std::uint64_t replicas = std::max(1u, opts.replicas);
+    const std::uint64_t per_region =
+        (order.size() - reserved) / (num_blocks * replicas);
+    if (per_region < mapping.tilesPerBlock_)
+        return std::nullopt; // weights alone do not fit
+
+    // Region assignment plus per-region mapping. The annealed pattern
+    // from the first region is replicated to all congruent regions
+    // (constraint (1)); regions are congruent here whenever they are
+    // defect-free slices of equal length, which the usable-core
+    // filtering guarantees in index space.
+    std::vector<std::uint32_t> pattern; // slot indices for tiles
+    const GreedyMapper greedy;
+
+    for (std::uint64_t b = 0; b < num_blocks; ++b) {
+        const std::uint64_t lo = reserved + b * per_region;
+        std::vector<CoreCoord> region(
+                order.begin() + lo, order.begin() + lo + per_region);
+
+        MappingProblem problem(model, core_params, geom, region,
+                               opts.costInter, nullptr);
+
+        Assignment assignment;
+        if (b == 0 || opts.mapper == MapperKind::Summa ||
+            opts.mapper == MapperKind::WaferLlm) {
+            switch (opts.mapper) {
+              case MapperKind::Greedy:
+                assignment = greedy.solve(problem);
+                break;
+              case MapperKind::Annealing: {
+                AnnealingMapper::Options sa;
+                sa.iterations = opts.annealIterations;
+                sa.seed = opts.seed;
+                assignment = AnnealingMapper(sa).solve(problem);
+                break;
+              }
+              case MapperKind::Summa:
+                assignment = SummaMapper{}.solve(problem);
+                break;
+              case MapperKind::WaferLlm:
+                assignment = WaferLlmMapper{}.solve(problem);
+                break;
+            }
+            if (b == 0)
+                pattern = assignment;
+        } else {
+            assignment = pattern; // replicate block-0 pattern
+        }
+        ouroAssert(problem.feasible(assignment),
+                   "WaferMapping: infeasible block assignment");
+
+        BlockPlacement placement;
+        placement.mappingCost = problem.assignmentCost(assignment);
+        mapping.totalByteHops_ += placement.mappingCost;
+
+        std::vector<bool> used(region.size(), false);
+        placement.weightCores.reserve(assignment.size());
+        for (const auto slot : assignment) {
+            placement.weightCores.push_back(region[slot]);
+            used[slot] = true;
+        }
+        // Leftover region cores become dedicated KV cores, split
+        // alternately between score (K) and context (V) duty.
+        bool to_score = true;
+        for (std::size_t r = 0; r < region.size(); ++r) {
+            if (used[r])
+                continue;
+            if (to_score)
+                placement.scoreCores.push_back(region[r]);
+            else
+                placement.contextCores.push_back(region[r]);
+            to_score = !to_score;
+        }
+        mapping.placements_.push_back(std::move(placement));
+    }
+
+    // Inter-block activation flow: the last layer's reducers of block
+    // b feed block b+1's first-layer tiles. Charge hidden-vector
+    // bytes over the centroid distance between consecutive regions.
+    for (std::uint64_t b = 0; b + 1 < num_blocks; ++b) {
+        const auto &cur = mapping.placements_[b].weightCores;
+        const auto &nxt = mapping.placements_[b + 1].weightCores;
+        ouroAssert(!cur.empty() && !nxt.empty(),
+                   "WaferMapping: empty placement");
+        const CoreCoord a = cur.back();
+        const CoreCoord z = nxt.front();
+        const double dist = geom.manhattan(a, z);
+        const double pen =
+            geom.sameDie(a, z) ? 1.0 : opts.costInter;
+        mapping.totalByteHops_ +=
+            dist * static_cast<double>(model.hiddenDim) * pen;
+    }
+
+    return mapping;
+}
+
+} // namespace ouro

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Whole-wafer placement: transformer blocks onto core regions
+ * (Sections 4.3.1 and 4.4.2).
+ *
+ * The wafer's usable cores are walked in S-shaped order and divided
+ * into one contiguous region per transformer block (plus a reserved
+ * prefix for the embedding/LM-head tables). Within a region the
+ * inter-core mapper (exact/greedy/annealing or a Fig. 18 baseline)
+ * places the block's weight tiles; the cores the mapper leaves free
+ * become that block's dedicated KV cores, split equally between
+ * Q.K^T (score) and S.V (context) duty as Section 4.4.2 prescribes.
+ *
+ * Because all transformer blocks are identical (mapping constraint
+ * (1)), the optimiser runs once on the first defect-free region and
+ * the resulting placement pattern is replicated; regions containing
+ * defects fall back to a greedy fill that skips dead cores.
+ */
+
+#ifndef OURO_MAPPING_WAFER_MAPPING_HH
+#define OURO_MAPPING_WAFER_MAPPING_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "hw/yield.hh"
+#include "mapping/mappers.hh"
+#include "mapping/problem.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+
+/** Which placement algorithm fills each block's region. */
+enum class MapperKind
+{
+    Greedy,
+    Annealing,
+    Summa,     ///< Cerebras-default baseline (Fig. 18)
+    WaferLlm,  ///< WaferLLM baseline (Fig. 18)
+};
+
+const char *mapperKindName(MapperKind kind);
+
+/** Placement of one transformer block. */
+struct BlockPlacement
+{
+    /** Core per tile, in the canonical (layer, o, i) tile order. */
+    std::vector<CoreCoord> weightCores;
+
+    /** Dedicated KV cores computing S = Q.K^T (store K). */
+    std::vector<CoreCoord> scoreCores;
+
+    /** Dedicated KV cores computing S.V (store V). */
+    std::vector<CoreCoord> contextCores;
+
+    /** MIQP objective value of this region's assignment. */
+    double mappingCost = 0.0;
+};
+
+struct WaferMappingOptions
+{
+    MapperKind mapper = MapperKind::Annealing;
+    std::uint64_t annealIterations = 3000;
+    std::uint64_t seed = 1;
+    double costInter = 2.0;
+
+    /**
+     * Fraction of each region's cores reserved for dedicated KV duty
+     * (the rest hold weights). Regions are sized as
+     * tilesPerBlock / (1 - kvFraction).
+     */
+    double kvFraction = 0.0; ///< 0 = derive from leftover capacity
+
+    /**
+     * Data-parallel replicas of the whole pipeline sharing the wafer
+     * (small models leave most cores idle otherwise). The builder
+     * places replica 0; the others are congruent.
+     */
+    std::uint32_t replicas = 1;
+};
+
+/**
+ * Placement of a contiguous range of transformer blocks on one wafer.
+ */
+class WaferMapping
+{
+  public:
+    /**
+     * Build a placement of blocks [first_block, first_block +
+     * num_blocks) of @p model onto the wafer described by @p geom /
+     * @p defects.
+     *
+     * Returns std::nullopt when the wafer cannot hold the requested
+     * blocks (weights alone exceed usable capacity).
+     */
+    static std::optional<WaferMapping>
+    build(const ModelConfig &model, const CoreParams &core_params,
+          const WaferGeometry &geom, const DefectMap *defects,
+          std::uint64_t first_block, std::uint64_t num_blocks,
+          const WaferMappingOptions &opts = {});
+
+    std::uint64_t firstBlock() const { return firstBlock_; }
+    std::uint64_t numBlocks() const { return numBlocks_; }
+
+    const BlockPlacement &placement(std::uint64_t block) const;
+
+    const std::vector<LayerSpec> &layerSpecs() const { return specs_; }
+
+    std::uint32_t tilesPerBlock() const { return tilesPerBlock_; }
+
+    /** Cores reserved for embedding / LM-head tables. */
+    const std::vector<CoreCoord> &embeddingCores() const
+    {
+        return embeddingCores_;
+    }
+
+    /** Total dedicated KV cores across all placed blocks. */
+    std::uint64_t totalKvCores() const;
+
+    /**
+     * Sum of per-block MIQP objective values plus inter-block
+     * activation flows - the Fig. 18 transmission-volume metric for
+     * the whole wafer (byte-hops, die-crossings weighted CostInter).
+     */
+    double totalByteHops() const { return totalByteHops_; }
+
+    const WaferGeometry &geometry() const { return geom_; }
+
+  private:
+    WaferMapping(const WaferGeometry &geom) : geom_(geom) {}
+
+    WaferGeometry geom_;
+    std::uint64_t firstBlock_ = 0;
+    std::uint64_t numBlocks_ = 0;
+    std::uint32_t tilesPerBlock_ = 0;
+    std::vector<LayerSpec> specs_;
+    std::vector<BlockPlacement> placements_;
+    std::vector<CoreCoord> embeddingCores_;
+    double totalByteHops_ = 0.0;
+};
+
+/**
+ * Cores one block's region needs under @p opts (weights + KV share).
+ */
+std::uint64_t regionSize(const ModelConfig &model,
+                         const CoreParams &core_params,
+                         std::uint64_t num_blocks,
+                         std::uint64_t usable_cores,
+                         std::uint64_t reserved);
+
+/** Cores needed for the embedding + LM-head tables. */
+std::uint64_t embeddingCoreCount(const ModelConfig &model,
+                                 const CoreParams &core_params);
+
+} // namespace ouro
+
+#endif // OURO_MAPPING_WAFER_MAPPING_HH

@@ -1,0 +1,255 @@
+#include "llm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+const char *
+attentionKindName(AttentionKind kind)
+{
+    switch (kind) {
+      case AttentionKind::Causal:
+        return "causal";
+      case AttentionKind::Bidirectional:
+        return "bidirectional";
+      case AttentionKind::Prefix:
+        return "prefix";
+    }
+    panic("attentionKindName: bad kind");
+}
+
+std::vector<WeightLayer>
+ModelConfig::blockLayers() const
+{
+    std::vector<WeightLayer> layers;
+    // Fused QKV projection: hidden -> (numHeads + 2*numKvHeads)*headDim.
+    layers.push_back({"qkv", hiddenDim,
+                      numHeads * headDim + 2 * kvDim()});
+    // Output projection back into the residual stream.
+    layers.push_back({"proj", numHeads * headDim, hiddenDim});
+    if (ffnMatrices == 3) {
+        // SwiGLU: gate and up projections feed an elementwise product.
+        layers.push_back({"ffn_gate", hiddenDim, ffnDim});
+        layers.push_back({"ffn_up", hiddenDim, ffnDim});
+        layers.push_back({"ffn_down", ffnDim, hiddenDim});
+    } else {
+        layers.push_back({"ffn1", hiddenDim, ffnDim});
+        layers.push_back({"ffn2", ffnDim, hiddenDim});
+    }
+    return layers;
+}
+
+Bytes
+ModelConfig::blockWeightBytes() const
+{
+    Bytes total = 0;
+    for (const auto &layer : blockLayers())
+        total += layer.weightBytes(bytesPerParam);
+    return total;
+}
+
+Bytes
+ModelConfig::totalWeightBytes() const
+{
+    // Embedding table and (tied or untied) LM head. We charge both to
+    // stay conservative about wafer capacity.
+    const Bytes embedding = vocabSize * hiddenDim * bytesPerParam;
+    return numBlocks * blockWeightBytes() + 2 * embedding;
+}
+
+Bytes
+ModelConfig::kvBytesPerTokenPerBlock() const
+{
+    return 2 * kvDim() * bytesPerParam;
+}
+
+Bytes
+ModelConfig::kvBytesPerToken() const
+{
+    return numBlocks * kvBytesPerTokenPerBlock();
+}
+
+double
+ModelConfig::blockMacsPerToken(std::uint64_t context) const
+{
+    double macs = 0.0;
+    for (const auto &layer : blockLayers())
+        macs += static_cast<double>(layer.inDim) *
+                static_cast<double>(layer.outDim);
+    // Score (Q.K^T) and context (S.V) each cost heads*headDim MACs per
+    // attended position.
+    macs += 2.0 * static_cast<double>(numHeads) *
+            static_cast<double>(headDim) * static_cast<double>(context);
+    return macs;
+}
+
+double
+ModelConfig::totalMacsPerToken(std::uint64_t context) const
+{
+    return static_cast<double>(numBlocks) * blockMacsPerToken(context);
+}
+
+double
+ModelConfig::parameterCount() const
+{
+    return static_cast<double>(totalWeightBytes()) / bytesPerParam;
+}
+
+namespace
+{
+
+ModelConfig
+makeDecoder(std::string name, std::uint64_t blocks, std::uint64_t hidden,
+            std::uint64_t heads, std::uint64_t kv_heads,
+            std::uint64_t ffn, unsigned ffn_mats, std::uint64_t vocab)
+{
+    ModelConfig cfg;
+    cfg.name = std::move(name);
+    cfg.numBlocks = blocks;
+    cfg.hiddenDim = hidden;
+    cfg.numHeads = heads;
+    cfg.numKvHeads = kv_heads;
+    cfg.headDim = hidden / heads;
+    cfg.ffnDim = ffn;
+    cfg.ffnMatrices = ffn_mats;
+    cfg.vocabSize = vocab;
+    cfg.bytesPerParam = 1; // 8-bit weights throughout the paper
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 4096;
+    return cfg;
+}
+
+} // namespace
+
+ModelConfig
+llama13b()
+{
+    return makeDecoder("LLaMA-13B", 40, 5120, 40, 40, 13824, 3, 32000);
+}
+
+ModelConfig
+llama32b()
+{
+    // The paper's "LLaMA-32B" corresponds dimensionally to the 30/33B
+    // checkpoint (60 blocks, 6656 hidden, 52 heads, 17920 FFN).
+    ModelConfig cfg =
+        makeDecoder("LLaMA-32B", 60, 6656, 52, 52, 17920, 3, 32000);
+    return cfg;
+}
+
+ModelConfig
+llama65b()
+{
+    return makeDecoder("LLaMA-65B", 80, 8192, 64, 64, 22016, 3, 32000);
+}
+
+ModelConfig
+baichuan13b()
+{
+    return makeDecoder("Baichuan-13B", 40, 5120, 40, 40, 13696, 3,
+                       125696);
+}
+
+ModelConfig
+qwen32b()
+{
+    // Qwen2.5-32B: GQA with 8 KV heads.
+    ModelConfig cfg =
+        makeDecoder("Qwen-32B", 64, 5120, 40, 8, 27648, 3, 152064);
+    return cfg;
+}
+
+ModelConfig
+t5_11b()
+{
+    // T5-11B: encoder-decoder; we model the stack as 24+24 blocks of
+    // the decoder geometry with a prefix mask (Section 4.2.2). T5 uses
+    // 128 heads of d_kv=128 over d_model=1024, so headDim is set
+    // explicitly rather than hidden/heads.
+    ModelConfig cfg;
+    cfg.name = "T5-11B";
+    cfg.numBlocks = 48;
+    cfg.hiddenDim = 1024;
+    cfg.numHeads = 128;
+    cfg.numKvHeads = 128;
+    cfg.headDim = 128;
+    cfg.ffnDim = 65536;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 32128;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Prefix;
+    cfg.maxContext = 2048;
+    return cfg;
+}
+
+ModelConfig
+bertLarge()
+{
+    ModelConfig cfg;
+    cfg.name = "BERT-Large";
+    cfg.numBlocks = 24;
+    cfg.hiddenDim = 1024;
+    cfg.numHeads = 16;
+    cfg.numKvHeads = 16;
+    cfg.headDim = 64;
+    cfg.ffnDim = 4096;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 30522;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Bidirectional;
+    cfg.maxContext = 512;
+    return cfg;
+}
+
+std::vector<ModelConfig>
+decoderModels()
+{
+    return {llama13b(), baichuan13b(), llama32b(), qwen32b()};
+}
+
+std::vector<ModelConfig>
+encoderModels()
+{
+    return {bertLarge(), t5_11b()};
+}
+
+ModelConfig
+denseModel(double billions)
+{
+    ouroAssert(billions > 0.0, "denseModel: non-positive size");
+    // Scale a LLaMA-like geometry: parameters ~ blocks * 12 * hidden^2
+    // (qkv+proj = 4h^2, SwiGLU ffn with ffnDim = 8/3 h = 8h^2).
+    // Keep headDim = 128 and grow hidden in steps of 128.
+    const double params = billions * 1e9;
+    double hidden = std::sqrt(params / (12.0 * 40.0));
+    std::uint64_t blocks = 40;
+    if (billions > 20.0)
+        blocks = 60;
+    if (billions > 45.0)
+        blocks = 80;
+    if (billions > 100.0)
+        blocks = 96;
+    hidden = std::sqrt(params / (12.0 * static_cast<double>(blocks)));
+    auto hidden_q = static_cast<std::uint64_t>(
+            std::round(hidden / 128.0)) * 128;
+    if (hidden_q < 1024)
+        hidden_q = 1024;
+    const std::uint64_t heads = hidden_q / 128;
+    const auto ffn = static_cast<std::uint64_t>(
+            std::llround(8.0 / 3.0 * static_cast<double>(hidden_q) /
+                         256.0)) * 256;
+    std::string label = std::to_string(billions);
+    // Trim trailing zeros for tidy preset names (7, 19.5, 130, ...).
+    label.erase(label.find_last_not_of('0') + 1);
+    if (!label.empty() && label.back() == '.')
+        label.pop_back();
+    ModelConfig cfg = makeDecoder("Dense-" + label + "B", blocks,
+                                  hidden_q, heads, heads, ffn, 3,
+                                  32000);
+    return cfg;
+}
+
+} // namespace ouro

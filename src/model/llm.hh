@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Transformer model geometry.
+ *
+ * ModelConfig captures everything the simulator needs to know about an
+ * LLM: the dimensions of its transformer blocks, the attention-mask
+ * family (which decides whether token-grained pipelining applies
+ * directly or needs the paper's blocking adaptation, Section 4.2.2),
+ * and the weight precision. Preset factories cover every model in the
+ * paper's evaluation (Section 6.1).
+ */
+
+#ifndef OURO_MODEL_LLM_HH
+#define OURO_MODEL_LLM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace ouro
+{
+
+/**
+ * The attention-mask families of Fig. 6. Causal masks admit pure
+ * token-grained pipelining; bidirectional and prefix masks force the
+ * attention stages back to sequence granularity (TGP "with block").
+ */
+enum class AttentionKind
+{
+    Causal,        ///< decoder-only (LLaMA, Baichuan, Qwen)
+    Bidirectional, ///< encoder-only (BERT)
+    Prefix,        ///< encoder-decoder (T5): bidirectional prefix,
+                   ///< causal continuation
+};
+
+const char *attentionKindName(AttentionKind kind);
+
+/**
+ * Static description of one dense weight-bearing layer inside a
+ * transformer block (the unit the inter-core mapper places).
+ */
+struct WeightLayer
+{
+    std::string name;   ///< e.g. "qkv", "proj", "ffn1", "ffn2"
+    std::uint64_t inDim;  ///< input-channel count
+    std::uint64_t outDim; ///< output-channel count
+
+    /** Weight bytes at the model's precision. */
+    Bytes weightBytes(unsigned bytes_per_param) const
+    {
+        return inDim * outDim * bytes_per_param;
+    }
+};
+
+/**
+ * Geometry of one model. All evaluated models are built from N
+ * identical transformer blocks (Section 2.1), so a single block
+ * description plus a repeat count suffices.
+ */
+struct ModelConfig
+{
+    std::string name;
+    std::uint64_t numBlocks;    ///< transformer block count N
+    std::uint64_t hiddenDim;    ///< model (residual stream) width
+    std::uint64_t numHeads;     ///< query heads
+    std::uint64_t numKvHeads;   ///< key/value heads (GQA if < numHeads)
+    std::uint64_t headDim;      ///< per-head dimension
+    std::uint64_t ffnDim;       ///< FFN intermediate width
+    unsigned ffnMatrices;       ///< 3 for SwiGLU (gate/up/down), 2 else
+    std::uint64_t vocabSize;
+    unsigned bytesPerParam;     ///< 1 (int8) throughout the paper
+    AttentionKind attention;
+    std::uint64_t maxContext;   ///< maximum supported context length
+
+    /** KV-projection width = numKvHeads * headDim. */
+    std::uint64_t kvDim() const { return numKvHeads * headDim; }
+
+    /** The dense layers of one block, in execution order. */
+    std::vector<WeightLayer> blockLayers() const;
+
+    /** Weight bytes of one transformer block. */
+    Bytes blockWeightBytes() const;
+
+    /** Total model weight bytes (blocks + embedding + head). */
+    Bytes totalWeightBytes() const;
+
+    /** KV-cache bytes appended per token per block. */
+    Bytes kvBytesPerTokenPerBlock() const;
+
+    /** KV-cache bytes appended per token across the whole model. */
+    Bytes kvBytesPerToken() const;
+
+    /** Activation bytes of a single token's hidden vector. */
+    Bytes tokenActivationBytes() const { return hiddenDim * 1; }
+
+    /**
+     * MAC operations for one token passing through one block at
+     * context length @p context (attention score/context GEMVs grow
+     * with context, dense layers do not).
+     */
+    double blockMacsPerToken(std::uint64_t context) const;
+
+    /** MACs for one token through the whole model. */
+    double totalMacsPerToken(std::uint64_t context) const;
+
+    /** Approximate parameter count (for reporting). */
+    double parameterCount() const;
+};
+
+/** @name Preset models from the paper's evaluation (Section 6.1). */
+/// @{
+ModelConfig llama13b();
+ModelConfig llama32b();
+ModelConfig llama65b();
+ModelConfig baichuan13b();
+ModelConfig qwen32b();
+ModelConfig t5_11b();
+ModelConfig bertLarge();
+/// @}
+
+/** All decoder-only presets (the Fig. 13/14 matrix). */
+std::vector<ModelConfig> decoderModels();
+
+/** Encoder-bearing presets (the Fig. 16 pair). */
+std::vector<ModelConfig> encoderModels();
+
+/**
+ * A scaled dense model of roughly @p billions parameters, used by the
+ * Fig. 1 scaling-tax sweep (7 B ... 130 B).
+ */
+ModelConfig denseModel(double billions);
+
+} // namespace ouro
+
+#endif // OURO_MODEL_LLM_HH

@@ -1,0 +1,46 @@
+#include "masks.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+std::uint64_t
+attentionReadyPosition(AttentionKind kind, std::uint64_t token_pos,
+                       std::uint64_t prefill_len)
+{
+    ouroAssert(prefill_len > 0, "attentionReadyPosition: empty prefill");
+    const std::uint64_t last_prefill = prefill_len - 1;
+    switch (kind) {
+      case AttentionKind::Causal:
+        return token_pos;
+      case AttentionKind::Bidirectional:
+        // Every prompt token sees the whole prompt. Generated tokens
+        // (token_pos >= prefill_len) do not arise for encoder-only
+        // models, but behave causally if they do.
+        return std::max(token_pos, last_prefill);
+      case AttentionKind::Prefix:
+        // Prefix tokens see the whole prefix bidirectionally; the
+        // generated continuation is causal.
+        return token_pos < prefill_len ? last_prefill : token_pos;
+    }
+    panic("attentionReadyPosition: bad kind");
+}
+
+std::uint64_t
+attendedContext(AttentionKind kind, std::uint64_t token_pos,
+                std::uint64_t prefill_len)
+{
+    // Positions are attended inclusively up to the ready position.
+    return attentionReadyPosition(kind, token_pos, prefill_len) + 1;
+}
+
+bool
+masksAllowPureTgp(AttentionKind kind)
+{
+    return kind == AttentionKind::Causal;
+}
+
+} // namespace ouro

@@ -1,0 +1,118 @@
+#include "stages.hh"
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+const char *
+stageKindName(StageKind kind)
+{
+    switch (kind) {
+      case StageKind::QkvGen:
+        return "qkv-gen";
+      case StageKind::Score:
+        return "score";
+      case StageKind::Softmax:
+        return "softmax";
+      case StageKind::Context:
+        return "context";
+      case StageKind::Projection:
+        return "projection";
+      case StageKind::Ffn:
+        return "ffn";
+    }
+    panic("stageKindName: bad kind");
+}
+
+bool
+stageIsAttention(StageKind kind)
+{
+    return kind == StageKind::Score || kind == StageKind::Softmax ||
+           kind == StageKind::Context;
+}
+
+bool
+stageHoldsWeights(StageKind kind)
+{
+    return kind == StageKind::QkvGen || kind == StageKind::Projection ||
+           kind == StageKind::Ffn;
+}
+
+StageWork
+stageWork(const ModelConfig &cfg, StageKind kind, std::uint64_t context)
+{
+    StageWork work;
+    const auto hidden = static_cast<double>(cfg.hiddenDim);
+    const auto heads = static_cast<double>(cfg.numHeads);
+    const auto head_dim = static_cast<double>(cfg.headDim);
+    const auto kv_dim = static_cast<double>(cfg.kvDim());
+    const auto ctx = static_cast<double>(context);
+    const auto q_dim = heads * head_dim;
+
+    switch (kind) {
+      case StageKind::QkvGen:
+        // LayerNormQ on the SFU, then the fused QKV projection.
+        work.macs = hidden * (q_dim + 2.0 * kv_dim);
+        work.sfuOps = 4.0 * hidden; // mean, var, scale, shift
+        work.inBytes = cfg.hiddenDim;
+        work.outBytes = static_cast<Bytes>(q_dim + 2.0 * kv_dim);
+        work.kvWriteBytes = cfg.kvBytesPerTokenPerBlock();
+        break;
+      case StageKind::Score:
+        // Q.K^T against all cached positions, all heads in parallel.
+        work.macs = heads * head_dim * ctx;
+        work.inBytes = static_cast<Bytes>(q_dim);
+        work.outBytes = static_cast<Bytes>(heads * ctx);
+        work.kvReadBytes = static_cast<Bytes>(kv_dim * ctx);
+        break;
+      case StageKind::Softmax:
+        // exp, running sum, divide per score element.
+        work.sfuOps = 3.0 * heads * ctx;
+        work.inBytes = static_cast<Bytes>(heads * ctx);
+        work.outBytes = static_cast<Bytes>(heads * ctx);
+        break;
+      case StageKind::Context:
+        // softmax(S).V over the cached values.
+        work.macs = heads * head_dim * ctx;
+        work.inBytes = static_cast<Bytes>(heads * ctx);
+        work.outBytes = static_cast<Bytes>(q_dim);
+        work.kvReadBytes = static_cast<Bytes>(kv_dim * ctx);
+        break;
+      case StageKind::Projection:
+        work.macs = q_dim * hidden;
+        work.sfuOps = 4.0 * hidden + hidden; // LayerNorm + residual add
+        work.inBytes = static_cast<Bytes>(q_dim);
+        work.outBytes = cfg.hiddenDim;
+        break;
+      case StageKind::Ffn: {
+        const auto ffn = static_cast<double>(cfg.ffnDim);
+        const double mats = cfg.ffnMatrices == 3 ? 3.0 : 2.0;
+        work.macs = mats * hidden * ffn;
+        // Activation function (and gating product for SwiGLU) plus
+        // the residual add.
+        work.sfuOps = (cfg.ffnMatrices == 3 ? 2.0 : 1.0) * ffn + hidden;
+        work.inBytes = cfg.hiddenDim;
+        work.outBytes = cfg.hiddenDim;
+        break;
+      }
+    }
+    return work;
+}
+
+std::array<StageWork, kStagesPerBlock>
+blockWork(const ModelConfig &cfg, std::uint64_t context)
+{
+    std::array<StageWork, kStagesPerBlock> all;
+    for (unsigned s = 0; s < kStagesPerBlock; ++s)
+        all[s] = stageWork(cfg, static_cast<StageKind>(s), context);
+    return all;
+}
+
+std::uint64_t
+numPipelineStages(const ModelConfig &cfg)
+{
+    return cfg.numBlocks * kStagesPerBlock;
+}
+
+} // namespace ouro

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The six-stage pipeline split of a transformer block (paper Fig. 4).
+ *
+ * Stage 1  LayerNormQ + QKV generation   (dense, weight-bearing)
+ * Stage 2  Score S = Q.K^T               (CIM over cached K)
+ * Stage 3  Softmax                       (SFU)
+ * Stage 4  Context softmax(S).V          (CIM over cached V)
+ * Stage 5  Projection + residual + LayerNorm (dense)
+ * Stage 6  FFN (FFN1 + FFN2 [+ gate]) + residual (dense)
+ *
+ * A model with N blocks therefore runs a unified 6N-stage pipeline.
+ * StageWork quantifies what one token costs at each stage, which the
+ * pipeline engines turn into service times and the energy model into
+ * joules.
+ */
+
+#ifndef OURO_MODEL_STAGES_HH
+#define OURO_MODEL_STAGES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+
+/** Stage identifiers within one transformer block. */
+enum class StageKind : unsigned
+{
+    QkvGen = 0,
+    Score = 1,
+    Softmax = 2,
+    Context = 3,
+    Projection = 4,
+    Ffn = 5,
+};
+
+inline constexpr unsigned kStagesPerBlock = 6;
+
+const char *stageKindName(StageKind kind);
+
+/** Whether a stage's cost grows with the attended context length. */
+bool stageIsAttention(StageKind kind);
+
+/** Whether a stage holds static weights (vs. operating on KV/SFU). */
+bool stageHoldsWeights(StageKind kind);
+
+/**
+ * Cost of pushing one token through one stage of one block.
+ *
+ * macs          — multiply-accumulate count (crossbar work)
+ * sfuOps        — elementwise/reduction operations on the SFU
+ * inBytes       — activation bytes entering the stage
+ * outBytes      — activation bytes leaving the stage
+ * kvWriteBytes  — KV bytes appended by this stage (QKV gen writes K,V)
+ * kvReadBytes   — KV bytes the in-situ attention touches
+ */
+struct StageWork
+{
+    double macs = 0.0;
+    double sfuOps = 0.0;
+    Bytes inBytes = 0;
+    Bytes outBytes = 0;
+    Bytes kvWriteBytes = 0;
+    Bytes kvReadBytes = 0;
+};
+
+/**
+ * Compute the per-token work of stage @p kind of model @p cfg when the
+ * token attends to @p context previous positions (prefill position or
+ * cached length during decode).
+ */
+StageWork stageWork(const ModelConfig &cfg, StageKind kind,
+                    std::uint64_t context);
+
+/** Work of all six stages at a given context. */
+std::array<StageWork, kStagesPerBlock>
+blockWork(const ModelConfig &cfg, std::uint64_t context);
+
+/**
+ * Identify a stage inside the unified 6N-stage pipeline:
+ * global index = block * 6 + stage.
+ */
+struct StageId
+{
+    std::uint64_t block;
+    StageKind kind;
+
+    std::uint64_t flat() const
+    {
+        return block * kStagesPerBlock + static_cast<unsigned>(kind);
+    }
+
+    static StageId fromFlat(std::uint64_t flat_idx)
+    {
+        return {flat_idx / kStagesPerBlock,
+                static_cast<StageKind>(flat_idx % kStagesPerBlock)};
+    }
+
+    bool operator==(const StageId &other) const = default;
+};
+
+/** Total number of pipeline stages for a model (6N). */
+std::uint64_t numPipelineStages(const ModelConfig &cfg);
+
+} // namespace ouro
+
+#endif // OURO_MODEL_STAGES_HH

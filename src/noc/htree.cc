@@ -1,0 +1,92 @@
+#include "htree.hh"
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint32_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+HTree::HTree(std::uint32_t leaves)
+    : leaves_(leaves)
+{
+    ouroAssert(isPowerOfTwo(leaves), "HTree: leaf count ", leaves,
+               " not a power of two");
+    levels_ = 0;
+    for (std::uint32_t n = leaves; n > 1; n >>= 1)
+        ++levels_;
+}
+
+HTree::SubtreeInfo
+HTree::evaluate(const std::vector<int> &assignment, std::uint32_t lo,
+                std::uint32_t size, std::uint32_t depth) const
+{
+    if (size == 1) {
+        const int group = assignment[lo];
+        return {true, group < 0 ? -1 : group, 0, 0};
+    }
+    const std::uint32_t half = size / 2;
+    const SubtreeInfo left =
+        evaluate(assignment, lo, half, depth + 1);
+    const SubtreeInfo right =
+        evaluate(assignment, lo + half, half, depth + 1);
+
+    SubtreeInfo info;
+    info.cost = left.cost + right.cost;
+    info.concats = left.concats + right.concats;
+
+    // Empty subtrees merge transparently.
+    if (left.group < 0) {
+        info.pure = right.pure;
+        info.group = right.group;
+        return info;
+    }
+    if (right.group < 0) {
+        info.pure = left.pure;
+        info.group = left.group;
+        return info;
+    }
+
+    if (left.pure && right.pure && left.group == right.group) {
+        // Reduction: partial sums of the same output group combine;
+        // weight 0 (Eq. 4).
+        info.pure = true;
+        info.group = left.group;
+        return info;
+    }
+
+    // Concatenation: widens the bus; weight 1 scaled by depth.
+    info.pure = false;
+    info.group = left.group; // representative only; impure
+    info.cost += depth;
+    info.concats += 1;
+    return info;
+}
+
+std::uint64_t
+HTree::assignmentCost(const std::vector<int> &assignment) const
+{
+    ouroAssert(assignment.size() == leaves_,
+               "assignmentCost: assignment size ", assignment.size(),
+               " != leaves ", leaves_);
+    return evaluate(assignment, 0, leaves_, 0).cost;
+}
+
+std::uint32_t
+HTree::concatNodes(const std::vector<int> &assignment) const
+{
+    ouroAssert(assignment.size() == leaves_,
+               "concatNodes: wrong assignment size");
+    return evaluate(assignment, 0, leaves_, 0).concats;
+}
+
+} // namespace ouro

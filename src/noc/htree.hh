@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Intra-core H-tree model (paper Section 4.3.2, Fig. 8).
+ *
+ * The 32 crossbars of a core hang off a 1024-bit binary H-tree. When a
+ * layer tile is spread over several crossbars, each non-leaf node of
+ * the tree either *reduces* (children carry partial sums of the same
+ * output-channel group: data volume stays constant going up) or
+ * *concatenates* (children carry different output groups: volume
+ * doubles). Concatenation near the leaves therefore pressures the
+ * narrow lower tree levels; the DP mapper pushes concatenation toward
+ * the root. The cost of a leaf assignment is
+ *     sum over nodes of depth(node) * weight(node),
+ * weight = 1 for concatenation, 0 for reduction (Eq. 4), where depth
+ * counts from the root (deeper = closer to the leaves = worse).
+ */
+
+#ifndef OURO_NOC_HTREE_HH
+#define OURO_NOC_HTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ouro
+{
+
+/**
+ * Cost evaluation and inspection helpers for a complete binary H-tree
+ * with a power-of-two leaf count.
+ */
+class HTree
+{
+  public:
+    /** @param leaves Leaf count; must be a power of two (32 here). */
+    explicit HTree(std::uint32_t leaves);
+
+    std::uint32_t leaves() const { return leaves_; }
+    std::uint32_t levels() const { return levels_; }
+
+    /**
+     * Evaluate Eq. 4 for a leaf assignment: assignment[i] is the
+     * output-channel group id of the tile on leaf i (negative = leaf
+     * unused; unused leaves merge transparently).
+     *
+     * A node performs a reduction when the used leaves of both
+     * subtrees all belong to one common group; otherwise it
+     * concatenates and contributes its depth to the cost.
+     */
+    std::uint64_t assignmentCost(
+            const std::vector<int> &assignment) const;
+
+    /** Number of concatenation nodes in the assignment. */
+    std::uint32_t concatNodes(const std::vector<int> &assignment) const;
+
+  private:
+    std::uint32_t leaves_;
+    std::uint32_t levels_;
+
+    struct SubtreeInfo
+    {
+        bool pure;   ///< all used leaves share one group
+        int group;   ///< the group when pure; -1 when empty
+        std::uint64_t cost;
+        std::uint32_t concats;
+    };
+
+    SubtreeInfo evaluate(const std::vector<int> &assignment,
+                         std::uint32_t lo, std::uint32_t size,
+                         std::uint32_t depth) const;
+};
+
+} // namespace ouro
+
+#endif // OURO_NOC_HTREE_HH

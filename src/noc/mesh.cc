@@ -1,0 +1,244 @@
+#include "mesh.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+MeshNoc::MeshNoc(const WaferGeometry &geom, const NocParams &params,
+                 const DefectMap *defects)
+    : geom_(geom), params_(params), defects_(defects)
+{
+}
+
+void
+MeshNoc::failLink(CoreCoord from, LinkDir dir)
+{
+    failedLinks_.insert({geom_.coreIndex(from), dir});
+}
+
+bool
+MeshNoc::linkFailed(CoreCoord from, LinkDir dir) const
+{
+    return failedLinks_.count({geom_.coreIndex(from), dir}) > 0;
+}
+
+bool
+MeshNoc::blocked(CoreCoord c) const
+{
+    return defects_ && defects_->defective(c);
+}
+
+LinkDir
+MeshNoc::stepDir(CoreCoord from, CoreCoord to)
+{
+    if (to.row + 1 == from.row)
+        return LinkDir::North;
+    if (to.row == from.row + 1)
+        return LinkDir::South;
+    if (to.col == from.col + 1)
+        return LinkDir::East;
+    if (to.col + 1 == from.col)
+        return LinkDir::West;
+    panic("stepDir: cores not adjacent");
+}
+
+bool
+MeshNoc::stepAllowed(CoreCoord from, CoreCoord to) const
+{
+    if (!geom_.contains(to))
+        return false;
+    if (linkFailed(from, stepDir(from, to)))
+        return false;
+    return true;
+}
+
+std::vector<CoreCoord>
+MeshNoc::routeDimOrder(CoreCoord src, CoreCoord dst, bool x_first) const
+{
+    std::vector<CoreCoord> path{src};
+    CoreCoord cur = src;
+    auto advance = [&](bool horizontal) -> bool {
+        while (horizontal ? cur.col != dst.col : cur.row != dst.row) {
+            CoreCoord next = cur;
+            if (horizontal)
+                next.col += dst.col > cur.col ? 1 : -1;
+            else
+                next.row += dst.row > cur.row ? 1 : -1;
+            // Intermediate hops may not pass through defective cores;
+            // the destination itself is allowed (KV-recompute case is
+            // handled by higher layers).
+            const bool is_dst = next == dst;
+            if (!stepAllowed(cur, next) || (!is_dst && blocked(next)))
+                return false;
+            cur = next;
+            path.push_back(cur);
+        }
+        return true;
+    };
+    const bool ok = x_first ? (advance(true) && advance(false))
+                            : (advance(false) && advance(true));
+    if (!ok || !(cur == dst))
+        return {};
+    return path;
+}
+
+std::vector<CoreCoord>
+MeshNoc::routeBfs(CoreCoord src, CoreCoord dst) const
+{
+    // Fallback breadth-first search for heavily faulted regions.
+    const std::uint64_t n = geom_.numCores();
+    std::vector<std::int64_t> prev(n, -1);
+    std::deque<CoreCoord> queue{src};
+    prev[geom_.coreIndex(src)] =
+        static_cast<std::int64_t>(geom_.coreIndex(src));
+    while (!queue.empty()) {
+        const CoreCoord cur = queue.front();
+        queue.pop_front();
+        if (cur == dst)
+            break;
+        const std::int64_t cur_idx =
+            static_cast<std::int64_t>(geom_.coreIndex(cur));
+        const CoreCoord neighbours[4] = {
+            {cur.row > 0 ? cur.row - 1 : cur.row, cur.col},
+            {cur.row + 1, cur.col},
+            {cur.row, cur.col + 1},
+            {cur.row, cur.col > 0 ? cur.col - 1 : cur.col},
+        };
+        for (const CoreCoord &next : neighbours) {
+            if (next == cur || !geom_.contains(next))
+                continue;
+            if (!stepAllowed(cur, next))
+                continue;
+            if (!(next == dst) && blocked(next))
+                continue;
+            const auto next_idx = geom_.coreIndex(next);
+            if (prev[next_idx] >= 0)
+                continue;
+            prev[next_idx] = cur_idx;
+            queue.push_back(next);
+        }
+    }
+    const auto dst_idx = geom_.coreIndex(dst);
+    if (prev[dst_idx] < 0)
+        return {};
+    std::vector<CoreCoord> path;
+    CoreCoord cur = dst;
+    while (!(cur == src)) {
+        path.push_back(cur);
+        cur = geom_.coreAt(
+                static_cast<std::uint64_t>(prev[geom_.coreIndex(cur)]));
+    }
+    path.push_back(src);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<CoreCoord>
+MeshNoc::route(CoreCoord src, CoreCoord dst) const
+{
+    ouroAssert(geom_.contains(src) && geom_.contains(dst),
+               "route: endpoint off wafer");
+    if (src == dst)
+        return {src};
+    // Fast path: XY, then YX, then full BFS around faults.
+    auto path = routeDimOrder(src, dst, true);
+    if (path.empty())
+        path = routeDimOrder(src, dst, false);
+    if (path.empty())
+        path = routeBfs(src, dst);
+    return path;
+}
+
+TransferCost
+MeshNoc::transferCost(CoreCoord src, CoreCoord dst, Bytes bytes) const
+{
+    TransferCost cost;
+    if (src == dst)
+        return cost;
+    const auto path = route(src, dst);
+    ouroAssert(!path.empty(), "transferCost: unroutable (",
+               src.row, ",", src.col, ") -> (", dst.row, ",", dst.col,
+               ")");
+    cost.hops = static_cast<std::uint32_t>(path.size() - 1);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        if (!geom_.sameDie(path[i - 1], path[i]))
+            ++cost.dieCrossings;
+    }
+    const double bits = static_cast<double>(bytes) * 8.0;
+    // Head latency: router pipeline per hop. Serialisation: payload
+    // over the narrowest traversed link (die crossings are slower by
+    // the CostInter factor).
+    const double head_s = static_cast<double>(cost.hops) *
+            static_cast<double>(params_.routerLatency) / params_.clockHz;
+    const double slowest_factor =
+        cost.dieCrossings > 0 ? params_.interDiePenalty : 1.0;
+    const double serial_s =
+        bits / (params_.linkBitsPerCycle * params_.clockHz /
+                slowest_factor);
+    cost.seconds = head_s + serial_s;
+    cost.energyJ = bits * (params_.hopEnergyPerBit * cost.hops +
+                           params_.dieCrossingEnergyPerBit *
+                           cost.dieCrossings);
+    return cost;
+}
+
+double
+MeshNoc::transferEnergy(CoreCoord src, CoreCoord dst, Bytes bytes) const
+{
+    return transferCost(src, dst, bytes).energyJ;
+}
+
+TrafficAccumulator::TrafficAccumulator(const MeshNoc &noc)
+    : noc_(noc)
+{
+}
+
+void
+TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
+{
+    if (src == dst || bytes == 0)
+        return;
+    const auto path = noc_.route(src, dst);
+    ouroAssert(!path.empty(), "addFlow: unroutable flow");
+    const auto &geom = noc_.geometry();
+    const auto &params = noc_.params();
+    const double b = static_cast<double>(bytes);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const CoreCoord from = path[i - 1];
+        const CoreCoord to = path[i];
+        // Die-crossing links carry an inflated effective load to model
+        // their reduced bandwidth.
+        const bool crossing = !geom.sameDie(from, to);
+        const double effective =
+            b * (crossing ? params.interDiePenalty : 1.0);
+        LinkId link{geom.coreIndex(from), MeshNoc::stepDir(from, to)};
+        auto &bucket = linkBytes_[link];
+        bucket += effective;
+        maxLinkBytes_ = std::max(maxLinkBytes_, bucket);
+        energyJ_ += b * 8.0 *
+                (params.hopEnergyPerBit +
+                 (crossing ? params.dieCrossingEnergyPerBit : 0.0));
+        byteHops_ += b;
+    }
+}
+
+double
+TrafficAccumulator::bottleneckSeconds() const
+{
+    return maxLinkBytes_ / noc_.params().linkBytesPerSecond();
+}
+
+void
+TrafficAccumulator::clear()
+{
+    linkBytes_.clear();
+    maxLinkBytes_ = 0.0;
+    energyJ_ = 0.0;
+    byteHops_ = 0.0;
+}
+
+} // namespace ouro

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Network-on-wafer model (paper Sections 3 and 4.3.3).
+ *
+ * The wafer's cores form one global 2-D mesh; links inside a die are
+ * full-bandwidth, links that cross a stitched die boundary pay the
+ * CostInter bandwidth penalty. Routing is dimension-ordered (XY) with
+ * a fault-avoidance detour: routes step around defective cores and
+ * failed links, switching to YX when X-first is blocked - the paper's
+ * eight virtual channels make the XY/YX mix deadlock-free, so the
+ * model only needs to produce correct hop/energy counts.
+ *
+ * Two levels of fidelity are offered:
+ *  - transferCost(): latency + energy of one isolated transfer
+ *    (hop count x router latency + serialisation).
+ *  - TrafficAccumulator: aggregates many concurrent flows onto links
+ *    and reports the bottleneck-link time, which is what bounds a
+ *    pipeline interval in steady state.
+ */
+
+#ifndef OURO_NOC_MESH_HH
+#define OURO_NOC_MESH_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "hw/yield.hh"
+
+namespace ouro
+{
+
+/** Mesh direction of a link leaving a core. */
+enum class LinkDir : unsigned
+{
+    North = 0,
+    South = 1,
+    East = 2,
+    West = 3,
+};
+
+/** Identifies a directed link: (source core index, direction). */
+struct LinkId
+{
+    std::uint64_t core;
+    LinkDir dir;
+
+    bool operator==(const LinkId &other) const = default;
+};
+
+struct LinkIdHash
+{
+    std::size_t operator()(const LinkId &link) const
+    {
+        return std::hash<std::uint64_t>{}(
+                link.core * 4 + static_cast<unsigned>(link.dir));
+    }
+};
+
+/** Latency + energy of one transfer. */
+struct TransferCost
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    std::uint32_t hops = 0;
+    std::uint32_t dieCrossings = 0;
+};
+
+/**
+ * The wafer mesh. Holds the defect map (defective cores cannot be
+ * routed *through*) and a set of failed links (interconnect failures,
+ * Section 4.3.3), both of which routes detour around.
+ */
+class MeshNoc
+{
+  public:
+    MeshNoc(const WaferGeometry &geom, const NocParams &params,
+            const DefectMap *defects = nullptr);
+
+    const WaferGeometry &geometry() const { return geom_; }
+    const NocParams &params() const { return params_; }
+
+    /** Mark a link failed; subsequent routes avoid it. */
+    void failLink(CoreCoord from, LinkDir dir);
+
+    bool linkFailed(CoreCoord from, LinkDir dir) const;
+
+    /**
+     * Compute the route from @p src to @p dst. XY by default; detours
+     * around defective cores and failed links (YX fallback, then
+     * greedy sidesteps). Returns the sequence of cores visited
+     * including both endpoints. Empty when unroutable (fully fenced
+     * region - should not happen at paper defect densities).
+     */
+    std::vector<CoreCoord> route(CoreCoord src, CoreCoord dst) const;
+
+    /** Latency + energy of an isolated @p bytes transfer. */
+    TransferCost transferCost(CoreCoord src, CoreCoord dst,
+                              Bytes bytes) const;
+
+    /** Energy only (used when latency is hidden by pipelining). */
+    double transferEnergy(CoreCoord src, CoreCoord dst,
+                          Bytes bytes) const;
+
+    /** Direction of the single mesh step from @p from to @p to. */
+    static LinkDir stepDir(CoreCoord from, CoreCoord to);
+
+  private:
+    WaferGeometry geom_;
+    NocParams params_;
+    const DefectMap *defects_;
+    std::unordered_set<LinkId, LinkIdHash> failedLinks_;
+
+    bool blocked(CoreCoord c) const;
+    bool stepAllowed(CoreCoord from, CoreCoord to) const;
+
+    /** Single-path router used by route(); may fail (empty). */
+    std::vector<CoreCoord> routeDimOrder(CoreCoord src, CoreCoord dst,
+                                         bool x_first) const;
+    std::vector<CoreCoord> routeBfs(CoreCoord src, CoreCoord dst) const;
+};
+
+/**
+ * Accumulates concurrent flows and answers "how long does this traffic
+ * pattern take" as the bottleneck-link serialisation time, plus total
+ * NoC energy. This is the quantity that throttles a pipeline interval
+ * when many stage-to-stage and reduction flows share the mesh.
+ */
+class TrafficAccumulator
+{
+  public:
+    explicit TrafficAccumulator(const MeshNoc &noc);
+
+    /** Add a flow of @p bytes from @p src to @p dst. */
+    void addFlow(CoreCoord src, CoreCoord dst, Bytes bytes);
+
+    /** Bytes on the most-loaded link. */
+    double bottleneckBytes() const { return maxLinkBytes_; }
+
+    /** Serialisation time of the bottleneck link (seconds). */
+    double bottleneckSeconds() const;
+
+    /** Total energy of all accumulated flows. */
+    double totalEnergyJ() const { return energyJ_; }
+
+    /** Total byte-hops (volume metric used by Fig. 18). */
+    double totalByteHops() const { return byteHops_; }
+
+    void clear();
+
+  private:
+    const MeshNoc &noc_;
+    std::unordered_map<LinkId, double, LinkIdHash> linkBytes_;
+    double maxLinkBytes_ = 0.0;
+    double energyJ_ = 0.0;
+    double byteHops_ = 0.0;
+};
+
+} // namespace ouro
+
+#endif // OURO_NOC_MESH_HH

@@ -1,0 +1,398 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/** A request's live progress. */
+struct ActiveSeq
+{
+    std::uint64_t id;
+    std::uint64_t prefillLen;     ///< tokens to (re)compute as prompt
+    std::uint64_t decodeRemaining;
+    std::uint64_t prefillEntered = 0;
+    std::uint64_t decoded = 0;
+    double nextReady = 0.0;
+    /** When this sequence's own KV-ring cores free up: attention
+     *  stages are per-sequence resources, not shared servers. */
+    double attnFree = 0.0;
+    std::uint64_t generation = 0; ///< invalidates stale heap entries
+    bool dead = false;
+};
+
+/** Pending (not yet admitted) request. */
+struct Pending
+{
+    std::uint64_t id;
+    std::uint64_t prefillLen;
+    std::uint64_t decodeRemaining;
+};
+
+struct HeapEntry
+{
+    double ready;
+    std::uint64_t seq;
+    std::uint64_t generation;
+
+    bool operator>(const HeapEntry &other) const
+    {
+        return ready > other.ready;
+    }
+};
+
+/** Per-item service profile on the six stages. */
+struct ItemTiming
+{
+    std::array<double, kStagesPerBlock> stage{};
+    double total = 0.0; ///< sum over the six stages (one block)
+    std::uint64_t context = 0;
+    std::uint64_t tokens = 1;
+
+    void finalize()
+    {
+        total = 0.0;
+        for (const double t : stage)
+            total += t;
+    }
+};
+
+/** One token, pure token-grained (causal path). */
+ItemTiming
+tokenItem(const StageTiming &timing, std::uint64_t ctx)
+{
+    ItemTiming item;
+    item.context = ctx;
+    for (unsigned s = 0; s < kStagesPerBlock; ++s)
+        item.stage[s] =
+            timing.tokenTime(static_cast<StageKind>(s), ctx);
+    item.finalize();
+    return item;
+}
+
+/**
+ * One token whose attention work is deferred/accumulated (TGP with
+ * block): dense stages per token; attention stages carry
+ * @p attention_positions summed positions (0 for deferred tokens).
+ */
+ItemTiming
+blockedTokenItem(const StageTiming &timing, double attention_positions)
+{
+    // attention_positions arrives pre-divided by the bulk-attention
+    // parallelism (PipelineOptions::attentionParallelism).
+    ItemTiming item;
+    item.context = static_cast<std::uint64_t>(attention_positions);
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        const auto kind = static_cast<StageKind>(s);
+        double t = timing.fixedSeconds[s];
+        if (stageIsAttention(kind))
+            t += timing.perContextSeconds[s] * attention_positions;
+        item.stage[s] = t;
+    }
+    item.finalize();
+    return item;
+}
+
+/** A whole prefill as one sequence-grained item. */
+ItemTiming
+sequenceItem(const StageTiming &timing, AttentionKind mask,
+             std::uint64_t prefill_len, double attn_parallel)
+{
+    ItemTiming item;
+    item.tokens = prefill_len;
+    double ctx_sum = 0.0;
+    for (std::uint64_t p = 0; p < prefill_len; ++p) {
+        const std::uint64_t ctx =
+            attendedContext(mask, p, prefill_len);
+        ctx_sum += static_cast<double>(ctx);
+        for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+            item.stage[s] += timing.fixedSeconds[s];
+            // Bulk attention spreads its positions over the KV
+            // cores' crossbars concurrently.
+            item.stage[s] += timing.perContextSeconds[s] *
+                             static_cast<double>(ctx) /
+                             std::max(1.0, attn_parallel);
+        }
+    }
+    item.context = static_cast<std::uint64_t>(
+            ctx_sum / static_cast<double>(prefill_len));
+    item.finalize();
+    return item;
+}
+
+} // namespace
+
+PipelineStats
+runPipeline(const Workload &workload, const ModelConfig &model,
+            const StageTiming &timing, BlockKvManager &kv,
+            const PipelineOptions &opts)
+{
+    PipelineStats stats;
+
+    const auto blocks = static_cast<double>(model.numBlocks);
+    const bool token_grained =
+        opts.kind == PipelineKind::TokenGrained;
+    const bool pure_tgp =
+        token_grained && masksAllowPureTgp(model.attention);
+
+    std::deque<Pending> queue;
+    for (const auto &r : workload.requests)
+        queue.push_back({r.id, r.prefillLen, r.decodeLen});
+
+    std::unordered_map<std::uint64_t, ActiveSeq> active;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> ready;
+
+    // One server per stage kind (the representative block's tandem
+    // queue); blocks 2..N add pure latency, not contention - inter-
+    // item blocking is already captured at block 1.
+    std::array<double, kStagesPerBlock> stage_free{};
+    std::array<double, kStagesPerBlock> stage_busy{};
+    double makespan = 0.0;
+
+    double ctx_sum = 0.0;
+    std::uint64_t ctx_samples = 0;
+
+    auto admission_tokens = [&](const Pending &p) -> std::uint64_t {
+        return opts.staticKvAllocation ? opts.maxContext
+                                       : p.prefillLen;
+    };
+
+    // Section 4.4.4: once an eviction happens, new scheduling is
+    // suspended until a prior request completes (prevents eviction
+    // ping-pong / KV thrashing).
+    bool admissions_suspended = false;
+
+    // Admit from the FCFS queue head while the KV pool accepts
+    // without evicting (Section 4.4.4: new scheduling never evicts).
+    auto pump_admissions = [&](double now) {
+        if (admissions_suspended && !active.empty())
+            return;
+        admissions_suspended = false; // nothing left running: resume
+        while (!queue.empty()) {
+            const Pending &p = queue.front();
+            if (!kv.admitNoEvict(p.id, admission_tokens(p)))
+                break;
+            ActiveSeq seq;
+            seq.id = p.id;
+            seq.prefillLen = p.prefillLen;
+            seq.decodeRemaining = p.decodeRemaining;
+            seq.nextReady = now;
+            active.emplace(p.id, seq);
+            ready.push({now, p.id, 0});
+            queue.pop_front();
+        }
+        stats.peakConcurrency = std::max(
+                stats.peakConcurrency,
+                static_cast<double>(active.size()));
+    };
+
+    // Eviction handler: kill the resident sequence and put it back at
+    // the FRONT of the wait queue with its grown prefill (recompute).
+    auto handle_evictions =
+            [&](const std::vector<std::uint64_t> &evicted) {
+        for (const auto id : evicted) {
+            const auto it = active.find(id);
+            if (it == active.end())
+                continue; // already finished/released
+            ActiveSeq &seq = it->second;
+            Pending back;
+            back.id = id;
+            // Everything computed so far must be re-prefilled.
+            back.prefillLen = seq.prefillLen + seq.decoded;
+            back.decodeRemaining = seq.decodeRemaining;
+            queue.push_front(back);
+            stats.evictions += 1;
+            stats.recomputedTokens += back.prefillLen;
+            seq.dead = true;
+            seq.generation += 1;
+            active.erase(it);
+            admissions_suspended = true;
+        }
+    };
+
+    pump_admissions(0.0);
+
+    while (!ready.empty() || !queue.empty()) {
+        if (ready.empty()) {
+            // Nothing runnable but requests remain: every resident
+            // sequence finished yet the queue head still does not
+            // fit, so the request genuinely exceeds pool capacity.
+            const Pending p = queue.front();
+            queue.pop_front();
+            warn("pipeline: request ", p.id,
+                 " exceeds KV pool capacity; skipped");
+            pump_admissions(makespan);
+            continue;
+        }
+        const HeapEntry top = ready.top();
+        ready.pop();
+        const auto it = active.find(top.seq);
+        if (it == active.end() || it->second.dead ||
+            it->second.generation != top.generation) {
+            continue; // stale
+        }
+        ActiveSeq &seq = it->second;
+
+        // Build the next item for this sequence.
+        ItemTiming item;
+        bool is_prefill = seq.prefillEntered < seq.prefillLen;
+        bool last_prefill_token = false;
+        if (is_prefill) {
+            if (token_grained) {
+                if (pure_tgp) {
+                    item = tokenItem(
+                            timing,
+                            attendedContext(model.attention,
+                                            seq.prefillEntered,
+                                            seq.prefillLen));
+                } else {
+                    // TGP with block: defer attention to the final
+                    // prefill token (Fig. 5c).
+                    last_prefill_token =
+                        seq.prefillEntered + 1 == seq.prefillLen;
+                    double positions = 0.0;
+                    if (last_prefill_token) {
+                        for (std::uint64_t p = 0;
+                             p < seq.prefillLen; ++p) {
+                            positions += static_cast<double>(
+                                    attendedContext(model.attention,
+                                                    p,
+                                                    seq.prefillLen));
+                        }
+                        positions /= std::max(
+                                1.0, opts.attentionParallelism);
+                    }
+                    item = blockedTokenItem(timing, positions);
+                }
+            } else {
+                item = sequenceItem(timing, model.attention,
+                                    seq.prefillLen,
+                                    opts.attentionParallelism);
+            }
+        } else {
+            // Decode token: causal attention over everything so far.
+            const std::uint64_t pos = seq.prefillLen + seq.decoded;
+            item = tokenItem(timing, pos + 1);
+        }
+
+        // KV growth for the entering tokens (dynamic mode only).
+        if (!opts.staticKvAllocation) {
+            if (!is_prefill) {
+                const KvResult grow = kv.grow(seq.id);
+                handle_evictions(grow.evicted);
+                if (!grow.ok || seq.dead) {
+                    // The grower itself could not fit (pool too small
+                    // even after evicting everyone else): evict self.
+                    if (!seq.dead)
+                        handle_evictions({seq.id});
+                    if (kv.resident(seq.id))
+                        kv.release(seq.id);
+                    pump_admissions(makespan);
+                    continue;
+                }
+            }
+            // Prefill KV was reserved at admission.
+        }
+
+        // Tandem traversal of the representative block's six stage
+        // servers; the remaining N-1 blocks add latency only. Dense
+        // stages are shared servers (one set of weight cores); the
+        // attention stages run on the sequence's OWN KV-ring cores
+        // (Section 4.4.3 spreads sequences across distinct cores),
+        // so they serialise within a sequence but overlap across
+        // sequences.
+        const double entry = std::max(seq.nextReady, stage_free[0]);
+        double cursor = seq.nextReady;
+        for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+            const auto kind = static_cast<StageKind>(s);
+            double start;
+            if (stageIsAttention(kind)) {
+                start = std::max(cursor, seq.attnFree);
+            } else {
+                start = std::max(cursor, stage_free[s]);
+            }
+            const double done = start + item.stage[s];
+            if (stageIsAttention(kind))
+                seq.attnFree = done;
+            else
+                stage_free[s] = done;
+            stage_busy[s] += item.stage[s];
+            cursor = done;
+        }
+        const double completion =
+            cursor + (blocks - 1.0) * item.total;
+        makespan = std::max(makespan, completion);
+
+        stats.tokensProcessed += item.tokens;
+        ctx_sum += static_cast<double>(item.context);
+        ++ctx_samples;
+
+        // Advance the sequence and enqueue its next item.
+        if (is_prefill) {
+            seq.prefillEntered += item.tokens;
+            if (seq.prefillEntered >= seq.prefillLen) {
+                // First decode token depends on the prompt's full
+                // traversal of the pipeline.
+                seq.nextReady = completion;
+            } else {
+                // Prefill tokens stream: next is ready at this entry.
+                seq.nextReady = entry;
+            }
+            if (seq.decodeRemaining == 0 &&
+                seq.prefillEntered >= seq.prefillLen) {
+                kv.release(seq.id);
+                active.erase(it);
+                admissions_suspended = false; // a request completed
+                pump_admissions(entry);
+                continue;
+            }
+            seq.generation += 1;
+            ready.push({seq.nextReady, seq.id, seq.generation});
+        } else {
+            seq.decoded += 1;
+            seq.decodeRemaining -= 1;
+            stats.outputTokens += 1;
+            if (seq.decodeRemaining == 0) {
+                // Finished: release KV when the token drains.
+                kv.release(seq.id);
+                active.erase(it);
+                admissions_suspended = false; // a request completed
+                pump_admissions(entry);
+                continue;
+            }
+            seq.nextReady = completion; // autoregressive gating
+            seq.generation += 1;
+            ready.push({seq.nextReady, seq.id, seq.generation});
+        }
+        pump_admissions(entry);
+    }
+
+    stats.makespanSeconds = makespan;
+    double busy_sum = 0.0;
+    for (const double b : stage_busy) {
+        busy_sum += b;
+        stats.bottleneckBusySeconds =
+            std::max(stats.bottleneckBusySeconds, b);
+    }
+    stats.utilization =
+        makespan > 0.0
+            ? busy_sum / (kStagesPerBlock * makespan)
+            : 0.0;
+    stats.utilization = std::min(stats.utilization, 1.0);
+    stats.bubbleFraction = 1.0 - stats.utilization;
+    stats.avgContext =
+        ctx_samples ? ctx_sum / static_cast<double>(ctx_samples) : 0.0;
+    return stats;
+}
+
+} // namespace ouro

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-stage service-time model consumed by the pipeline engines.
+ *
+ * Each of the six stage kinds (Fig. 4) has a fixed per-token
+ * component (dense GEMVs, LayerNorm) and a per-attended-position
+ * component (score / softmax / context grow linearly with context).
+ * The sim module derives these coefficients from the crossbar timing
+ * model, the SFU throughput and the mapped NoC transfer times; the
+ * pipeline engines only consume the resulting seconds.
+ */
+
+#ifndef OURO_PIPELINE_TIMING_HH
+#define OURO_PIPELINE_TIMING_HH
+
+#include <array>
+#include <cstdint>
+
+#include "model/stages.hh"
+
+namespace ouro
+{
+
+/** Stage-time coefficients: t(s, ctx) = fixed[s] + perCtx[s] * ctx. */
+struct StageTiming
+{
+    std::array<double, kStagesPerBlock> fixedSeconds{};
+    std::array<double, kStagesPerBlock> perContextSeconds{};
+
+    double tokenTime(StageKind kind, std::uint64_t context) const
+    {
+        const auto s = static_cast<unsigned>(kind);
+        return fixedSeconds[s] +
+               perContextSeconds[s] * static_cast<double>(context);
+    }
+
+    /** Bottleneck (max-stage) time of one token at @p context. */
+    double bottleneckTime(std::uint64_t context) const
+    {
+        double worst = 0.0;
+        for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+            const double t =
+                tokenTime(static_cast<StageKind>(s), context);
+            if (t > worst)
+                worst = t;
+        }
+        return worst;
+    }
+
+    /** Sum over the six stages for one token at @p context. */
+    double totalTime(std::uint64_t context) const
+    {
+        double sum = 0.0;
+        for (unsigned s = 0; s < kStagesPerBlock; ++s)
+            sum += tokenTime(static_cast<StageKind>(s), context);
+        return sum;
+    }
+};
+
+} // namespace ouro
+
+#endif // OURO_PIPELINE_TIMING_HH

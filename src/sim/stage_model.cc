@@ -1,0 +1,279 @@
+#include "stage_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "model/stages.hh"
+
+namespace ouro
+{
+
+PlacementDistances
+measurePlacement(const BlockPlacement &placement,
+                 const WaferGeometry &geom)
+{
+    PlacementDistances dist;
+    const auto &cores = placement.weightCores;
+    if (cores.size() > 1) {
+        double hops = 0.0;
+        double crossings = 0.0;
+        for (std::size_t i = 1; i < cores.size(); ++i) {
+            hops += geom.manhattan(cores[i - 1], cores[i]);
+            crossings += geom.sameDie(cores[i - 1], cores[i]) ? 0.0
+                                                              : 1.0;
+        }
+        dist.adjacentHops =
+            hops / static_cast<double>(cores.size() - 1);
+        dist.dieCrossingFraction =
+            crossings / static_cast<double>(cores.size() - 1);
+    }
+    // KV distance: mean over KV cores of the distance to the nearest
+    // weight core (Q is produced there; scores return there).
+    double kv_hops = 0.0;
+    std::size_t kv_count = 0;
+    for (const auto *pool :
+         {&placement.scoreCores, &placement.contextCores}) {
+        for (const auto &kv_core : *pool) {
+            std::uint32_t best = UINT32_MAX;
+            for (const auto &w : cores)
+                best = std::min(best, geom.manhattan(kv_core, w));
+            if (best != UINT32_MAX) {
+                kv_hops += best;
+                ++kv_count;
+            }
+        }
+    }
+    if (kv_count > 0)
+        dist.kvHops = kv_hops / static_cast<double>(kv_count);
+    return dist;
+}
+
+namespace
+{
+
+/** Effective per-hop energy (J/bit) under the fabric flags. */
+double
+hopEnergyPerBit(const OuroborosParams &params, const FabricFlags &flags,
+                double die_crossing_fraction)
+{
+    const double intra = params.noc.hopEnergyPerBit;
+    // Stitched die crossing vs NVLink-class SerDes when the system is
+    // built from discrete dies.
+    const double crossing =
+        flags.waferScale ? params.noc.dieCrossingEnergyPerBit
+                         : 8.0 * pJ;
+    return intra + die_crossing_fraction * crossing;
+}
+
+/** Effective link bandwidth derate for die crossings. */
+double
+linkSecondsPerByte(const OuroborosParams &params,
+                   const FabricFlags &flags,
+                   double die_crossing_fraction)
+{
+    const double base = 1.0 / params.noc.linkBytesPerSecond();
+    // Discrete-die systems pay a much larger boundary penalty
+    // (NVLink bandwidth per die pair << stitched mesh column).
+    const double penalty =
+        flags.waferScale ? params.noc.interDiePenalty : 10.0;
+    return base * (1.0 + die_crossing_fraction * (penalty - 1.0));
+}
+
+} // namespace
+
+StageTiming
+deriveStageTiming(const ModelConfig &model,
+                  const OuroborosParams &params,
+                  const PlacementDistances &dist,
+                  const FabricFlags &flags)
+{
+    StageTiming timing;
+    const auto &core = params.core;
+    const auto &xbar = core.crossbar;
+
+    // One full-array GEMV (all of a stage's tiles fire in parallel).
+    const double gemv_s = static_cast<double>(xbar.gemvCycles(
+            xbar.rows)) / xbar.clockHz;
+    // Without CIM the weights must cross from the SRAM arrays into
+    // separate MAC units over the core-internal bus; the serial
+    // weight stream roughly doubles GEMV latency at matched widths.
+    const double dense_compute = flags.useCim ? gemv_s : 2.0 * gemv_s;
+
+    const double s_per_byte =
+        linkSecondsPerByte(params, flags, dist.dieCrossingFraction);
+    const double hop_latency =
+        static_cast<double>(params.noc.routerLatency) /
+        params.noc.clockHz;
+
+    const auto dense = blockWork(model, 0);
+    const auto unit = blockWork(model, 1);
+
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        const auto kind = static_cast<StageKind>(s);
+        double fixed = 0.0;
+        double per_ctx = 0.0;
+
+        // Activation transfer to the next stage's cores.
+        const double xfer =
+            static_cast<double>(dense[s].outBytes) * s_per_byte *
+                dist.adjacentHops +
+            dist.adjacentHops * hop_latency;
+
+        switch (kind) {
+          case StageKind::QkvGen:
+          case StageKind::Projection:
+          case StageKind::Ffn: {
+            fixed = dense_compute + xfer;
+            // Intra-layer reduction: 32-bit partials cross between
+            // the input splits of the stage's layers.
+            fixed += 4.0 *
+                     static_cast<double>(dense[s].outBytes) *
+                     s_per_byte;
+            // SFU portion (LayerNorm / activation) overlaps the
+            // crossbars but bounds the stage when large.
+            const double sfu_s = dense[s].sfuOps /
+                                 (core.sfuLanes * core.sfuClockHz);
+            fixed = std::max(fixed, sfu_s);
+            break;
+          }
+          case StageKind::Score: {
+            // K^T GEMV: rows = headDim (constant); context adds
+            // parallel columns/crossbars, so compute latency is
+            // flat; Q travels to the KV ring and per-position scores
+            // travel back.
+            const double k_gemv = static_cast<double>(
+                    xbar.gemvCycles(static_cast<std::uint32_t>(
+                            std::min<std::uint64_t>(model.headDim,
+                                                    xbar.rows)))) /
+                    xbar.clockHz;
+            fixed = (flags.useCim ? k_gemv : 2.0 * k_gemv) +
+                    static_cast<double>(unit[s].inBytes) *
+                        s_per_byte * dist.kvHops +
+                    dist.kvHops * hop_latency;
+            // Each head streams its scores from its own KV core
+            // (Section 4.4.3): per-position traffic is head-parallel.
+            per_ctx = s_per_byte; // 1 B/position/head, heads parallel
+            break;
+          }
+          case StageKind::Softmax: {
+            fixed = 1.0 / core.sfuClockHz;
+            // Softmax runs on every score core's SFU in parallel:
+            // one head's 3 ops/position on 64 lanes.
+            per_ctx = 3.0 / (core.sfuLanes * core.sfuClockHz);
+            break;
+          }
+          case StageKind::Context: {
+            // S.V GEMV: rows grow with context (V stacks tokens as
+            // input channels): 8 input bits x ceil(rows/bank) cycles.
+            const double cycles_per_row =
+                static_cast<double>(xbar.inputBits) /
+                xbar.rowsPerCycle();
+            per_ctx = cycles_per_row / xbar.clockHz *
+                      (flags.useCim ? 1.0 : 2.0);
+            per_ctx += s_per_byte; // head-parallel score arrival
+            fixed = static_cast<double>(unit[s].outBytes) *
+                        s_per_byte * dist.kvHops +
+                    dist.kvHops * hop_latency;
+            break;
+          }
+        }
+        timing.fixedSeconds[s] = fixed;
+        timing.perContextSeconds[s] = per_ctx;
+    }
+    return timing;
+}
+
+EnergyLedger
+perTokenEnergy(const ModelConfig &model, const OuroborosParams &params,
+               const PlacementDistances &dist, const FabricFlags &flags,
+               double ctx, double weight_reread_fraction)
+{
+    EnergyLedger ledger;
+    const auto &core = params.core;
+    const auto &xbar = core.crossbar;
+    const auto blocks = static_cast<double>(model.numBlocks);
+    const auto works = blockWork(
+            model, static_cast<std::uint64_t>(ctx));
+
+    const double hop_j_bit =
+        hopEnergyPerBit(params, flags, dist.dieCrossingFraction);
+
+    double compute_j = 0.0;
+    double onchip_j = 0.0;
+    double comm_j = 0.0;
+
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        const StageWork &work = works[s];
+        // Crossbar MACs + SFU ops.
+        compute_j += work.macs * xbar.energyPerMac();
+        compute_j += work.sfuOps * core.sfuEnergyPerOp;
+
+        // Buffer traffic in and out of the stage.
+        onchip_j += static_cast<double>(work.inBytes +
+                                        work.outBytes) *
+                    core.bufferEnergyPerByte;
+        // KV writes into the arrays.
+        onchip_j += static_cast<double>(work.kvWriteBytes) *
+                    (xbar.arrayDynamicPowerW / xbar.clockHz) /
+                    (xbar.cols / 8.0);
+        if (!flags.useCim) {
+            // Weights stream from SRAM to the MAC units: 1 byte per
+            // MAC operand, re-read per item (TGP: per token).
+            const double weight_bytes =
+                stageHoldsWeights(static_cast<StageKind>(s))
+                    ? work.macs // 1 B weight per MAC
+                    : static_cast<double>(work.kvReadBytes);
+            onchip_j += weight_reread_fraction * weight_bytes *
+                        0.6 * pJ * 8.0;
+        }
+
+        // NoC: inter-stage activation + reduction/gather flows.
+        const auto kind = static_cast<StageKind>(s);
+        const double hops =
+            stageIsAttention(kind) ? dist.kvHops : dist.adjacentHops;
+        double bytes = static_cast<double>(work.outBytes);
+        if (stageHoldsWeights(kind))
+            bytes += 4.0 * static_cast<double>(work.outBytes) +
+                     static_cast<double>(work.outBytes); // red+gather
+        comm_j += bytes * 8.0 * hop_j_bit * hops;
+    }
+
+    ledger.add(EnergyCategory::Compute, compute_j * blocks);
+    ledger.add(EnergyCategory::OnChipMemory, onchip_j * blocks);
+    ledger.add(EnergyCategory::Communication, comm_j * blocks);
+    if (params.numWafers > 1) {
+        // Activations cross the optical links once per wafer hop.
+        ledger.add(EnergyCategory::Communication,
+                   static_cast<double>(model.hiddenDim) * 8.0 *
+                       params.noc.interWaferEnergyPerBit *
+                       (params.numWafers - 1));
+    }
+    return ledger;
+}
+
+double
+fabricStaticPower(const ModelConfig &model,
+                  const OuroborosParams &params,
+                  std::uint64_t active_cores)
+{
+    (void)model;
+    const auto &core = params.core;
+    // Leakage plus the always-on fraction of the clocked fabric
+    // (control, clock tree, buffer retention): the wafer cannot gate
+    // to zero between tokens. We charge 25% of the fully-active core
+    // power as the idle floor - this is the term that couples energy
+    // per token to pipeline utilisation, exactly the effect the
+    // paper's ablation attributes to TGP and KV management.
+    const double active_power =
+        static_cast<double>(core.numCrossbars) *
+            core.crossbar.totalPowerW() +
+        core.controlPowerW;
+    const double per_core =
+        static_cast<double>(core.numCrossbars) *
+            core.crossbar.arrayStaticPowerW +
+        core.controlPowerW + 0.25 * active_power;
+    return per_core * static_cast<double>(active_cores);
+}
+
+} // namespace ouro

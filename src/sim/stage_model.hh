@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Derives the pipeline's per-stage service times and the per-token
+ * energy ledger from the hardware parameters and the wafer mapping
+ * (paper Section 5's component characterisation feeding the E2E
+ * simulator).
+ *
+ * Timing: a dense stage's latency is one crossbar GEMV (all tiles of
+ * the stage fire in parallel) plus the mapped NoC transfers - the
+ * inter-stage activation hop, the intra-layer partial-sum reduction
+ * and the gather. Attention stages add the context-proportional
+ * terms: S.V row growth in the crossbars, per-position score/softmax
+ * traffic, and SFU time.
+ *
+ * Energy: crossbar MAC energy and SFU energy are Compute; buffer and
+ * KV-write traffic are OnChipMemory (the residual SRAM cost Section
+ * 6.3 acknowledges); NoC byte-hops are Communication; Ouroboros has
+ * no OffChipMemory by construction. The ablation flags reshape the
+ * model exactly as Section 6.5 describes: without CIM every GEMV
+ * re-reads its weights from SRAM (ruinous under TGP - the 78x
+ * observation); without wafer-scale integration the die-to-die links
+ * are NVLink-class.
+ */
+
+#ifndef OURO_SIM_STAGE_MODEL_HH
+#define OURO_SIM_STAGE_MODEL_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "hw/params.hh"
+#include "mapping/wafer_mapping.hh"
+#include "model/llm.hh"
+#include "pipeline/timing.hh"
+
+namespace ouro
+{
+
+/** Distance summary of a block placement (mapping quality input). */
+struct PlacementDistances
+{
+    double adjacentHops = 1.0;  ///< mean hops between consecutive tiles
+    double kvHops = 2.0;        ///< mean hops weight-cores <-> KV cores
+    double dieCrossingFraction = 0.05; ///< flows crossing a die edge
+};
+
+/** Summarise a block placement's geometry. */
+PlacementDistances measurePlacement(const BlockPlacement &placement,
+                                    const WaferGeometry &geom);
+
+/** System-structure flags (the Fig. 15 ablation axes). */
+struct FabricFlags
+{
+    bool useCim = true;      ///< in-situ compute (vs SRAM + ALU)
+    bool waferScale = true;  ///< stitched wafer (vs NVLink'd dies)
+};
+
+/** Per-stage service times for the pipeline engine. */
+StageTiming deriveStageTiming(const ModelConfig &model,
+                              const OuroborosParams &params,
+                              const PlacementDistances &dist,
+                              const FabricFlags &flags);
+
+/**
+ * Energy of pushing one token through the whole model at attended
+ * context @p ctx. @p weight_reread_fraction is the fraction of
+ * tokens that re-stream the block weights from SRAM (non-CIM mode:
+ * 1.0 under TGP, ~1/avg-item-tokens under sequence granularity;
+ * 0 with CIM).
+ */
+EnergyLedger perTokenEnergy(const ModelConfig &model,
+                            const OuroborosParams &params,
+                            const PlacementDistances &dist,
+                            const FabricFlags &flags,
+                            double ctx,
+                            double weight_reread_fraction);
+
+/** Static (leakage + control) power of the active fabric, watts. */
+double fabricStaticPower(const ModelConfig &model,
+                         const OuroborosParams &params,
+                         std::uint64_t active_cores);
+
+} // namespace ouro
+
+#endif // OURO_SIM_STAGE_MODEL_HH

@@ -1,0 +1,93 @@
+#include "requests.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ouro
+{
+
+std::uint64_t
+Workload::totalOutputTokens() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : requests)
+        n += r.decodeLen;
+    return n;
+}
+
+std::uint64_t
+Workload::totalTokens() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : requests)
+        n += r.totalTokens();
+    return n;
+}
+
+std::uint64_t
+Workload::maxSequenceLength() const
+{
+    std::uint64_t n = 0;
+    for (const auto &r : requests)
+        n = std::max(n, r.totalTokens());
+    return n;
+}
+
+Workload
+fixedWorkload(std::uint64_t lp, std::uint64_t ld, std::size_t count)
+{
+    ouroAssert(lp > 0, "fixedWorkload: zero prefill");
+    Workload workload;
+    workload.name = "LP=" + std::to_string(lp) +
+                    ",LD=" + std::to_string(ld);
+    workload.requests.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workload.requests.push_back({i, lp, ld});
+    return workload;
+}
+
+Workload
+wikiText2Like(std::size_t count, std::uint64_t max_len,
+              std::uint64_t seed)
+{
+    Workload workload;
+    workload.name = "WikiText-2";
+    workload.requests.reserve(count);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Prompt: log-normal with median ~180 tokens and a heavy
+        // tail (sigma 0.9); continuation: median ~130, fatter spread
+        // - both clipped into [16, max_len].
+        const double lp = rng.logNormal(std::log(180.0), 0.9);
+        const double ld = rng.logNormal(std::log(130.0), 1.0);
+        Request request;
+        request.id = i;
+        request.prefillLen = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(lp), 16, max_len);
+        request.decodeLen = std::clamp<std::uint64_t>(
+                static_cast<std::uint64_t>(ld), 16, max_len);
+        // Keep the total inside the context window.
+        if (request.prefillLen + request.decodeLen > max_len) {
+            request.decodeLen = max_len - request.prefillLen;
+            if (request.decodeLen < 16)
+                request.decodeLen = 16;
+        }
+        workload.requests.push_back(request);
+    }
+    return workload;
+}
+
+std::vector<Workload>
+paperWorkloads(std::size_t count, std::uint64_t seed)
+{
+    return {
+        wikiText2Like(count, 2048, seed),
+        fixedWorkload(128, 2048, count),
+        fixedWorkload(2048, 128, count),
+        fixedWorkload(2048, 2048, count),
+    };
+}
+
+} // namespace ouro

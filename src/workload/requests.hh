@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Inference request streams (paper Section 6.1).
+ *
+ * The evaluation runs 1000 requests per configuration under four
+ * length regimes: WikiText-2-derived lengths and three fixed
+ * (LP, LD) grids. Token *values* never matter to a performance/energy
+ * simulator, so a request is just (prefill length, decode length).
+ *
+ * Substitution note (DESIGN.md S3): we do not ship the WikiText-2
+ * corpus; wikiText2Like() draws prefill lengths from a clipped
+ * log-normal fit of its article/paragraph length statistics (median
+ * ~180 tokens, heavy right tail) and decode lengths from a similar
+ * continuation distribution. What the experiments exercise is length
+ * *variance* across concurrent requests - exactly what the synthetic
+ * distribution preserves.
+ */
+
+#ifndef OURO_WORKLOAD_REQUESTS_HH
+#define OURO_WORKLOAD_REQUESTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ouro
+{
+
+/** One inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::uint64_t prefillLen = 0; ///< prompt tokens (LP)
+    std::uint64_t decodeLen = 0;  ///< generated tokens (LD)
+
+    std::uint64_t totalTokens() const { return prefillLen + decodeLen; }
+};
+
+/** A named batch of requests (one Fig. 13 column). */
+struct Workload
+{
+    std::string name;
+    std::vector<Request> requests;
+
+    std::uint64_t totalOutputTokens() const;
+    std::uint64_t totalTokens() const;
+    std::uint64_t maxSequenceLength() const;
+};
+
+/** Fixed-length grid: every request is (lp, ld). */
+Workload fixedWorkload(std::uint64_t lp, std::uint64_t ld,
+                       std::size_t count);
+
+/** WikiText-2-like variable lengths (see file comment), clipped to
+ *  [16, max_len]. */
+Workload wikiText2Like(std::size_t count, std::uint64_t max_len = 2048,
+                       std::uint64_t seed = 20260311);
+
+/** The paper's four standard workloads for a given request count. */
+std::vector<Workload> paperWorkloads(std::size_t count,
+                                     std::uint64_t seed = 20260311);
+
+} // namespace ouro
+
+#endif // OURO_WORKLOAD_REQUESTS_HH

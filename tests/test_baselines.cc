@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the baseline system models: capacity gating, roofline
+ * behaviour, energy-category structure, PIM attention offload, the
+ * WSE-2 model, and the CIM-macro comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/analytic.hh"
+#include "baselines/device_params.hh"
+#include "model/llm.hh"
+#include "workload/requests.hh"
+
+namespace ouro
+{
+namespace
+{
+
+const Workload &
+decodeHeavy()
+{
+    static const Workload w = fixedWorkload(128, 1024, 50);
+    return w;
+}
+
+const Workload &
+prefillHeavy()
+{
+    static const Workload w = fixedWorkload(2048, 64, 50);
+    return w;
+}
+
+TEST(Accelerator, DgxFits13B)
+{
+    const auto r = evalAccelerator(dgxA100(), llama13b(),
+                                   decodeHeavy());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_GT(r->outputTokensPerSecond, 0.0);
+    EXPECT_GT(r->energyPerTokenTotal(), 0.0);
+}
+
+TEST(Accelerator, SingleGpuRejects65B)
+{
+    AcceleratorParams one = dgxA100();
+    one.numDevices = 1;
+    EXPECT_FALSE(evalAccelerator(one, llama65b(), decodeHeavy())
+                         .has_value());
+    // The full node (320 GB) accepts it at fp16.
+    EXPECT_TRUE(evalAccelerator(dgxA100(), llama65b(), decodeHeavy())
+                        .has_value());
+}
+
+TEST(Accelerator, DecodeIsMemoryBound)
+{
+    // Per-output-token energy should be dominated by off-chip traffic
+    // on decode-heavy workloads (the Fig. 1/14 structure).
+    const auto r = evalAccelerator(dgxA100(), llama13b(),
+                                   decodeHeavy());
+    ASSERT_TRUE(r.has_value());
+    const auto &e = r->energyPerToken;
+    EXPECT_GT(e.get(EnergyCategory::OffChipMemory),
+              e.get(EnergyCategory::Communication));
+    EXPECT_GT(e.total(), e.get(EnergyCategory::Compute));
+}
+
+TEST(Accelerator, PrefillHeavyIsSlowerPerOutputToken)
+{
+    const auto decode = evalAccelerator(dgxA100(), llama13b(),
+                                        decodeHeavy());
+    const auto prefill = evalAccelerator(dgxA100(), llama13b(),
+                                         prefillHeavy());
+    ASSERT_TRUE(decode && prefill);
+    // Few output tokens behind a big prefill: output rate collapses.
+    EXPECT_LT(prefill->outputTokensPerSecond,
+              decode->outputTokensPerSecond);
+}
+
+TEST(Accelerator, PimAttentionHelpsDecode)
+{
+    const auto plain = evalAccelerator(dgxA100(), llama13b(),
+                                       decodeHeavy());
+    const auto pim = evalAccelerator(attAcc(), llama13b(),
+                                     decodeHeavy());
+    ASSERT_TRUE(plain && pim);
+    EXPECT_GT(pim->outputTokensPerSecond,
+              plain->outputTokensPerSecond);
+    EXPECT_LT(pim->energyPerToken.get(EnergyCategory::OffChipMemory),
+              plain->energyPerToken.get(
+                      EnergyCategory::OffChipMemory));
+}
+
+TEST(Accelerator, MoreDevicesMoreThroughput)
+{
+    AcceleratorParams small = dgxA100();
+    small.numDevices = 4;
+    const auto four = evalAccelerator(small, llama13b(),
+                                      decodeHeavy());
+    const auto eight = evalAccelerator(dgxA100(), llama13b(),
+                                       decodeHeavy());
+    ASSERT_TRUE(four && eight);
+    EXPECT_GT(eight->outputTokensPerSecond,
+              four->outputTokensPerSecond);
+}
+
+TEST(Accelerator, TpuPreset)
+{
+    const auto r = evalAccelerator(tpuV4x8(), llama13b(),
+                                   decodeHeavy());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->system, "TPUv4");
+}
+
+TEST(Wse, Fits13BNot65BSingleWafer)
+{
+    EXPECT_TRUE(evalWse(wse2(), llama13b(), decodeHeavy())
+                        .has_value());
+    EXPECT_FALSE(evalWse(wse2(), llama65b(), decodeHeavy())
+                         .has_value());
+    WseParams doubled = wse2();
+    doubled.numWafers = 2;
+    EXPECT_TRUE(evalWse(doubled, llama65b(), decodeHeavy())
+                        .has_value());
+}
+
+TEST(Wse, NoOffChipEnergy)
+{
+    const auto r = evalWse(wse2(), llama13b(), decodeHeavy());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(
+            r->energyPerToken.get(EnergyCategory::OffChipMemory),
+            0.0);
+    // Non-CIM SRAM reads dominate - CIM's target.
+    EXPECT_GT(r->energyPerToken.get(EnergyCategory::OnChipMemory),
+              r->energyPerToken.get(EnergyCategory::Communication));
+}
+
+TEST(CimMacro, OursAvoidsOffChip)
+{
+    const SystemResult ours =
+        evalCimMacro(cimOuroboros(), llama13b(), decodeHeavy());
+    EXPECT_DOUBLE_EQ(
+            ours.energyPerToken.get(EnergyCategory::OffChipMemory),
+            0.0);
+}
+
+TEST(CimMacro, BaselineMacrosStreamWeights)
+{
+    for (const auto &macro : {cimVlsi22(), cimIsscc22()}) {
+        const SystemResult r =
+            evalCimMacro(macro, llama13b(), decodeHeavy());
+        EXPECT_GT(r.energyPerToken.get(
+                          EnergyCategory::OffChipMemory), 0.0)
+            << macro.name;
+    }
+}
+
+TEST(CimMacro, OursWinsSystemLevel)
+{
+    // Despite lower TOPS/W, capacity wins at the system level
+    // (Section 6.9's argument).
+    const SystemResult ours =
+        evalCimMacro(cimOuroboros(), llama13b(), decodeHeavy());
+    for (const auto &macro : {cimVlsi22(), cimIsscc22()}) {
+        const SystemResult other =
+            evalCimMacro(macro, llama13b(), decodeHeavy());
+        EXPECT_GT(ours.outputTokensPerSecond,
+                  other.outputTokensPerSecond)
+            << macro.name;
+        EXPECT_LT(ours.energyPerTokenTotal(),
+                  other.energyPerTokenTotal())
+            << macro.name;
+    }
+}
+
+TEST(CimMacro, LutSavesEnergy)
+{
+    const SystemResult plain =
+        evalCimMacro(cimOuroboros(), llama13b(), decodeHeavy());
+    const SystemResult lut =
+        evalCimMacro(cimOuroborosLut(), llama13b(), decodeHeavy());
+    EXPECT_LT(lut.energyPerTokenTotal(), plain.energyPerTokenTotal());
+    EXPECT_DOUBLE_EQ(lut.outputTokensPerSecond,
+                     plain.outputTokensPerSecond);
+}
+
+TEST(ScalingTax, TotalEnergyGrowsWithModelSize)
+{
+    const Workload w = fixedWorkload(256, 256, 20);
+    double prev = 0.0;
+    for (const double b : {7.0, 13.0, 32.0}) {
+        AcceleratorParams params = dgxA100();
+        const EnergyLedger total =
+            acceleratorTotalEnergy(params, denseModel(b), w);
+        EXPECT_GT(total.total(), prev);
+        prev = total.total();
+        // The scaling tax: data movement exceeds compute.
+        EXPECT_GT(total.total(),
+                  2.0 * total.get(EnergyCategory::Compute));
+    }
+}
+
+} // namespace
+} // namespace ouro

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Unit tests for the hardware module: wafer geometry arithmetic,
+ * parameter derivations against the paper's stated numbers, crossbar
+ * mode/occupancy behaviour, core tile/KV capacity, and the Murphy
+ * yield model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "hw/core.hh"
+#include "hw/crossbar.hh"
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "hw/yield.hh"
+
+namespace ouro
+{
+namespace
+{
+
+TEST(Geometry, PaperDefaults)
+{
+    const WaferGeometry geom;
+    EXPECT_EQ(geom.dieRows(), 9u);
+    EXPECT_EQ(geom.dieCols(), 7u);
+    EXPECT_EQ(geom.numDies(), 63u);
+    EXPECT_EQ(geom.rows(), 117u);
+    EXPECT_EQ(geom.cols(), 119u);
+    EXPECT_EQ(geom.numCores(), 13923u);
+}
+
+TEST(Geometry, CoreIndexRoundTrip)
+{
+    const WaferGeometry geom;
+    for (std::uint64_t idx : {0ull, 1ull, 118ull, 119ull, 13922ull}) {
+        EXPECT_EQ(geom.coreIndex(geom.coreAt(idx)), idx);
+    }
+}
+
+TEST(Geometry, DieMembership)
+{
+    const WaferGeometry geom;
+    EXPECT_EQ(geom.dieOf({0, 0}), (DieCoord{0, 0}));
+    EXPECT_EQ(geom.dieOf({12, 16}), (DieCoord{0, 0}));
+    EXPECT_EQ(geom.dieOf({13, 17}), (DieCoord{1, 1}));
+    EXPECT_EQ(geom.dieOf({116, 118}), (DieCoord{8, 6}));
+    EXPECT_TRUE(geom.sameDie({0, 0}, {12, 16}));
+    EXPECT_FALSE(geom.sameDie({12, 16}, {13, 16}));
+}
+
+TEST(Geometry, ManhattanDistance)
+{
+    const WaferGeometry geom;
+    EXPECT_EQ(geom.manhattan({0, 0}, {0, 0}), 0u);
+    EXPECT_EQ(geom.manhattan({0, 0}, {3, 4}), 7u);
+    EXPECT_EQ(geom.manhattan({3, 4}, {0, 0}), 7u);
+}
+
+TEST(Geometry, DieCrossings)
+{
+    const WaferGeometry geom;
+    EXPECT_EQ(geom.dieCrossings({0, 0}, {12, 16}), 0u);
+    EXPECT_EQ(geom.dieCrossings({0, 0}, {13, 0}), 1u);
+    EXPECT_EQ(geom.dieCrossings({0, 0}, {116, 118}), 14u);
+}
+
+TEST(Geometry, SShapedOrderVisitsAllExactlyOnce)
+{
+    const WaferGeometry geom(2, 2, 3, 3);
+    const auto order = geom.sShapedOrder();
+    EXPECT_EQ(order.size(), geom.numCores());
+    std::set<std::uint64_t> seen;
+    for (const auto &coord : order)
+        seen.insert(geom.coreIndex(coord));
+    EXPECT_EQ(seen.size(), geom.numCores());
+}
+
+TEST(Geometry, SShapedOrderIsLocal)
+{
+    // Consecutive cores in the S-order should be close: the whole
+    // point of the boustrophedon walk is pipeline locality.
+    const WaferGeometry geom;
+    const auto order = geom.sShapedOrder();
+    double total_hops = 0.0;
+    std::uint32_t max_hop = 0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const auto d = geom.manhattan(order[i - 1], order[i]);
+        total_hops += d;
+        max_hop = std::max(max_hop, d);
+    }
+    EXPECT_LT(total_hops / static_cast<double>(order.size() - 1), 2.5);
+    // A jump should never span more than one die in each axis.
+    EXPECT_LE(max_hop, geom.coresPerDieRow() + geom.coresPerDieCol());
+}
+
+TEST(Params, WaferCapacityIs54GB)
+{
+    const OuroborosParams params;
+    const WaferGeometry geom;
+    const double gb = static_cast<double>(
+            params.waferSramBytes(geom.numCores())) / 1e9;
+    // 13923 cores x 4 MiB = 58.4 GB decimal, 54.4 GiB binary - the
+    // paper's "54 GB" is the binary reading.
+    EXPECT_NEAR(static_cast<double>(
+            params.waferSramBytes(geom.numCores())) /
+            static_cast<double>(GiB), 54.4, 0.5);
+    EXPECT_GT(gb, 50.0);
+}
+
+TEST(Params, CrossbarCapacity)
+{
+    const CrossbarParams xp;
+    EXPECT_EQ(xp.capacityBytes(), 128 * KiB);
+    EXPECT_EQ(xp.weightCapacity(), 1024u * 128u);
+    const CoreParams cp;
+    EXPECT_EQ(cp.sramBytes(), 4 * MiB);
+}
+
+TEST(Params, GemvCyclesAtPaperRatio)
+{
+    const CrossbarParams xp;
+    EXPECT_EQ(xp.rowsPerCycle(), 32u);
+    // Full 1024-row GEMV: 32 cycles per input bit x 8 bits.
+    EXPECT_EQ(xp.gemvCycles(1024), 256u);
+    // Partial occupancy rounds up to the bank granularity.
+    EXPECT_EQ(xp.gemvCycles(33), 2u * 8u);
+    EXPECT_EQ(xp.gemvCycles(1), 8u);
+    EXPECT_EQ(xp.gemvCycles(0), 0u);
+}
+
+TEST(Params, MacsPerCycle)
+{
+    const CrossbarParams xp;
+    // 1024 x 128 MACs in 256 cycles = 512 MACs/cycle.
+    EXPECT_DOUBLE_EQ(xp.macsPerCycle(), 512.0);
+}
+
+TEST(Params, RowRatioTradesThroughput)
+{
+    CrossbarParams quarter;
+    quarter.rowActiveRatio = 1.0 / 4.0;
+    CrossbarParams thirtysecond;
+    EXPECT_GT(quarter.macsPerCycle(), thirtysecond.macsPerCycle());
+    EXPECT_EQ(quarter.gemvCycles(1024), 4u * 8u);
+}
+
+TEST(Params, EnergyPerMacInPlausibleRange)
+{
+    const CrossbarParams xp;
+    const double pj = xp.energyPerMac() / pJ;
+    // Section 5 component powers imply order 0.1 pJ/MAC for the
+    // crossbar proper (core overheads push system TOPS/W to ~11).
+    EXPECT_GT(pj, 0.01);
+    EXPECT_LT(pj, 1.0);
+}
+
+TEST(Params, CorePeakTops)
+{
+    const CoreParams cp;
+    // 32 xbars x 512 MACs/cycle x 300 MHz x 2 ops ~ 9.8 TOPS.
+    EXPECT_NEAR(cp.peakTops(), 9.83, 0.2);
+}
+
+TEST(Crossbar, FfnAssignment)
+{
+    Crossbar xbar{CrossbarParams{}};
+    EXPECT_EQ(xbar.mode(), CrossbarMode::Unassigned);
+    EXPECT_TRUE(xbar.assignWeights(1024, 128));
+    EXPECT_EQ(xbar.mode(), CrossbarMode::Ffn);
+    // Already assigned: refuse.
+    EXPECT_FALSE(xbar.assignWeights(10, 10));
+    EXPECT_FALSE(xbar.assignAttention());
+}
+
+TEST(Crossbar, RejectsOversizeTile)
+{
+    Crossbar xbar{CrossbarParams{}};
+    EXPECT_FALSE(xbar.assignWeights(2000, 128));
+    EXPECT_FALSE(xbar.assignWeights(1024, 200));
+    EXPECT_EQ(xbar.mode(), CrossbarMode::Unassigned);
+}
+
+TEST(Crossbar, GemvCostScalesWithOccupancy)
+{
+    Crossbar full{CrossbarParams{}};
+    ASSERT_TRUE(full.assignWeights(1024, 128));
+    Crossbar half{CrossbarParams{}};
+    ASSERT_TRUE(half.assignWeights(512, 64));
+
+    const ComputeCost cf = full.gemv();
+    const ComputeCost ch = half.gemv();
+    EXPECT_EQ(cf.cycles, 256u);
+    EXPECT_EQ(ch.cycles, 128u);
+    EXPECT_LT(ch.energyJ, cf.energyJ);
+    EXPECT_DOUBLE_EQ(cf.macs, 1024.0 * 128.0);
+    EXPECT_DOUBLE_EQ(ch.macs, 512.0 * 64.0);
+}
+
+TEST(Crossbar, AttentionBlockLifecycle)
+{
+    Crossbar xbar{CrossbarParams{}};
+    ASSERT_TRUE(xbar.assignAttention());
+    EXPECT_EQ(xbar.numLogicalBlocks(), 8u);
+    EXPECT_EQ(xbar.blockRows(), 128u);
+    EXPECT_EQ(xbar.freeBlocks(), 8u);
+
+    const int b0 = xbar.allocBlock();
+    ASSERT_GE(b0, 0);
+    EXPECT_EQ(xbar.freeBlocks(), 7u);
+    EXPECT_TRUE(xbar.blockInUse(b0));
+    EXPECT_EQ(xbar.blockUsedRows(b0), 0u);
+
+    EXPECT_TRUE(xbar.growBlock(b0, 100));
+    EXPECT_EQ(xbar.blockUsedRows(b0), 100u);
+    EXPECT_TRUE(xbar.growBlock(b0, 28));
+    // Now full (128 rows): further growth fails.
+    EXPECT_FALSE(xbar.growBlock(b0, 1));
+
+    xbar.freeBlock(b0);
+    EXPECT_EQ(xbar.freeBlocks(), 8u);
+}
+
+TEST(Crossbar, AllBlocksExhaust)
+{
+    Crossbar xbar{CrossbarParams{}};
+    ASSERT_TRUE(xbar.assignAttention());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GE(xbar.allocBlock(), 0);
+    EXPECT_EQ(xbar.allocBlock(), -1);
+}
+
+TEST(Crossbar, AttentionGemvCost)
+{
+    Crossbar xbar{CrossbarParams{}};
+    ASSERT_TRUE(xbar.assignAttention());
+    const ComputeCost c = xbar.attentionGemv(256);
+    EXPECT_EQ(c.cycles, 8u * 8u); // ceil(256/32) x 8 bits
+    EXPECT_GT(c.energyJ, 0.0);
+}
+
+TEST(Crossbar, KvWriteEnergyScales)
+{
+    Crossbar xbar{CrossbarParams{}};
+    EXPECT_GT(xbar.kvWriteEnergy(1024), xbar.kvWriteEnergy(128));
+    EXPECT_DOUBLE_EQ(xbar.kvWriteEnergy(0), 0.0);
+}
+
+TEST(Crossbar, ResetClearsState)
+{
+    Crossbar xbar{CrossbarParams{}};
+    ASSERT_TRUE(xbar.assignWeights(100, 100));
+    xbar.reset();
+    EXPECT_EQ(xbar.mode(), CrossbarMode::Unassigned);
+    EXPECT_TRUE(xbar.assignAttention());
+}
+
+TEST(Core, TileAssignmentSpreadsCrossbars)
+{
+    CimCore core{CoreParams{}};
+    // 1024 x 640 tile: 640 / 128 = 5 crossbars.
+    TileAssignment tile{"ffn_up", 0, 0, 0, 1024, 640};
+    ASSERT_TRUE(core.assignTile(tile));
+    EXPECT_EQ(core.role(), CoreRole::Weights);
+    EXPECT_EQ(core.weightCrossbars(), 5u);
+    // Spare crossbars flip to attention duty for the KV manager.
+    EXPECT_EQ(core.freeAttentionCrossbars(), 32u - 5u);
+    EXPECT_EQ(core.freeKvBlocks(), (32u - 5u) * 8u);
+}
+
+TEST(Core, TileTooLargeRejected)
+{
+    CimCore core{CoreParams{}};
+    // 32 crossbars x 128 cols = 4096 columns max.
+    TileAssignment tile{"huge", 0, 0, 0, 1024, 5000};
+    EXPECT_FALSE(core.assignTile(tile));
+    EXPECT_EQ(core.role(), CoreRole::Unassigned);
+}
+
+TEST(Core, RowOverflowRejected)
+{
+    CimCore core{CoreParams{}};
+    TileAssignment tile{"tall", 0, 0, 0, 1500, 128};
+    EXPECT_FALSE(core.assignTile(tile));
+}
+
+TEST(Core, DefectiveCoreRefusesWork)
+{
+    CimCore core{CoreParams{}};
+    core.markDefective();
+    EXPECT_FALSE(core.usable());
+    TileAssignment tile{"qkv", 0, 0, 0, 1024, 128};
+    EXPECT_FALSE(core.assignTile(tile));
+    EXPECT_FALSE(core.assignKvRole());
+    EXPECT_EQ(core.freeKvBlocks(), 0u);
+}
+
+TEST(Core, KvRoleOpensAllCrossbars)
+{
+    CimCore core{CoreParams{}};
+    ASSERT_TRUE(core.assignKvRole());
+    EXPECT_EQ(core.role(), CoreRole::KvCache);
+    EXPECT_EQ(core.freeAttentionCrossbars(), 32u);
+    EXPECT_EQ(core.freeKvBlocks(), 32u * 8u);
+}
+
+TEST(Core, WeightGemvAggregates)
+{
+    CimCore core{CoreParams{}};
+    TileAssignment tile{"proj", 0, 0, 0, 1024, 256};
+    ASSERT_TRUE(core.assignTile(tile));
+    const ComputeCost c = core.weightGemv();
+    // Two crossbars fire in parallel: latency of one, energy of two.
+    EXPECT_EQ(c.cycles, 256u);
+    Crossbar lone{CrossbarParams{}};
+    ASSERT_TRUE(lone.assignWeights(1024, 128));
+    EXPECT_NEAR(c.energyJ, 2.0 * lone.gemv().energyJ, 1e-15);
+    EXPECT_DOUBLE_EQ(c.macs, 1024.0 * 256.0);
+}
+
+TEST(Core, SfuComputeCost)
+{
+    CimCore core{CoreParams{}};
+    const ComputeCost c = core.sfuCompute(64 * 1000);
+    EXPECT_GT(c.cycles, 0u);
+    EXPECT_GT(c.energyJ, 0.0);
+    // More ops, more cycles.
+    EXPECT_GT(core.sfuCompute(64 * 2000).cycles, c.cycles);
+}
+
+TEST(Core, ResetPreservesDefect)
+{
+    CimCore core{CoreParams{}};
+    core.markDefective();
+    core.reset();
+    EXPECT_EQ(core.role(), CoreRole::Defective);
+}
+
+TEST(Core, ResetReleasesTile)
+{
+    CimCore core{CoreParams{}};
+    TileAssignment tile{"qkv", 0, 0, 0, 512, 512};
+    ASSERT_TRUE(core.assignTile(tile));
+    core.reset();
+    EXPECT_EQ(core.role(), CoreRole::Unassigned);
+    EXPECT_TRUE(core.assignTile(tile));
+}
+
+TEST(Yield, MurphyMatchesClosedForm)
+{
+    const YieldParams params;
+    const double y = murphyYield(params);
+    // A*D0 = 0.002673 -> Y ~ 0.99733.
+    EXPECT_NEAR(y, 0.99733, 0.0005);
+    EXPECT_NEAR(coreDefectProbability(params), 1.0 - y, 1e-12);
+}
+
+TEST(Yield, DefectCountNearExpectation)
+{
+    const WaferGeometry geom;
+    const YieldParams params;
+    Rng rng(99);
+    const DefectMap map(geom, params, rng);
+    const double expected =
+        coreDefectProbability(params) *
+        static_cast<double>(geom.numCores());
+    EXPECT_GT(map.numDefects(), expected * 0.4);
+    EXPECT_LT(map.numDefects(), expected * 2.0);
+}
+
+TEST(Yield, DefectMapDeterministic)
+{
+    const WaferGeometry geom;
+    const YieldParams params;
+    Rng rng_a(7), rng_b(7);
+    const DefectMap a(geom, params, rng_a);
+    const DefectMap b(geom, params, rng_b);
+    ASSERT_EQ(a.numDefects(), b.numDefects());
+    for (std::uint64_t i = 0; i < geom.numCores(); ++i)
+        EXPECT_EQ(a.defective(i), b.defective(i));
+}
+
+TEST(Yield, InjectIsIdempotent)
+{
+    const WaferGeometry geom;
+    DefectMap map(geom);
+    EXPECT_EQ(map.numDefects(), 0u);
+    map.inject({5, 5});
+    map.inject({5, 5});
+    EXPECT_EQ(map.numDefects(), 1u);
+    EXPECT_TRUE(map.defective(CoreCoord{5, 5}));
+    EXPECT_FALSE(map.defective(CoreCoord{5, 6}));
+}
+
+/** Property sweep: gemvCycles is monotone in active rows. */
+class GemvMonotoneTest
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(GemvMonotoneTest, CyclesMonotone)
+{
+    const CrossbarParams xp;
+    const std::uint32_t rows = GetParam();
+    EXPECT_LE(xp.gemvCycles(rows), xp.gemvCycles(rows + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(RowSweep, GemvMonotoneTest,
+                         ::testing::Values(0, 1, 31, 32, 33, 511, 1023));
+
+} // namespace
+} // namespace ouro

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit + property tests for the distributed dynamic KV-cache manager:
+ * admission/growth/release accounting, ring placement, the K/V growth
+ * policies, MRU eviction, thresholds, and failed-core handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kvcache/manager.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+namespace
+{
+
+/** Small model: 4 KV heads so placements are easy to reason about. */
+ModelConfig
+kvModel()
+{
+    ModelConfig cfg;
+    cfg.name = "kv-test";
+    cfg.numBlocks = 2;
+    cfg.hiddenDim = 512;
+    cfg.numHeads = 4;
+    cfg.numKvHeads = 4;
+    cfg.headDim = 128;
+    cfg.ffnDim = 1024;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 100;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 4096;
+    return cfg;
+}
+
+std::vector<KvCoreInfo>
+pool(std::uint32_t cores, std::uint32_t xbars = 4,
+     std::uint32_t blocks = 8, std::uint32_t base_row = 0)
+{
+    std::vector<KvCoreInfo> infos;
+    for (std::uint32_t i = 0; i < cores; ++i)
+        infos.push_back({{base_row, i}, xbars, blocks});
+    return infos;
+}
+
+TEST(KvManager, CapacityAccounting)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    // 8 cores x 4 xbars x 8 blocks = 256 blocks.
+    EXPECT_EQ(mgr.totalBlocks(), 256u);
+    EXPECT_EQ(mgr.usedBlocks(), 0u);
+    EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+}
+
+TEST(KvManager, AdmitAllocatesPerHead)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    const KvResult r = mgr.admit(1, 100); // 100 tokens -> 1 block/head
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.evicted.empty());
+    EXPECT_TRUE(mgr.resident(1));
+    // 4 heads x 1 block (K) + 4 x 1 (V) = 8 blocks.
+    EXPECT_EQ(mgr.usedBlocks(), 8u);
+}
+
+TEST(KvManager, MultiBlockPrefill)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    // 300 tokens -> ceil(300/128) = 3 blocks per head per side.
+    ASSERT_TRUE(mgr.admit(7, 300).ok);
+    EXPECT_EQ(mgr.usedBlocks(), 4u * 3 * 2);
+}
+
+TEST(KvManager, HeadsOnDistinctCores)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 64).ok);
+    std::set<std::uint32_t> score_cores, context_cores;
+    for (std::uint32_t h = 0; h < 4; ++h) {
+        const HeadPlacement hp = mgr.headPlacement(1, h);
+        score_cores.insert(hp.scoreCore);
+        context_cores.insert(hp.contextCore);
+    }
+    // Fig. 12 / Section 4.4.3: distinct heads on separate cores.
+    EXPECT_EQ(score_cores.size(), 4u);
+    EXPECT_EQ(context_cores.size(), 4u);
+}
+
+TEST(KvManager, RingAdvancesBetweenSequences)
+{
+    // 8 score cores, 4 heads: sequence 2 should start where sequence
+    // 1 ended (compute/write separation of Section 4.4.3).
+    BlockKvManager mgr(kvModel(), pool(8), pool(8, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 64).ok);
+    ASSERT_TRUE(mgr.admit(2, 64).ok);
+    std::set<std::uint32_t> first, second;
+    for (std::uint32_t h = 0; h < 4; ++h) {
+        first.insert(mgr.headPlacement(1, h).scoreCore);
+        second.insert(mgr.headPlacement(2, h).scoreCore);
+    }
+    for (const auto c : second)
+        EXPECT_EQ(first.count(c), 0u)
+            << "consecutive sequences share score core " << c;
+}
+
+TEST(KvManager, GrowWithinBlockIsFree)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 64).ok); // 64 of 128 rows used
+    const auto before = mgr.usedBlocks();
+    EXPECT_TRUE(mgr.grow(1).ok); // token 65 fits the same block
+    EXPECT_EQ(mgr.usedBlocks(), before);
+}
+
+TEST(KvManager, GrowAcrossBlockBoundaryAllocates)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 128).ok); // exactly one full block
+    const auto before = mgr.usedBlocks();
+    EXPECT_TRUE(mgr.grow(1).ok); // token 129 -> new block per head
+    EXPECT_EQ(mgr.usedBlocks(), before + 4u * 2);
+}
+
+TEST(KvManager, ReleaseReturnsBlocks)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 200).ok);
+    ASSERT_TRUE(mgr.admit(2, 200).ok);
+    const auto used = mgr.usedBlocks();
+    mgr.release(1);
+    EXPECT_LT(mgr.usedBlocks(), used);
+    mgr.release(2);
+    EXPECT_EQ(mgr.usedBlocks(), 0u);
+    EXPECT_FALSE(mgr.resident(1));
+}
+
+TEST(KvManager, AdmitEvictsMostRecentFirst)
+{
+    // Tiny pool: 4 score cores x 1 xbar x 2 blocks; 4 heads ->
+    // each sequence takes 1 block per head per side = whole row.
+    BlockKvManager mgr(kvModel(), pool(4, 1, 2), pool(4, 1, 2, 1),
+                       128, 0.0);
+    ASSERT_TRUE(mgr.admit(1, 64).ok);
+    ASSERT_TRUE(mgr.admit(2, 64).ok);
+    // Pool now full (2 blocks per core used by seq 1+2).
+    const KvResult r = mgr.admit(3, 64);
+    EXPECT_TRUE(r.ok);
+    ASSERT_EQ(r.evicted.size(), 1u);
+    EXPECT_EQ(r.evicted[0], 2u); // most recently scheduled
+    EXPECT_TRUE(mgr.resident(1));
+    EXPECT_FALSE(mgr.resident(2));
+    EXPECT_TRUE(mgr.resident(3));
+    EXPECT_EQ(mgr.evictionCount(), 1u);
+}
+
+TEST(KvManager, AdmitNoEvictSuspends)
+{
+    BlockKvManager mgr(kvModel(), pool(4, 1, 2), pool(4, 1, 2, 1),
+                       128, 0.0);
+    ASSERT_TRUE(mgr.admitNoEvict(1, 64));
+    ASSERT_TRUE(mgr.admitNoEvict(2, 64));
+    EXPECT_FALSE(mgr.admitNoEvict(3, 64));
+    // Nobody was evicted.
+    EXPECT_TRUE(mgr.resident(1));
+    EXPECT_TRUE(mgr.resident(2));
+    EXPECT_EQ(mgr.evictionCount(), 0u);
+}
+
+TEST(KvManager, GrowEvictsOthersNeverSelf)
+{
+    BlockKvManager mgr(kvModel(), pool(4, 1, 2), pool(4, 1, 2, 1),
+                       128, 0.0);
+    ASSERT_TRUE(mgr.admit(1, 128).ok); // full block each head
+    ASSERT_TRUE(mgr.admit(2, 128).ok);
+    // Growing 1 needs fresh blocks; pool is full; 2 is the MRU.
+    const KvResult r = mgr.grow(1);
+    EXPECT_TRUE(r.ok);
+    ASSERT_EQ(r.evicted.size(), 1u);
+    EXPECT_EQ(r.evicted[0], 2u);
+    EXPECT_TRUE(mgr.resident(1));
+}
+
+TEST(KvManager, GrowFailsWhenAlone)
+{
+    // One core, one crossbar, one block per side: sequence 1 fills it.
+    BlockKvManager mgr(kvModel(), pool(4, 1, 1), pool(4, 1, 1, 1),
+                       128, 0.0);
+    ASSERT_TRUE(mgr.admit(1, 128).ok);
+    const KvResult r = mgr.grow(1);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.evicted.empty());
+}
+
+TEST(KvManager, VSpillCountsWhenHomeXbarFull)
+{
+    // Context cores have 2 crossbars x 2 blocks. A sequence growing
+    // past 2 blocks/head must spill V to the second crossbar.
+    BlockKvManager mgr(kvModel(), pool(4, 4, 8), pool(4, 2, 2, 1));
+    ASSERT_TRUE(mgr.admit(1, 256).ok); // 2 V blocks -> home xbar full
+    EXPECT_EQ(mgr.vSpills(), 0u);
+    ASSERT_TRUE(mgr.grow(1).ok); // 257th token: V spills
+    EXPECT_GT(mgr.vSpills(), 0u);
+}
+
+TEST(KvManager, ThresholdReservesSpace)
+{
+    // threshold 0.25 -> one block of each 4-block core is held in
+    // reserve: a second 2-block sequence no longer fits even though
+    // raw space exists.
+    BlockKvManager strict(kvModel(), pool(4, 1, 4), pool(4, 1, 4, 1),
+                          128, 0.25);
+    ASSERT_TRUE(strict.admit(1, 256).ok); // 2 of 4 blocks per core
+    EXPECT_FALSE(strict.admitNoEvict(2, 256));
+    // Growth of the resident sequence still works.
+    EXPECT_TRUE(strict.grow(1).ok);
+
+    // With threshold 0 the same admission succeeds.
+    BlockKvManager loose(kvModel(), pool(4, 1, 4), pool(4, 1, 4, 1),
+                         128, 0.0);
+    ASSERT_TRUE(loose.admit(1, 256).ok);
+    EXPECT_TRUE(loose.admitNoEvict(2, 256));
+}
+
+TEST(KvManager, DropCoreReleasesVictims)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 64).ok);
+    ASSERT_TRUE(mgr.admit(2, 64).ok);
+    const auto total_before = mgr.totalBlocks();
+    // Drop the score core of sequence 1's head 0.
+    const auto hp = mgr.headPlacement(1, 0);
+    const CoreCoord coord = mgr.scoreCoord(hp.scoreCore);
+    const auto lost = mgr.dropCore(coord);
+    EXPECT_FALSE(lost.empty());
+    for (const auto id : lost)
+        EXPECT_FALSE(mgr.resident(id));
+    EXPECT_LT(mgr.totalBlocks(), total_before);
+    // Remaining sequences are intact and the pool still admits.
+    EXPECT_TRUE(mgr.admit(10, 64).ok);
+}
+
+TEST(KvManager, UtilizationTracksLoad)
+{
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 512).ok);
+    const double u1 = mgr.utilization();
+    ASSERT_TRUE(mgr.admit(2, 512).ok);
+    EXPECT_GT(mgr.utilization(), u1);
+    mgr.release(1);
+    mgr.release(2);
+    EXPECT_DOUBLE_EQ(mgr.utilization(), 0.0);
+}
+
+/** Property: admit/release round-trips leave zero residue. */
+class KvRoundTripTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KvRoundTripTest, NoLeakedBlocks)
+{
+    BlockKvManager mgr(kvModel(), pool(6), pool(6, 4, 8, 1));
+    const std::uint64_t tokens = GetParam();
+    ASSERT_TRUE(mgr.admit(1, tokens).ok);
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(mgr.grow(1).ok);
+    mgr.release(1);
+    EXPECT_EQ(mgr.usedBlocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TokenSweep, KvRoundTripTest,
+                         ::testing::Values(1, 64, 127, 128, 129, 500,
+                                           1000));
+
+} // namespace
+} // namespace ouro

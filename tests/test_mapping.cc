@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Unit + property tests for the mapping engine: tiling arithmetic,
+ * MIQP objective behaviour, solver quality (SA vs exact optimum on
+ * small instances; ours vs SUMMA/WaferLLM baselines), the intra-core
+ * DP against its brute-force oracle, wafer-level placement, and the
+ * replacement-chain fault recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hw/yield.hh"
+#include "mapping/dp.hh"
+#include "mapping/mappers.hh"
+#include "mapping/problem.hh"
+#include "mapping/remap.hh"
+#include "mapping/wafer_mapping.hh"
+#include "model/llm.hh"
+
+namespace ouro
+{
+namespace
+{
+
+/** A small synthetic model that tiles to a handful of cores. */
+ModelConfig
+tinyModel()
+{
+    ModelConfig cfg;
+    cfg.name = "tiny";
+    cfg.numBlocks = 2;
+    cfg.hiddenDim = 1024;
+    cfg.numHeads = 8;
+    cfg.numKvHeads = 8;
+    cfg.headDim = 128;
+    cfg.ffnDim = 4096;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 1000;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 2048;
+    return cfg;
+}
+
+std::vector<CoreCoord>
+regionOf(const WaferGeometry &geom, std::uint32_t n)
+{
+    const auto order = geom.sShapedOrder();
+    return {order.begin(), order.begin() + n};
+}
+
+TEST(Tiling, Llama13bTileCounts)
+{
+    const auto specs = tileBlockLayers(llama13b(), CoreParams{});
+    ASSERT_EQ(specs.size(), 5u);
+    // qkv: 5120 in -> I=5; 15360 out / 4096 -> O=4.
+    EXPECT_EQ(specs[0].inSplits, 5u);
+    EXPECT_EQ(specs[0].outSplits, 4u);
+    // proj: 5120 -> 5120: I=5, O=2.
+    EXPECT_EQ(specs[1].inSplits, 5u);
+    EXPECT_EQ(specs[1].outSplits, 2u);
+    // ffn_down: 13824 -> 5120: I=14, O=2.
+    EXPECT_EQ(specs[4].inSplits, 14u);
+    EXPECT_EQ(specs[4].outSplits, 2u);
+}
+
+TEST(Tiling, CoresPerBlockMatchesWeightCapacity)
+{
+    // The tile count must be enough to hold the block's weights.
+    const ModelConfig cfg = llama13b();
+    const CoreParams core;
+    const auto cores = coresPerBlock(cfg, core);
+    const double needed = static_cast<double>(cfg.blockWeightBytes()) /
+                          static_cast<double>(core.sramBytes());
+    EXPECT_GE(static_cast<double>(cores), needed);
+    // ... but not wasteful beyond 2x (fragmentation bound).
+    EXPECT_LE(static_cast<double>(cores), 2.5 * needed + 4);
+}
+
+TEST(Tiling, PartBoundsCoverDim)
+{
+    LayerSpec spec;
+    spec.inDim = 5120;
+    spec.outDim = 13824;
+    spec.inSplits = 5;
+    spec.outSplits = 4;
+    EXPECT_EQ(spec.inPartLo(0), 0u);
+    EXPECT_EQ(spec.inPartHi(4), 5120u);
+    std::uint64_t covered = 0;
+    for (std::uint32_t o = 0; o < 4; ++o)
+        covered += spec.outPartHi(o) - spec.outPartLo(o);
+    EXPECT_EQ(covered, 13824u);
+}
+
+TEST(Tiling, ReductionIsFourTimesOutput)
+{
+    LayerSpec spec;
+    spec.inDim = 2048;
+    spec.outDim = 4096;
+    spec.inSplits = 2;
+    spec.outSplits = 1;
+    EXPECT_EQ(spec.reductionVolume(0), 4 * spec.outputVolume(0));
+    EXPECT_EQ(spec.gatherVolume(0), spec.outputVolume(0));
+}
+
+TEST(Problem, FeasibilityChecks)
+{
+    const WaferGeometry geom;
+    const ModelConfig cfg = tinyModel();
+    const CoreParams core;
+    MappingProblem problem(cfg, core, geom, regionOf(geom, 64));
+
+    const Assignment good = GreedyMapper{}.solve(problem);
+    EXPECT_TRUE(problem.feasible(good));
+
+    Assignment dup = good;
+    dup[1] = dup[0]; // two tiles on one core violates Eq. 2
+    EXPECT_FALSE(problem.feasible(dup));
+
+    Assignment oob = good;
+    oob[0] = 10000;
+    EXPECT_FALSE(problem.feasible(oob));
+}
+
+TEST(Problem, DefectiveCandidateInfeasible)
+{
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    const auto region = regionOf(geom, 64);
+    defects.inject(region[0]);
+    MappingProblem problem(tinyModel(), CoreParams{}, geom, region, 2.0,
+                           &defects);
+    EXPECT_FALSE(problem.candidateUsable(0));
+    Assignment a = GreedyMapper{}.solve(problem);
+    EXPECT_TRUE(problem.feasible(a));
+    // Greedy must have skipped the defective slot 0.
+    EXPECT_TRUE(std::find(a.begin(), a.end(), 0u) == a.end());
+}
+
+TEST(Problem, CostIsNonNegativeAndDeterministic)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    const Assignment a = GreedyMapper{}.solve(problem);
+    const double c1 = problem.assignmentCost(a);
+    const double c2 = problem.assignmentCost(a);
+    EXPECT_GE(c1, 0.0);
+    EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+TEST(Problem, MoveDeltaMatchesFullRecompute)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    Assignment a = GreedyMapper{}.solve(problem);
+    const double base = problem.assignmentCost(a);
+
+    // Move tile 3 to a free slot and compare against recompute.
+    std::set<std::uint32_t> used(a.begin(), a.end());
+    std::uint32_t free_slot = 0;
+    while (used.count(free_slot))
+        ++free_slot;
+    const double delta = problem.moveDelta(a, 3, free_slot);
+    a[3] = free_slot;
+    EXPECT_NEAR(problem.assignmentCost(a), base + delta, 1e-6);
+}
+
+TEST(Problem, SpreadingTilesRaisesCost)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 200));
+    const Assignment compact = GreedyMapper{}.solve(problem);
+    // Scatter: place tiles far apart (every 4th slot).
+    Assignment scattered(compact.size());
+    for (std::size_t t = 0; t < scattered.size(); ++t)
+        scattered[t] = static_cast<std::uint32_t>(t * 4);
+    ASSERT_TRUE(problem.feasible(scattered));
+    EXPECT_GT(problem.assignmentCost(scattered),
+              problem.assignmentCost(compact));
+}
+
+TEST(Mappers, AnnealingImprovesOnGreedy)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 48));
+    const double greedy_cost =
+        problem.assignmentCost(GreedyMapper{}.solve(problem));
+    AnnealingMapper::Options opts;
+    opts.iterations = 8000;
+    opts.seed = 5;
+    const double sa_cost = problem.assignmentCost(
+            AnnealingMapper(opts).solve(problem));
+    EXPECT_LE(sa_cost, greedy_cost * 1.0001);
+}
+
+TEST(Mappers, AnnealingDeterministicPerSeed)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 48));
+    AnnealingMapper::Options opts;
+    opts.iterations = 2000;
+    opts.seed = 9;
+    const Assignment a = AnnealingMapper(opts).solve(problem);
+    const Assignment b = AnnealingMapper(opts).solve(problem);
+    EXPECT_EQ(a, b);
+}
+
+/** A 2-layer micro-model whose block tiles to 6 cores: exact-solvable. */
+ModelConfig
+microModel()
+{
+    ModelConfig cfg;
+    cfg.name = "micro";
+    cfg.numBlocks = 1;
+    cfg.hiddenDim = 1024;
+    cfg.numHeads = 8;
+    cfg.numKvHeads = 8;
+    cfg.headDim = 128;
+    cfg.ffnDim = 2048;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 100;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 512;
+    return cfg;
+}
+
+TEST(Mappers, AnnealingNearExactOnSmallInstance)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(microModel(), CoreParams{}, geom,
+                           regionOf(geom, 10));
+    ASSERT_LE(problem.tiles().size(), 8u);
+
+    const Assignment exact = ExactMapper{}.solve(problem);
+    const double exact_cost = problem.assignmentCost(exact);
+
+    AnnealingMapper::Options opts;
+    opts.iterations = 20000;
+    opts.seed = 3;
+    const double sa_cost = problem.assignmentCost(
+            AnnealingMapper(opts).solve(problem));
+    // SA should land within 10% of the proven optimum.
+    EXPECT_LE(sa_cost, exact_cost * 1.10 + 1e-9);
+    EXPECT_GE(sa_cost, exact_cost - 1e-9);
+}
+
+TEST(Mappers, OursBeatsBaselines)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    AnnealingMapper::Options opts;
+    opts.iterations = 8000;
+    opts.seed = 1;
+    const double ours = mappingByteHops(
+            problem, AnnealingMapper(opts).solve(problem));
+    const double summa = mappingByteHops(
+            problem, SummaMapper{}.solve(problem));
+    const double waferllm = mappingByteHops(
+            problem, WaferLlmMapper{}.solve(problem));
+    // Fig. 18 ordering: ours < WaferLLM < SUMMA/Cerebras.
+    EXPECT_LT(ours, waferllm);
+    EXPECT_LT(waferllm, summa);
+}
+
+TEST(Mappers, BaselinesFeasible)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    EXPECT_TRUE(problem.feasible(SummaMapper{}.solve(problem)));
+    EXPECT_TRUE(problem.feasible(WaferLlmMapper{}.solve(problem)));
+}
+
+TEST(Dp, SingleGroupZeroCost)
+{
+    const auto a = dpLeafAssignment({8}, 8);
+    EXPECT_EQ(leafAssignmentCost(a), 0u);
+}
+
+TEST(Dp, TwoEqualGroupsRootConcat)
+{
+    const auto a = dpLeafAssignment({4, 4}, 8);
+    EXPECT_EQ(leafAssignmentCost(a), 0u); // concat at depth-0 root
+}
+
+TEST(Dp, AssignsAllSlices)
+{
+    const auto a = dpLeafAssignment({3, 2, 1}, 8);
+    int counts[3] = {0, 0, 0};
+    int unused = 0;
+    for (const int g : a) {
+        if (g < 0)
+            ++unused;
+        else
+            ++counts[g];
+    }
+    EXPECT_EQ(counts[0], 3);
+    EXPECT_EQ(counts[1], 2);
+    EXPECT_EQ(counts[2], 1);
+    EXPECT_EQ(unused, 2);
+}
+
+TEST(Dp, MatchesBruteForceOracle)
+{
+    const std::vector<std::vector<std::uint32_t>> instances{
+        {4, 4}, {3, 2, 1}, {5, 3}, {2, 2, 2, 2}, {6, 1}, {1, 1, 1},
+        {7, 1}, {3, 3, 2}, {5, 2, 1}, {6, 2}, {3, 1}, {3, 3, 1},
+        {2, 1}, {4, 2, 1},
+    };
+    for (const auto &counts : instances) {
+        const auto dp = dpLeafAssignment(counts, 8);
+        const auto brute = bruteForceLeafAssignment(counts, 8);
+        EXPECT_EQ(leafAssignmentCost(dp), leafAssignmentCost(brute))
+            << "instance size " << counts.size();
+    }
+}
+
+TEST(Dp, ThirtyTwoLeafProduction)
+{
+    // A realistic intra-core split: 4 output groups of 8 crossbars.
+    const auto a = dpLeafAssignment({8, 8, 8, 8}, 32);
+    EXPECT_EQ(leafAssignmentCost(a), 0u + 1u + 1u);
+    // groups pair at depth 1 (2 concats) and root (free). Cost = 2.
+}
+
+TEST(WaferMappingTest, BuildsForLlama13b)
+{
+    const WaferGeometry geom;
+    const ModelConfig cfg = llama13b();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    const auto mapping = WaferMapping::build(
+            cfg, CoreParams{}, geom, nullptr, 0, cfg.numBlocks, opts);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->numBlocks(), 40u);
+    // Every block placed; KV cores exist.
+    for (std::uint64_t b = 0; b < 40; ++b) {
+        const auto &p = mapping->placement(b);
+        EXPECT_EQ(p.weightCores.size(), mapping->tilesPerBlock());
+        EXPECT_FALSE(p.scoreCores.empty());
+        EXPECT_FALSE(p.contextCores.empty());
+    }
+    EXPECT_GT(mapping->totalKvCores(), 1000u);
+}
+
+TEST(WaferMappingTest, RefusesOversizeModel)
+{
+    // LLaMA-65B does not fit one wafer (65 GB > 54 GB).
+    const WaferGeometry geom;
+    const ModelConfig cfg = llama65b();
+    const auto mapping = WaferMapping::build(
+            cfg, CoreParams{}, geom, nullptr, 0, cfg.numBlocks);
+    EXPECT_FALSE(mapping.has_value());
+}
+
+TEST(WaferMappingTest, HalfModelFitsOneWafer)
+{
+    // ... but half its blocks do (the 2-wafer configuration of §6.8).
+    const WaferGeometry geom;
+    const ModelConfig cfg = llama65b();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    const auto mapping = WaferMapping::build(
+            cfg, CoreParams{}, geom, nullptr, 0, cfg.numBlocks / 2,
+            opts);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->numBlocks(), 40u);
+}
+
+TEST(WaferMappingTest, DefectsReduceKvPool)
+{
+    const WaferGeometry geom;
+    const ModelConfig cfg = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    const auto clean = WaferMapping::build(
+            cfg, CoreParams{}, geom, nullptr, 0, cfg.numBlocks, opts);
+    Rng rng(4);
+    const DefectMap defects(geom, YieldParams{}, rng);
+    const auto faulty = WaferMapping::build(
+            cfg, CoreParams{}, geom, &defects, 0, cfg.numBlocks, opts);
+    ASSERT_TRUE(clean.has_value());
+    ASSERT_TRUE(faulty.has_value());
+    EXPECT_LE(faulty->totalKvCores(), clean->totalKvCores());
+    // Defective cores never appear in any placement.
+    for (std::uint64_t b = 0; b < cfg.numBlocks; ++b) {
+        for (const auto &c : faulty->placement(b).weightCores)
+            EXPECT_FALSE(defects.defective(c));
+    }
+}
+
+TEST(WaferMappingTest, AnnealedBeatsSummaByHops)
+{
+    const WaferGeometry geom;
+    const ModelConfig cfg = tinyModel();
+    WaferMappingOptions ours;
+    ours.mapper = MapperKind::Annealing;
+    ours.annealIterations = 3000;
+    WaferMappingOptions summa;
+    summa.mapper = MapperKind::Summa;
+    const auto a = WaferMapping::build(cfg, CoreParams{}, geom, nullptr,
+                                       0, cfg.numBlocks, ours);
+    const auto s = WaferMapping::build(cfg, CoreParams{}, geom, nullptr,
+                                       0, cfg.numBlocks, summa);
+    ASSERT_TRUE(a && s);
+    EXPECT_LT(a->totalByteHops(), s->totalByteHops());
+}
+
+TEST(Remap, KvCoreFailureDropsFromPool)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}};
+    placement.scoreCores = {{1, 0}, {1, 1}};
+    placement.contextCores = {{2, 0}};
+    const WaferGeometry geom;
+    const auto result = recoverCoreFailure(placement, {1, 1}, geom,
+                                           NocParams{}, 4 * MiB);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->moves.empty());
+    EXPECT_EQ(placement.scoreCores.size(), 1u);
+}
+
+TEST(Remap, WeightFailureShiftsChainIntoKv)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}, {0, 2}};
+    placement.scoreCores = {{0, 3}};
+    placement.contextCores = {{5, 5}};
+    const WaferGeometry geom;
+    const auto result = recoverCoreFailure(placement, {0, 0}, geom,
+                                           NocParams{}, 4 * MiB);
+    ASSERT_TRUE(result.has_value());
+    // The nearest KV core (0,3) absorbs; chain (0,1),(0,2) shifts.
+    EXPECT_EQ(result->absorbedKvCore, (CoreCoord{0, 3}));
+    EXPECT_EQ(result->moves.size(), 3u);
+    // Weight cores now: tile0 on (0,1)'s old... every tile lives on a
+    // non-failed core and all are distinct.
+    std::set<std::uint64_t> cores;
+    for (const auto &c : placement.weightCores) {
+        EXPECT_FALSE(c == (CoreCoord{0, 0}));
+        cores.insert(geom.coreIndex(c));
+    }
+    EXPECT_EQ(cores.size(), 3u);
+    // (0,3) is no longer a KV core.
+    EXPECT_TRUE(placement.scoreCores.empty());
+    EXPECT_EQ(placement.contextCores.size(), 1u);
+}
+
+TEST(Remap, LatencySubMillisecond)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}, {0, 2}, {1, 2}};
+    placement.scoreCores = {{1, 3}};
+    const WaferGeometry geom;
+    const auto result = recoverCoreFailure(placement, {0, 0}, geom,
+                                           NocParams{}, 4 * MiB);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_LT(result->latencySeconds, 1e-3); // the paper's sub-ms claim
+    EXPECT_GT(result->latencySeconds, 0.0);
+}
+
+TEST(Remap, UnknownCoreReturnsNullopt)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}};
+    placement.scoreCores = {{0, 1}};
+    const WaferGeometry geom;
+    EXPECT_FALSE(recoverCoreFailure(placement, {9, 9}, geom,
+                                    NocParams{}, 4 * MiB)
+                         .has_value());
+}
+
+TEST(Remap, NoKvCoreLeftReturnsNullopt)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}};
+    const WaferGeometry geom;
+    EXPECT_FALSE(recoverCoreFailure(placement, {0, 0}, geom,
+                                    NocParams{}, 4 * MiB)
+                         .has_value());
+}
+
+/** Property: recovery preserves the tile count and core uniqueness. */
+class RemapPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RemapPropertyTest, PreservesTilesAndUniqueness)
+{
+    const int which = GetParam();
+    BlockPlacement placement;
+    for (std::uint32_t i = 0; i < 6; ++i)
+        placement.weightCores.push_back({0, i});
+    placement.scoreCores = {{1, 0}, {1, 3}};
+    placement.contextCores = {{1, 5}};
+    const WaferGeometry geom;
+    const CoreCoord failed{0, static_cast<std::uint32_t>(which)};
+    const auto result = recoverCoreFailure(placement, failed, geom,
+                                           NocParams{}, 4 * MiB);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(placement.weightCores.size(), 6u);
+    std::set<std::uint64_t> unique;
+    for (const auto &c : placement.weightCores) {
+        EXPECT_FALSE(c == failed);
+        unique.insert(geom.coreIndex(c));
+    }
+    EXPECT_EQ(unique.size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailEachWeightCore, RemapPropertyTest,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace ouro

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the model module: preset geometries, weight/KV/MAC
+ * accounting, the six-stage split, and attention-mask readiness rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/llm.hh"
+#include "model/masks.hh"
+#include "model/stages.hh"
+
+namespace ouro
+{
+namespace
+{
+
+TEST(ModelPresets, Llama13bGeometry)
+{
+    const ModelConfig cfg = llama13b();
+    EXPECT_EQ(cfg.numBlocks, 40u);
+    EXPECT_EQ(cfg.hiddenDim, 5120u);
+    EXPECT_EQ(cfg.numHeads, 40u);
+    EXPECT_EQ(cfg.headDim, 128u);
+    EXPECT_EQ(cfg.attention, AttentionKind::Causal);
+}
+
+TEST(ModelPresets, ParameterCountsNearNominal)
+{
+    // int8 weights: parameter count == weight bytes. Each preset
+    // should land within 20% of its nameplate size.
+    EXPECT_NEAR(llama13b().parameterCount() / 1e9, 13.0, 13.0 * 0.2);
+    EXPECT_NEAR(llama65b().parameterCount() / 1e9, 65.0, 65.0 * 0.2);
+    EXPECT_NEAR(baichuan13b().parameterCount() / 1e9, 13.0,
+                13.0 * 0.25);
+    EXPECT_NEAR(qwen32b().parameterCount() / 1e9, 32.0, 32.0 * 0.25);
+    EXPECT_NEAR(llama32b().parameterCount() / 1e9, 32.0, 32.0 * 0.25);
+    EXPECT_NEAR(t5_11b().parameterCount() / 1e9, 11.0, 11.0 * 0.3);
+    EXPECT_NEAR(bertLarge().parameterCount() / 1e9, 0.34, 0.34 * 0.3);
+}
+
+TEST(ModelPresets, QwenUsesGqa)
+{
+    const ModelConfig cfg = qwen32b();
+    EXPECT_LT(cfg.numKvHeads, cfg.numHeads);
+    EXPECT_EQ(cfg.kvDim(), cfg.numKvHeads * cfg.headDim);
+}
+
+TEST(ModelPresets, EncoderMaskKinds)
+{
+    EXPECT_EQ(bertLarge().attention, AttentionKind::Bidirectional);
+    EXPECT_EQ(t5_11b().attention, AttentionKind::Prefix);
+}
+
+TEST(ModelConfig, BlockLayersSwiGlu)
+{
+    const auto layers = llama13b().blockLayers();
+    ASSERT_EQ(layers.size(), 5u); // qkv, proj, gate, up, down
+    EXPECT_EQ(layers[0].name, "qkv");
+    EXPECT_EQ(layers[2].name, "ffn_gate");
+    EXPECT_EQ(layers[4].inDim, llama13b().ffnDim);
+    EXPECT_EQ(layers[4].outDim, llama13b().hiddenDim);
+}
+
+TEST(ModelConfig, BlockLayersClassicFfn)
+{
+    const auto layers = bertLarge().blockLayers();
+    ASSERT_EQ(layers.size(), 4u); // qkv, proj, ffn1, ffn2
+    EXPECT_EQ(layers[2].name, "ffn1");
+}
+
+TEST(ModelConfig, WeightBytesConsistent)
+{
+    const ModelConfig cfg = llama13b();
+    Bytes sum = 0;
+    for (const auto &layer : cfg.blockLayers())
+        sum += layer.weightBytes(cfg.bytesPerParam);
+    EXPECT_EQ(cfg.blockWeightBytes(), sum);
+    EXPECT_GT(cfg.totalWeightBytes(),
+              cfg.numBlocks * cfg.blockWeightBytes());
+}
+
+TEST(ModelConfig, KvBytesPerToken)
+{
+    const ModelConfig cfg = llama13b();
+    // 2 (K and V) * kvDim * 1 byte * blocks
+    EXPECT_EQ(cfg.kvBytesPerTokenPerBlock(), 2 * 5120u);
+    EXPECT_EQ(cfg.kvBytesPerToken(), 40u * 2 * 5120u);
+}
+
+TEST(ModelConfig, MacsGrowWithContext)
+{
+    const ModelConfig cfg = llama13b();
+    EXPECT_GT(cfg.blockMacsPerToken(2048), cfg.blockMacsPerToken(1));
+    const double dense_only = cfg.blockMacsPerToken(0);
+    // At zero context only the dense layers contribute.
+    double expect = 0.0;
+    for (const auto &layer : cfg.blockLayers())
+        expect += static_cast<double>(layer.inDim) *
+                  static_cast<double>(layer.outDim);
+    EXPECT_DOUBLE_EQ(dense_only, expect);
+}
+
+TEST(DenseModel, ScalesWithRequestedSize)
+{
+    for (double b : {7.0, 13.0, 19.5, 32.0, 65.0, 130.0}) {
+        const ModelConfig cfg = denseModel(b);
+        EXPECT_NEAR(cfg.parameterCount() / 1e9, b, b * 0.30)
+            << "size " << b;
+    }
+    EXPECT_LT(denseModel(7).parameterCount(),
+              denseModel(130).parameterCount());
+}
+
+TEST(Stages, SixStagesPerBlock)
+{
+    EXPECT_EQ(kStagesPerBlock, 6u);
+    const ModelConfig cfg = llama13b();
+    EXPECT_EQ(numPipelineStages(cfg), 240u);
+}
+
+TEST(Stages, WeightBearingStages)
+{
+    EXPECT_TRUE(stageHoldsWeights(StageKind::QkvGen));
+    EXPECT_TRUE(stageHoldsWeights(StageKind::Projection));
+    EXPECT_TRUE(stageHoldsWeights(StageKind::Ffn));
+    EXPECT_FALSE(stageHoldsWeights(StageKind::Score));
+    EXPECT_FALSE(stageHoldsWeights(StageKind::Softmax));
+    EXPECT_FALSE(stageHoldsWeights(StageKind::Context));
+}
+
+TEST(Stages, AttentionStages)
+{
+    EXPECT_TRUE(stageIsAttention(StageKind::Score));
+    EXPECT_TRUE(stageIsAttention(StageKind::Softmax));
+    EXPECT_TRUE(stageIsAttention(StageKind::Context));
+    EXPECT_FALSE(stageIsAttention(StageKind::QkvGen));
+    EXPECT_FALSE(stageIsAttention(StageKind::Ffn));
+}
+
+TEST(Stages, ScoreWorkGrowsWithContext)
+{
+    const ModelConfig cfg = llama13b();
+    const StageWork at1 = stageWork(cfg, StageKind::Score, 1);
+    const StageWork at1k = stageWork(cfg, StageKind::Score, 1024);
+    EXPECT_GT(at1k.macs, at1.macs);
+    EXPECT_DOUBLE_EQ(at1k.macs, 1024.0 * at1.macs);
+    EXPECT_GT(at1k.kvReadBytes, at1.kvReadBytes);
+}
+
+TEST(Stages, DenseWorkContextInvariant)
+{
+    const ModelConfig cfg = llama13b();
+    for (StageKind kind : {StageKind::QkvGen, StageKind::Projection,
+                           StageKind::Ffn}) {
+        EXPECT_DOUBLE_EQ(stageWork(cfg, kind, 1).macs,
+                         stageWork(cfg, kind, 4096).macs)
+            << stageKindName(kind);
+    }
+}
+
+TEST(Stages, QkvWritesKv)
+{
+    const ModelConfig cfg = llama13b();
+    const StageWork work = stageWork(cfg, StageKind::QkvGen, 128);
+    EXPECT_EQ(work.kvWriteBytes, cfg.kvBytesPerTokenPerBlock());
+    EXPECT_EQ(stageWork(cfg, StageKind::Ffn, 128).kvWriteBytes, 0u);
+}
+
+TEST(Stages, SoftmaxIsSfuOnly)
+{
+    const ModelConfig cfg = llama13b();
+    const StageWork work = stageWork(cfg, StageKind::Softmax, 512);
+    EXPECT_DOUBLE_EQ(work.macs, 0.0);
+    EXPECT_GT(work.sfuOps, 0.0);
+}
+
+TEST(Stages, BlockWorkMacsMatchModelTotal)
+{
+    const ModelConfig cfg = llama13b();
+    const std::uint64_t ctx = 777;
+    const auto works = blockWork(cfg, ctx);
+    double macs = 0.0;
+    for (const auto &w : works)
+        macs += w.macs;
+    EXPECT_NEAR(macs, cfg.blockMacsPerToken(ctx), 1.0);
+}
+
+TEST(Stages, StageIdRoundTrip)
+{
+    const StageId id{7, StageKind::Context};
+    EXPECT_EQ(id.flat(), 7u * 6 + 3);
+    const StageId back = StageId::fromFlat(id.flat());
+    EXPECT_EQ(back, id);
+}
+
+TEST(Masks, CausalReadyImmediately)
+{
+    for (std::uint64_t t : {0ull, 5ull, 127ull, 2047ull}) {
+        EXPECT_EQ(attentionReadyPosition(AttentionKind::Causal, t, 128),
+                  t);
+    }
+}
+
+TEST(Masks, BidirectionalNeedsWholePrompt)
+{
+    EXPECT_EQ(attentionReadyPosition(AttentionKind::Bidirectional, 0,
+                                     128), 127u);
+    EXPECT_EQ(attentionReadyPosition(AttentionKind::Bidirectional, 100,
+                                     128), 127u);
+}
+
+TEST(Masks, PrefixMixesBoth)
+{
+    // Inside the prefix: wait for the full prefix.
+    EXPECT_EQ(attentionReadyPosition(AttentionKind::Prefix, 3, 128),
+              127u);
+    // Generated continuation: causal.
+    EXPECT_EQ(attentionReadyPosition(AttentionKind::Prefix, 200, 128),
+              200u);
+}
+
+TEST(Masks, AttendedContextCausal)
+{
+    EXPECT_EQ(attendedContext(AttentionKind::Causal, 0, 16), 1u);
+    EXPECT_EQ(attendedContext(AttentionKind::Causal, 15, 16), 16u);
+}
+
+TEST(Masks, PureTgpOnlyForCausal)
+{
+    EXPECT_TRUE(masksAllowPureTgp(AttentionKind::Causal));
+    EXPECT_FALSE(masksAllowPureTgp(AttentionKind::Bidirectional));
+    EXPECT_FALSE(masksAllowPureTgp(AttentionKind::Prefix));
+}
+
+/** Parameterised sweep: MAC totals are monotone in context length. */
+class MacMonotoneTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MacMonotoneTest, MonotoneInContext)
+{
+    const ModelConfig cfg = llama13b();
+    const std::uint64_t ctx = GetParam();
+    EXPECT_LE(cfg.blockMacsPerToken(ctx),
+              cfg.blockMacsPerToken(ctx + 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(ContextSweep, MacMonotoneTest,
+                         ::testing::Values(0, 1, 16, 128, 1024, 4095));
+
+/** Parameterised property: every preset fits basic sanity bounds. */
+class PresetSanityTest : public ::testing::TestWithParam<int>
+{
+  public:
+    static ModelConfig modelFor(int idx)
+    {
+        switch (idx) {
+          case 0: return llama13b();
+          case 1: return llama32b();
+          case 2: return llama65b();
+          case 3: return baichuan13b();
+          case 4: return qwen32b();
+          case 5: return t5_11b();
+          default: return bertLarge();
+        }
+    }
+};
+
+TEST_P(PresetSanityTest, GeometryInvariants)
+{
+    const ModelConfig cfg = modelFor(GetParam());
+    EXPECT_GT(cfg.numBlocks, 0u);
+    EXPECT_GT(cfg.hiddenDim, 0u);
+    EXPECT_EQ(cfg.numHeads % cfg.numKvHeads, 0u) << cfg.name;
+    EXPECT_GT(cfg.ffnDim, cfg.hiddenDim) << cfg.name;
+    EXPECT_GT(cfg.blockWeightBytes(), 0u);
+    EXPECT_GT(cfg.kvBytesPerToken(), 0u);
+    // Every layer keeps positive dims.
+    for (const auto &layer : cfg.blockLayers()) {
+        EXPECT_GT(layer.inDim, 0u) << cfg.name << ":" << layer.name;
+        EXPECT_GT(layer.outDim, 0u) << cfg.name << ":" << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSanityTest,
+                         ::testing::Range(0, 7));
+
+} // namespace
+} // namespace ouro

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the network-on-wafer: XY routing, fault detours,
+ * transfer pricing, traffic accumulation/bottleneck analysis, and the
+ * intra-core H-tree cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/geometry.hh"
+#include "hw/yield.hh"
+#include "noc/htree.hh"
+#include "noc/mesh.hh"
+
+namespace ouro
+{
+namespace
+{
+
+TEST(Mesh, RouteStraightLine)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const auto path = noc.route({0, 0}, {0, 5});
+    ASSERT_EQ(path.size(), 6u);
+    EXPECT_EQ(path.front(), (CoreCoord{0, 0}));
+    EXPECT_EQ(path.back(), (CoreCoord{0, 5}));
+}
+
+TEST(Mesh, RouteXYShape)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const auto path = noc.route({2, 3}, {5, 7});
+    // XY: horizontal leg first, then vertical.
+    ASSERT_EQ(path.size(), 8u); // 4 + 3 hops
+    EXPECT_EQ(path[1], (CoreCoord{2, 4}));
+    EXPECT_EQ(path[4], (CoreCoord{2, 7}));
+    EXPECT_EQ(path[5], (CoreCoord{3, 7}));
+}
+
+TEST(Mesh, RouteToSelf)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    EXPECT_EQ(noc.route({3, 3}, {3, 3}).size(), 1u);
+    EXPECT_DOUBLE_EQ(noc.transferCost({3, 3}, {3, 3}, 1024).seconds,
+                     0.0);
+}
+
+TEST(Mesh, DetourAroundDefect)
+{
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    defects.inject({0, 2}); // directly on the XY path
+    const MeshNoc noc(geom, NocParams{}, &defects);
+    const auto path = noc.route({0, 0}, {0, 4});
+    ASSERT_FALSE(path.empty());
+    for (const auto &c : path)
+        EXPECT_FALSE(defects.defective(c));
+    // Detour adds exactly two hops on a mesh.
+    EXPECT_EQ(path.size(), 7u);
+}
+
+TEST(Mesh, DefectiveDestinationStillReachable)
+{
+    // Routes may *end* at a defective core (e.g. draining state), just
+    // not pass through one.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    defects.inject({0, 4});
+    const MeshNoc noc(geom, NocParams{}, &defects);
+    const auto path = noc.route({0, 0}, {0, 4});
+    ASSERT_EQ(path.size(), 5u);
+}
+
+TEST(Mesh, FailedLinkForcesYx)
+{
+    const WaferGeometry geom;
+    MeshNoc noc(geom, NocParams{});
+    noc.failLink({2, 3}, LinkDir::East);
+    const auto path = noc.route({2, 3}, {2, 5});
+    ASSERT_FALSE(path.empty());
+    // First hop cannot be east out of (2,3).
+    EXPECT_NE(path[1], (CoreCoord{2, 4}));
+    EXPECT_EQ(path.back(), (CoreCoord{2, 5}));
+}
+
+TEST(Mesh, BfsFallbackThroughFence)
+{
+    // Wall off the XY and YX routes; BFS must still find a way.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    for (std::uint32_t r = 0; r < 6; ++r)
+        defects.inject({r, 3});
+    const MeshNoc noc(geom, NocParams{}, &defects);
+    const auto path = noc.route({2, 0}, {2, 6});
+    ASSERT_FALSE(path.empty());
+    for (const auto &c : path)
+        EXPECT_FALSE(defects.defective(c));
+    EXPECT_GT(path.size(), 7u); // longer than the direct 6-hop route
+}
+
+TEST(Mesh, TransferCostScalesWithBytes)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const auto small = noc.transferCost({0, 0}, {0, 10}, 1 * KiB);
+    const auto large = noc.transferCost({0, 0}, {0, 10}, 1 * MiB);
+    EXPECT_GT(large.seconds, small.seconds);
+    EXPECT_GT(large.energyJ, small.energyJ);
+    EXPECT_EQ(small.hops, 10u);
+    EXPECT_EQ(large.hops, 10u);
+}
+
+TEST(Mesh, DieCrossingCostsMore)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    // Same distance, one crossing a die boundary (rows 12|13).
+    const auto same_die = noc.transferCost({0, 0}, {4, 0}, 64 * KiB);
+    const auto cross_die = noc.transferCost({11, 0}, {15, 0}, 64 * KiB);
+    EXPECT_EQ(same_die.hops, cross_die.hops);
+    EXPECT_EQ(same_die.dieCrossings, 0u);
+    EXPECT_EQ(cross_die.dieCrossings, 1u);
+    EXPECT_GT(cross_die.seconds, same_die.seconds);
+    EXPECT_GT(cross_die.energyJ, same_die.energyJ);
+}
+
+TEST(Mesh, EnergyProportionalToHops)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const double e1 = noc.transferEnergy({0, 0}, {0, 1}, 1 * KiB);
+    const double e4 = noc.transferEnergy({0, 0}, {0, 4}, 1 * KiB);
+    EXPECT_NEAR(e4, 4.0 * e1, 1e-15);
+}
+
+TEST(Traffic, BottleneckIsMaxLink)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    // Two flows sharing the (0,0)->(0,1) link.
+    traffic.addFlow({0, 0}, {0, 2}, 1000);
+    traffic.addFlow({0, 0}, {0, 3}, 1000);
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(), 2000.0);
+    // A disjoint flow does not raise the bottleneck.
+    traffic.addFlow({5, 0}, {5, 1}, 1500);
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(), 2000.0);
+}
+
+TEST(Traffic, BottleneckSecondsUsesLinkBandwidth)
+{
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc noc(geom, params);
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({0, 0}, {0, 1}, 32 * KiB);
+    EXPECT_NEAR(traffic.bottleneckSeconds(),
+                static_cast<double>(32 * KiB) /
+                params.linkBytesPerSecond(), 1e-12);
+}
+
+TEST(Traffic, ClearResets)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({0, 0}, {3, 3}, 4096);
+    EXPECT_GT(traffic.totalEnergyJ(), 0.0);
+    traffic.clear();
+    EXPECT_DOUBLE_EQ(traffic.totalEnergyJ(), 0.0);
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(traffic.totalByteHops(), 0.0);
+}
+
+TEST(Traffic, ByteHopsCountsVolume)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({0, 0}, {0, 5}, 100);
+    EXPECT_DOUBLE_EQ(traffic.totalByteHops(), 500.0);
+}
+
+TEST(Traffic, DieCrossingInflatesLoad)
+{
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc noc(geom, params);
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({12, 0}, {13, 0}, 1000); // crosses die boundary
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(),
+                     1000.0 * params.interDiePenalty);
+}
+
+TEST(HTree, SingleGroupIsFree)
+{
+    const HTree tree(8);
+    // All leaves one group: every merge is a reduction.
+    EXPECT_EQ(tree.assignmentCost({0, 0, 0, 0, 0, 0, 0, 0}), 0u);
+    EXPECT_EQ(tree.concatNodes({0, 0, 0, 0, 0, 0, 0, 0}), 0u);
+}
+
+TEST(HTree, TwoAlignedGroupsConcatAtRoot)
+{
+    const HTree tree(8);
+    // Groups occupy the two root subtrees: one concat at depth... the
+    // root is depth 0, so cost 0 but one concat node.
+    const std::vector<int> a{0, 0, 0, 0, 1, 1, 1, 1};
+    EXPECT_EQ(tree.concatNodes(a), 1u);
+    EXPECT_EQ(tree.assignmentCost(a), 0u);
+}
+
+TEST(HTree, InterleavedGroupsCostMore)
+{
+    const HTree tree(8);
+    const std::vector<int> aligned{0, 0, 0, 0, 1, 1, 1, 1};
+    const std::vector<int> interleaved{0, 1, 0, 1, 0, 1, 0, 1};
+    EXPECT_GT(tree.assignmentCost(interleaved),
+              tree.assignmentCost(aligned));
+    // Fully interleaved: concat at every internal node.
+    EXPECT_EQ(tree.concatNodes(interleaved), 7u);
+}
+
+TEST(HTree, UnusedLeavesTransparent)
+{
+    const HTree tree(8);
+    const std::vector<int> sparse{0, -1, -1, -1, 1, -1, -1, -1};
+    EXPECT_EQ(tree.assignmentCost(sparse), 0u);
+    EXPECT_EQ(tree.concatNodes(sparse), 1u);
+}
+
+TEST(HTree, DepthWeightsNearLeaves)
+{
+    const HTree tree(8);
+    // Concat forced at depth 2 (leaf pair level = depth 2 for 8
+    // leaves): groups 0/1 adjacent in one pair.
+    const std::vector<int> near_leaf{0, 1, -1, -1, -1, -1, -1, -1};
+    EXPECT_EQ(tree.assignmentCost(near_leaf), 2u);
+    const std::vector<int> near_root{0, -1, -1, -1, 1, -1, -1, -1};
+    EXPECT_EQ(tree.assignmentCost(near_root), 0u);
+}
+
+TEST(HTree, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH({ HTree tree(6); }, "power of two");
+}
+
+TEST(HTree, ThirtyTwoLeavesMatchesCore)
+{
+    const HTree tree(32);
+    EXPECT_EQ(tree.levels(), 5u);
+    std::vector<int> all_one(32, 0);
+    EXPECT_EQ(tree.assignmentCost(all_one), 0u);
+}
+
+} // namespace
+} // namespace ouro

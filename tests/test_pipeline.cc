@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the pipeline engines: TGP vs sequence-grained behaviour
+ * under uniform and variable-length workloads, encoder blocking,
+ * KV-capacity-limited decode concurrency, eviction/recompute, and
+ * static-vs-dynamic KV allocation - the mechanisms behind Figs. 5,
+ * 15, 16 and 17.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kvcache/manager.hh"
+#include "model/llm.hh"
+#include "pipeline/engine.hh"
+#include "pipeline/timing.hh"
+#include "workload/requests.hh"
+
+namespace ouro
+{
+namespace
+{
+
+ModelConfig
+pipeModel(AttentionKind mask = AttentionKind::Causal)
+{
+    ModelConfig cfg;
+    cfg.name = "pipe-test";
+    cfg.numBlocks = 8;
+    cfg.hiddenDim = 512;
+    cfg.numHeads = 4;
+    cfg.numKvHeads = 4;
+    cfg.headDim = 128;
+    cfg.ffnDim = 1024;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 100;
+    cfg.bytesPerParam = 1;
+    cfg.attention = mask;
+    cfg.maxContext = 4096;
+    return cfg;
+}
+
+StageTiming
+uniformTiming(double fixed = 1e-6, double per_ctx = 1e-9)
+{
+    StageTiming timing;
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        timing.fixedSeconds[s] = fixed;
+        const auto kind = static_cast<StageKind>(s);
+        timing.perContextSeconds[s] =
+            stageIsAttention(kind) ? per_ctx : 0.0;
+    }
+    return timing;
+}
+
+std::vector<KvCoreInfo>
+bigPool(std::uint32_t cores = 64, std::uint32_t base = 0)
+{
+    std::vector<KvCoreInfo> infos;
+    for (std::uint32_t i = 0; i < cores; ++i)
+        infos.push_back({{base, i}, 32, 8});
+    return infos;
+}
+
+BlockKvManager
+bigKv(const ModelConfig &cfg)
+{
+    return BlockKvManager(cfg, bigPool(64, 0), bigPool(64, 1));
+}
+
+TEST(StageTimingTest, TokenTimeComposition)
+{
+    const StageTiming t = uniformTiming(2e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(t.tokenTime(StageKind::Ffn, 1000), 2e-6);
+    EXPECT_DOUBLE_EQ(t.tokenTime(StageKind::Score, 1000),
+                     2e-6 + 1e-6);
+    EXPECT_GT(t.bottleneckTime(4096), t.bottleneckTime(1));
+    EXPECT_NEAR(t.totalTime(0), 6 * 2e-6, 1e-12);
+}
+
+TEST(Pipeline, ProcessesAllTokens)
+{
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const Workload w = fixedWorkload(64, 16, 10);
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_EQ(stats.outputTokens, 10u * 16);
+    EXPECT_EQ(stats.tokensProcessed, 10u * (64 + 16));
+    EXPECT_GT(stats.makespanSeconds, 0.0);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(Pipeline, AllSequencesReleased)
+{
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const Workload w = fixedWorkload(100, 20, 25);
+    runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_EQ(kv.numResident(), 0u);
+    EXPECT_EQ(kv.usedBlocks(), 0u);
+}
+
+TEST(Pipeline, TgpBeatsSgpOnVariableLengths)
+{
+    const ModelConfig cfg = pipeModel();
+    const Workload w = wikiText2Like(100, 1024, 42);
+    const StageTiming timing = uniformTiming();
+
+    auto kv_tgp = bigKv(cfg);
+    PipelineOptions tgp;
+    tgp.kind = PipelineKind::TokenGrained;
+    const auto tgp_stats = runPipeline(w, cfg, timing, kv_tgp, tgp);
+
+    auto kv_sgp = bigKv(cfg);
+    PipelineOptions sgp;
+    sgp.kind = PipelineKind::SequenceGrained;
+    const auto sgp_stats = runPipeline(w, cfg, timing, kv_sgp, sgp);
+
+    EXPECT_GT(tgp_stats.outputTokensPerSecond(),
+              sgp_stats.outputTokensPerSecond());
+    EXPECT_LT(tgp_stats.bubbleFraction, sgp_stats.bubbleFraction);
+}
+
+TEST(Pipeline, UniformPrefillOnlyNearlyEquivalent)
+{
+    // With identical prefill-only requests SGP's imbalance vanishes:
+    // TGP should not be dramatically better (sanity check that the
+    // TGP gain really comes from variance, not an engine artefact).
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(256, 1, 50);
+    const StageTiming timing = uniformTiming();
+
+    auto kv_a = bigKv(cfg);
+    PipelineOptions tgp;
+    tgp.kind = PipelineKind::TokenGrained;
+    const auto a = runPipeline(w, cfg, timing, kv_a, tgp);
+
+    auto kv_b = bigKv(cfg);
+    PipelineOptions sgp;
+    sgp.kind = PipelineKind::SequenceGrained;
+    const auto b = runPipeline(w, cfg, timing, kv_b, sgp);
+
+    EXPECT_LT(a.makespanSeconds, b.makespanSeconds * 1.05);
+    EXPECT_GT(a.makespanSeconds, b.makespanSeconds * 0.3);
+}
+
+TEST(Pipeline, DecodeThroughputScalesWithConcurrency)
+{
+    // Many concurrent decode streams fill the 48-deep pipeline;
+    // a single stream leaves it mostly idle.
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+
+    auto kv_many = bigKv(cfg);
+    const auto many = runPipeline(fixedWorkload(16, 256, 64), cfg,
+                                  timing, kv_many);
+    auto kv_one = bigKv(cfg);
+    const auto one = runPipeline(fixedWorkload(16, 256, 1), cfg,
+                                 timing, kv_one);
+    // 64 streams decode at >10x the rate of one stream.
+    EXPECT_GT(many.outputTokensPerSecond(),
+              10.0 * one.outputTokensPerSecond());
+    EXPECT_GT(many.utilization, one.utilization);
+}
+
+TEST(Pipeline, KvCapacityLimitsDecodeThroughput)
+{
+    // Shrink the KV pool: fewer resident sequences -> more bubbles.
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+    const Workload w = fixedWorkload(64, 128, 64);
+
+    auto kv_big = bigKv(cfg);
+    const auto big = runPipeline(w, cfg, timing, kv_big);
+
+    // Tiny pool: 8 cores x 1 crossbar x 4 blocks per side -> only a
+    // handful of sequences resident at once.
+    std::vector<KvCoreInfo> tiny_score, tiny_context;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        tiny_score.push_back({{0, i}, 1, 4});
+        tiny_context.push_back({{1, i}, 1, 4});
+    }
+    BlockKvManager kv_small(cfg, tiny_score, tiny_context);
+    const auto small = runPipeline(w, cfg, timing, kv_small);
+
+    EXPECT_GT(big.outputTokensPerSecond(),
+              small.outputTokensPerSecond());
+    EXPECT_GE(big.peakConcurrency, small.peakConcurrency);
+}
+
+TEST(Pipeline, EncoderBlockingDegradesGracefully)
+{
+    // Bidirectional masks force attention to sequence grain. TGP with
+    // block still beats full sequence granularity (the paper's 25x is
+    // on real stage times; here we just require strict ordering).
+    const ModelConfig cfg = pipeModel(AttentionKind::Bidirectional);
+    const StageTiming timing = uniformTiming(1e-6, 5e-9);
+    const Workload w = wikiText2Like(80, 512, 7);
+
+    auto kv_a = bigKv(cfg);
+    PipelineOptions tgp;
+    tgp.kind = PipelineKind::TokenGrained;
+    const auto blocked = runPipeline(w, cfg, timing, kv_a, tgp);
+
+    auto kv_b = bigKv(cfg);
+    PipelineOptions sgp;
+    sgp.kind = PipelineKind::SequenceGrained;
+    const auto seq = runPipeline(w, cfg, timing, kv_b, sgp);
+
+    EXPECT_GE(blocked.outputTokensPerSecond(),
+              seq.outputTokensPerSecond());
+}
+
+TEST(Pipeline, CausalTgpBeatsBlockedTgp)
+{
+    // The same workload runs faster when the mask admits pure TGP
+    // (paper: ~5% penalty for blocking on decoder-only models; the
+    // direction must hold).
+    const Workload w = wikiText2Like(60, 512, 11);
+    const StageTiming timing = uniformTiming(1e-6, 5e-9);
+
+    const ModelConfig causal = pipeModel(AttentionKind::Causal);
+    auto kv_a = bigKv(causal);
+    const auto pure = runPipeline(w, causal, timing, kv_a);
+
+    const ModelConfig prefix = pipeModel(AttentionKind::Prefix);
+    auto kv_b = bigKv(prefix);
+    const auto blocked = runPipeline(w, prefix, timing, kv_b);
+
+    EXPECT_GE(blocked.makespanSeconds,
+              pure.makespanSeconds * 0.999);
+}
+
+TEST(Pipeline, StaticAllocationAdmitsFewer)
+{
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+    const Workload w = fixedWorkload(64, 64, 48);
+
+    BlockKvManager kv_dyn(cfg, bigPool(8, 0), bigPool(8, 1));
+    PipelineOptions dyn;
+    const auto dynamic = runPipeline(w, cfg, timing, kv_dyn, dyn);
+
+    BlockKvManager kv_static(cfg, bigPool(8, 0), bigPool(8, 1));
+    PipelineOptions stat;
+    stat.staticKvAllocation = true;
+    stat.maxContext = 4096;
+    const auto fixed = runPipeline(w, cfg, timing, kv_static, stat);
+
+    EXPECT_GT(dynamic.peakConcurrency, fixed.peakConcurrency);
+    EXPECT_GT(dynamic.outputTokensPerSecond(),
+              fixed.outputTokensPerSecond());
+}
+
+TEST(Pipeline, EvictionCausesRecompute)
+{
+    // Pool sized so growth collides: long decodes in a small pool.
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+    BlockKvManager kv(cfg, bigPool(2, 0), bigPool(2, 1));
+    const Workload w = fixedWorkload(512, 1024, 16);
+    const auto stats = runPipeline(w, cfg, timing, kv, {});
+    EXPECT_EQ(stats.outputTokens, 16u * 1024);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.recomputedTokens, 0u);
+    EXPECT_EQ(kv.numResident(), 0u);
+}
+
+TEST(Pipeline, UtilizationBounded)
+{
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const auto stats = runPipeline(wikiText2Like(50, 512, 3), cfg,
+                                   uniformTiming(), kv);
+    EXPECT_GE(stats.utilization, 0.0);
+    EXPECT_LE(stats.utilization, 1.0);
+    EXPECT_NEAR(stats.utilization + stats.bubbleFraction, 1.0, 1e-9);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    const ModelConfig cfg = pipeModel();
+    const Workload w = wikiText2Like(40, 512, 5);
+    auto kv1 = bigKv(cfg);
+    auto kv2 = bigKv(cfg);
+    const auto a = runPipeline(w, cfg, uniformTiming(), kv1);
+    const auto b = runPipeline(w, cfg, uniformTiming(), kv2);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.evictions, b.evictions);
+}
+
+TEST(WorkloadGen, FixedWorkloadShape)
+{
+    const Workload w = fixedWorkload(128, 2048, 1000);
+    EXPECT_EQ(w.requests.size(), 1000u);
+    EXPECT_EQ(w.totalOutputTokens(), 1000u * 2048);
+    EXPECT_EQ(w.maxSequenceLength(), 128u + 2048);
+}
+
+TEST(WorkloadGen, WikiTextVariance)
+{
+    const Workload w = wikiText2Like(1000, 2048, 1);
+    EXPECT_EQ(w.requests.size(), 1000u);
+    std::uint64_t min_lp = UINT64_MAX, max_lp = 0;
+    for (const auto &r : w.requests) {
+        min_lp = std::min(min_lp, r.prefillLen);
+        max_lp = std::max(max_lp, r.prefillLen);
+        EXPECT_GE(r.prefillLen, 16u);
+        EXPECT_LE(r.prefillLen, 2048u);
+        EXPECT_GE(r.decodeLen, 16u);
+    }
+    // The whole point: substantial length variance.
+    EXPECT_GT(max_lp, 4 * min_lp);
+}
+
+TEST(WorkloadGen, Deterministic)
+{
+    const Workload a = wikiText2Like(100, 1024, 9);
+    const Workload b = wikiText2Like(100, 1024, 9);
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].prefillLen, b.requests[i].prefillLen);
+        EXPECT_EQ(a.requests[i].decodeLen, b.requests[i].decodeLen);
+    }
+}
+
+TEST(WorkloadGen, PaperWorkloadsComplete)
+{
+    const auto all = paperWorkloads(10);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name, "WikiText-2");
+    EXPECT_EQ(all[1].name, "LP=128,LD=2048");
+    EXPECT_EQ(all[2].name, "LP=2048,LD=128");
+    EXPECT_EQ(all[3].name, "LP=2048,LD=2048");
+}
+
+} // namespace
+} // namespace ouro

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Integration tests of the end-to-end simulator: building systems,
+ * running workloads, the ablation ladder's monotonicity, stage-time
+ * derivation, multi-wafer scaling, and the headline comparisons
+ * against the baselines (the Fig. 13/14 directions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/analytic.hh"
+#include "sim/stage_model.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+namespace ouro
+{
+namespace
+{
+
+/** Fast options: greedy mapper, fixed seed, defects on. */
+OuroborosOptions
+fastOpts()
+{
+    OuroborosOptions opts;
+    opts.smartMapping = false; // avoid annealing in unit tests
+    opts.seed = 3;
+    return opts;
+}
+
+const Workload &
+smallMix()
+{
+    static const Workload w = wikiText2Like(30, 1024, 5);
+    return w;
+}
+
+TEST(System, Builds13BOnOneWafer)
+{
+    const auto sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    EXPECT_GT(sys->numDefects(), 0u); // Murphy model fired
+    EXPECT_GT(sys->totalMappingByteHops(), 0.0);
+    EXPECT_FALSE(sys->scorePool().empty());
+    EXPECT_FALSE(sys->contextPool().empty());
+}
+
+TEST(System, Rejects65BOnOneWafer)
+{
+    EXPECT_FALSE(OuroborosSystem::build(llama65b(), {}, fastOpts())
+                         .has_value());
+}
+
+TEST(System, Accepts65BOnTwoWafers)
+{
+    OuroborosOptions opts = fastOpts();
+    opts.numWafers = 2;
+    const auto sys = OuroborosSystem::build(llama65b(), {}, opts);
+    ASSERT_TRUE(sys.has_value());
+    EXPECT_EQ(sys->mapping(0).numBlocks() +
+              sys->mapping(1).numBlocks(), 80u);
+}
+
+TEST(System, RunProducesSaneNumbers)
+{
+    const auto sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const auto rep = sys->run(smallMix());
+    EXPECT_GT(rep.result.outputTokensPerSecond, 0.0);
+    EXPECT_GT(rep.result.energyPerTokenTotal(), 0.0);
+    EXPECT_GT(rep.result.utilization, 0.0);
+    EXPECT_LE(rep.result.utilization, 1.0);
+    EXPECT_EQ(rep.pipeline.outputTokens,
+              smallMix().totalOutputTokens());
+    // Ouroboros never touches off-chip memory.
+    EXPECT_DOUBLE_EQ(rep.result.energyPerToken.get(
+                             EnergyCategory::OffChipMemory), 0.0);
+}
+
+TEST(System, DeterministicPerSeed)
+{
+    const auto a = OuroborosSystem::build(llama13b(), {}, fastOpts());
+    const auto b = OuroborosSystem::build(llama13b(), {}, fastOpts());
+    ASSERT_TRUE(a && b);
+    const auto ra = a->run(smallMix());
+    const auto rb = b->run(smallMix());
+    EXPECT_DOUBLE_EQ(ra.result.outputTokensPerSecond,
+                     rb.result.outputTokensPerSecond);
+    EXPECT_DOUBLE_EQ(ra.result.energyPerTokenTotal(),
+                     rb.result.energyPerTokenTotal());
+}
+
+TEST(System, TgpBeatsSequenceGrained)
+{
+    OuroborosOptions sgp = fastOpts();
+    sgp.tokenGrained = false;
+    const auto tgp_sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    const auto sgp_sys = OuroborosSystem::build(llama13b(), {}, sgp);
+    ASSERT_TRUE(tgp_sys && sgp_sys);
+    const auto tgp_rep = tgp_sys->run(smallMix());
+    const auto sgp_rep = sgp_sys->run(smallMix());
+    EXPECT_GT(tgp_rep.result.outputTokensPerSecond,
+              sgp_rep.result.outputTokensPerSecond);
+}
+
+TEST(System, DynamicKvBeatsStatic)
+{
+    OuroborosOptions stat = fastOpts();
+    stat.dynamicKv = false;
+    const auto dyn_sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    const auto stat_sys =
+        OuroborosSystem::build(llama13b(), {}, stat);
+    ASSERT_TRUE(dyn_sys && stat_sys);
+    // Enough concurrent decode streams that the static worst-case
+    // reservation becomes the limiter.
+    const Workload stress = fixedWorkload(64, 512, 150);
+    const auto dyn_rep = dyn_sys->run(stress);
+    const auto stat_rep = stat_sys->run(stress);
+    EXPECT_GE(dyn_rep.result.peakConcurrency,
+              stat_rep.result.peakConcurrency);
+    EXPECT_GT(dyn_rep.result.outputTokensPerSecond,
+              stat_rep.result.outputTokensPerSecond);
+}
+
+TEST(System, CimReducesEnergy)
+{
+    OuroborosOptions no_cim = fastOpts();
+    no_cim.useCim = false;
+    const auto cim_sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    const auto ref_sys =
+        OuroborosSystem::build(llama13b(), {}, no_cim);
+    ASSERT_TRUE(cim_sys && ref_sys);
+    const auto with = cim_sys->run(smallMix());
+    const auto without = ref_sys->run(smallMix());
+    EXPECT_LT(with.result.energyPerTokenTotal(),
+              without.result.energyPerTokenTotal());
+}
+
+TEST(System, TgpWithoutCimExplodesOnChipEnergy)
+{
+    // The Fig. 15 red-hatched observation: token granularity without
+    // CIM re-streams every weight per token.
+    OuroborosOptions hatched = fastOpts();
+    hatched.useCim = false;
+    hatched.tokenGrained = true;
+    OuroborosOptions sgp_nocim = fastOpts();
+    sgp_nocim.useCim = false;
+    sgp_nocim.tokenGrained = false;
+    const auto a = OuroborosSystem::build(llama13b(), {}, hatched);
+    const auto b = OuroborosSystem::build(llama13b(), {}, sgp_nocim);
+    ASSERT_TRUE(a && b);
+    const double ea = a->run(smallMix())
+                          .result.energyPerToken.get(
+                                  EnergyCategory::OnChipMemory);
+    const double eb = b->run(smallMix())
+                          .result.energyPerToken.get(
+                                  EnergyCategory::OnChipMemory);
+    EXPECT_GT(ea, 5.0 * eb);
+}
+
+TEST(System, WaferScaleBeatsDiscreteDies)
+{
+    OuroborosOptions discrete = fastOpts();
+    discrete.waferScale = false;
+    const auto wafer_sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    const auto die_sys =
+        OuroborosSystem::build(llama13b(), {}, discrete);
+    ASSERT_TRUE(wafer_sys && die_sys);
+    const auto wafer = wafer_sys->run(smallMix());
+    const auto dies = die_sys->run(smallMix());
+    EXPECT_GE(wafer.result.outputTokensPerSecond,
+              dies.result.outputTokensPerSecond);
+    EXPECT_LE(wafer.result.energyPerToken.get(
+                      EnergyCategory::Communication),
+              dies.result.energyPerToken.get(
+                      EnergyCategory::Communication));
+}
+
+TEST(System, BeatsDgxOnThroughputAndEnergy)
+{
+    // The headline direction of Figs. 13/14.
+    const auto sys =
+        OuroborosSystem::build(llama13b(), {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const auto ours = sys->run(smallMix());
+    const auto dgx = evalAccelerator(dgxA100(), llama13b(),
+                                     smallMix());
+    ASSERT_TRUE(dgx.has_value());
+    EXPECT_GT(ours.result.outputTokensPerSecond,
+              dgx->outputTokensPerSecond);
+    EXPECT_LT(ours.result.energyPerTokenTotal(),
+              dgx->energyPerTokenTotal());
+}
+
+TEST(StageModel, MeasurePlacementBasics)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}, {0, 2}};
+    placement.scoreCores = {{1, 1}};
+    placement.contextCores = {{1, 2}};
+    const WaferGeometry geom;
+    const PlacementDistances dist =
+        measurePlacement(placement, geom);
+    EXPECT_DOUBLE_EQ(dist.adjacentHops, 1.0);
+    EXPECT_DOUBLE_EQ(dist.dieCrossingFraction, 0.0);
+    EXPECT_GT(dist.kvHops, 0.0);
+}
+
+TEST(StageModel, AttentionStagesScaleWithContext)
+{
+    const PlacementDistances dist;
+    const FabricFlags flags;
+    const StageTiming timing = deriveStageTiming(
+            llama13b(), OuroborosParams{}, dist, flags);
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        const auto kind = static_cast<StageKind>(s);
+        if (stageIsAttention(kind)) {
+            EXPECT_GT(timing.perContextSeconds[s], 0.0)
+                << stageKindName(kind);
+        } else {
+            EXPECT_DOUBLE_EQ(timing.perContextSeconds[s], 0.0)
+                << stageKindName(kind);
+        }
+        EXPECT_GE(timing.fixedSeconds[s], 0.0);
+    }
+}
+
+TEST(StageModel, NonCimSlowerAndNvlinkCostlier)
+{
+    const PlacementDistances dist;
+    const StageTiming cim = deriveStageTiming(
+            llama13b(), OuroborosParams{}, dist, {true, true});
+    const StageTiming no_cim = deriveStageTiming(
+            llama13b(), OuroborosParams{}, dist, {false, true});
+    EXPECT_GT(no_cim.fixedSeconds[0], cim.fixedSeconds[0]);
+
+    const EnergyLedger wafer = perTokenEnergy(
+            llama13b(), OuroborosParams{}, dist, {true, true}, 512,
+            0.0);
+    const EnergyLedger nvlink = perTokenEnergy(
+            llama13b(), OuroborosParams{}, dist, {true, false}, 512,
+            0.0);
+    EXPECT_GT(nvlink.get(EnergyCategory::Communication),
+              wafer.get(EnergyCategory::Communication));
+}
+
+TEST(StageModel, EnergyGrowsWithContext)
+{
+    const PlacementDistances dist;
+    const FabricFlags flags;
+    const EnergyLedger small = perTokenEnergy(
+            llama13b(), OuroborosParams{}, dist, flags, 64, 0.0);
+    const EnergyLedger large = perTokenEnergy(
+            llama13b(), OuroborosParams{}, dist, flags, 2048, 0.0);
+    EXPECT_GT(large.total(), small.total());
+}
+
+TEST(System, MultiWaferFasterForBigModel)
+{
+    // LLaMA-65B on 2 wafers vs the DGX baseline: the §6.8 direction.
+    OuroborosOptions opts = fastOpts();
+    opts.numWafers = 2;
+    const auto sys = OuroborosSystem::build(llama65b(), {}, opts);
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = fixedWorkload(256, 256, 20);
+    const auto ours = sys->run(w);
+    AcceleratorParams dgx2 = dgxA100();
+    dgx2.numDevices = 16;
+    const auto gpu = evalAccelerator(dgx2, llama65b(), w);
+    ASSERT_TRUE(gpu.has_value());
+    EXPECT_GT(ours.result.outputTokensPerSecond,
+              gpu->outputTokensPerSecond);
+}
+
+} // namespace
+} // namespace ouro
