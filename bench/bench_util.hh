@@ -12,19 +12,101 @@
 #ifndef OURO_BENCH_BENCH_UTIL_HH
 #define OURO_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/analytic.hh"
 #include "baselines/device_params.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "sim/system.hh"
 #include "workload/requests.hh"
 
 namespace ouro::bench
 {
+
+/** Wall-clock stopwatch (steady clock). */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Machine-readable benchmark record: BENCH_<name>.json in the
+ * working directory, one flat JSON object per harness, so the perf
+ * trajectory of the simulator itself is tracked run over run.
+ * "name" and "threads" are always present; add wall time and an
+ * events/sec figure via metric().
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name))
+    {
+        metric("threads",
+               static_cast<std::uint64_t>(defaultThreadCount()));
+    }
+
+    BenchReport &metric(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        fields_.emplace_back(key, buf);
+        return *this;
+    }
+
+    BenchReport &metric(const std::string &key, std::uint64_t value)
+    {
+        fields_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    BenchReport &text(const std::string &key,
+                      const std::string &value)
+    {
+        fields_.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+
+    /** Write BENCH_<name>.json (also announces the path on stdout). */
+    void write() const
+    {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream out(path);
+        if (!out) {
+            warn("BenchReport: cannot write ", path);
+            return;
+        }
+        out << "{\n  \"name\": \"" << name_ << "\"";
+        for (const auto &[key, value] : fields_)
+            out << ",\n  \"" << key << "\": " << value;
+        out << "\n}\n";
+        std::cout << "[bench] wrote " << path << "\n";
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /** Request count: argv[1] if given, else 100. */
 inline std::size_t

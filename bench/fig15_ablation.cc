@@ -56,51 +56,80 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t n = requestCount(argc, argv, 60);
+    const WallTimer timer;
 
     std::cout << "=== Fig. 15: ablation (normalized to Baseline) ===\n";
     Table table({"model", "workload", "config", "thpt(norm)",
                  "energy(norm)"});
 
-    for (const ModelConfig &model : {llama13b(), llama32b()}) {
-        // Build every configuration once per model; run all
-        // workloads against the built systems.
-        std::vector<std::pair<std::string, OuroborosSystem>> systems;
-        for (const Step &step : ablationLadder())
-            systems.emplace_back(step.name,
-                                 buildOuroboros(model, step.opts));
-        // Red-hatched configuration: TGP without CIM.
-        OuroborosOptions hatched;
-        hatched.waferScale = true;
-        hatched.useCim = false;
-        hatched.tokenGrained = true;
-        hatched.smartMapping = false;
-        hatched.dynamicKv = false;
-        systems.emplace_back("+TGP w/o CIM",
-                             buildOuroboros(model, hatched));
+    // Sweep grid: every (model, config) builds its own system and
+    // every (model, config, workload) cell runs independently, so
+    // both phases fan out on the parallel runtime; each task writes
+    // only its own slot, keeping results identical to a serial run.
+    const std::vector<ModelConfig> models{llama13b(), llama32b()};
+    std::vector<Step> steps = ablationLadder();
+    OuroborosOptions hatched;
+    hatched.waferScale = true;
+    hatched.useCim = false;
+    hatched.tokenGrained = true;
+    hatched.smartMapping = false;
+    hatched.dynamicKv = false;
+    // Red-hatched configuration: TGP without CIM.
+    steps.push_back({"+TGP w/o CIM", hatched});
 
-        for (const Workload &w : paperWorkloads(n)) {
+    std::vector<std::optional<OuroborosSystem>> systems(
+            models.size() * steps.size());
+    parallelFor(systems.size(), [&](std::size_t i) {
+        const std::size_t m = i / steps.size();
+        const std::size_t s = i % steps.size();
+        systems[i] = buildOuroboros(models[m], steps[s].opts);
+    });
+
+    const std::vector<Workload> workloads = paperWorkloads(n);
+    struct Cell
+    {
+        double tps = 0.0;
+        double epj = 0.0;
+    };
+    std::vector<Cell> cells(systems.size() * workloads.size());
+    parallelFor(cells.size(), [&](std::size_t i) {
+        const std::size_t sys_idx = i / workloads.size();
+        const std::size_t w = i % workloads.size();
+        const auto rep = systems[sys_idx]->run(workloads[w]);
+        cells[i] = {rep.result.outputTokensPerSecond,
+                    rep.result.energyPerTokenTotal()};
+    });
+
+    std::uint64_t runs = 0;
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
             double base_tps = 0.0;
             double base_energy = 0.0;
-            for (const auto &[name, sys] : systems) {
-                const auto rep = sys.run(w);
-                const double tps =
-                    rep.result.outputTokensPerSecond;
-                const double epj =
-                    rep.result.energyPerTokenTotal();
-                if (name == "Baseline") {
-                    base_tps = tps;
-                    base_energy = epj;
+            for (std::size_t s = 0; s < steps.size(); ++s) {
+                const std::size_t sys_idx = m * steps.size() + s;
+                const Cell &cell =
+                    cells[sys_idx * workloads.size() + w];
+                if (steps[s].name == std::string("Baseline")) {
+                    base_tps = cell.tps;
+                    base_energy = cell.epj;
                 }
                 table.row()
-                    .cell(model.name)
-                    .cell(w.name)
-                    .cell(name)
-                    .cell(tps / base_tps, 2)
-                    .cell(epj / base_energy, 2);
+                    .cell(models[m].name)
+                    .cell(workloads[w].name)
+                    .cell(steps[s].name)
+                    .cell(cell.tps / base_tps, 2)
+                    .cell(cell.epj / base_energy, 2);
+                ++runs;
             }
         }
     }
     table.print(std::cout);
+    BenchReport("fig15_ablation")
+        .metric("wall_seconds", timer.seconds())
+        .metric("events_per_sec",
+                static_cast<double>(runs) / timer.seconds())
+        .metric("runs", runs)
+        .write();
     std::cout << "\nShape check (paper): each +step raises throughput "
                  "and lowers energy;\n+TGP w/o CIM energy blows up "
                  "(paper ~78x baseline on WikiText).\n";

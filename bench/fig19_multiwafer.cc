@@ -44,12 +44,33 @@ main(int argc, char **argv)
     double gain = 0.0;
     double reduction = 0.0;
     int count = 0;
-    for (const Workload &w : paperWorkloads(n)) {
-        const auto ours = sys.run(w);
-        const auto gpu = evalAccelerator(dgx2, model, w);
-        const auto tpu = evalAccelerator(tpu2, model, w);
-        const auto att = evalAccelerator(attAcc(), model, w);
-        const auto wse = evalWse(wse_double, model, w);
+    const WallTimer timer;
+    const std::vector<Workload> workloads = paperWorkloads(n);
+
+    // Every workload's five system evaluations are independent:
+    // fan out on the parallel runtime, then render rows in order.
+    struct WorkloadEval
+    {
+        OuroborosReport ours;
+        std::optional<SystemResult> gpu, tpu, att, wse;
+    };
+    std::vector<WorkloadEval> evals(workloads.size());
+    parallelFor(workloads.size(), [&](std::size_t i) {
+        const Workload &w = workloads[i];
+        evals[i].ours = sys.run(w);
+        evals[i].gpu = evalAccelerator(dgx2, model, w);
+        evals[i].tpu = evalAccelerator(tpu2, model, w);
+        evals[i].att = evalAccelerator(attAcc(), model, w);
+        evals[i].wse = evalWse(wse_double, model, w);
+    });
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = workloads[i];
+        const auto &ours = evals[i].ours;
+        const auto &gpu = evals[i].gpu;
+        const auto &tpu = evals[i].tpu;
+        const auto &att = evals[i].att;
+        const auto &wse = evals[i].wse;
         ouroAssert(gpu.has_value(), "2x DGX must fit 65B");
 
         const double tps0 = gpu->outputTokensPerSecond;
@@ -87,5 +108,13 @@ main(int argc, char **argv)
               << formatDouble(gain / count, 2)
               << "x\n  energy vs DGX:  -"
               << formatDouble(100.0 * reduction / count, 1) << "%\n";
+    BenchReport("fig19_multiwafer")
+        .metric("wall_seconds", timer.seconds())
+        .metric("events_per_sec",
+                static_cast<double>(workloads.size() * 5) /
+                        timer.seconds())
+        .metric("workloads",
+                static_cast<std::uint64_t>(workloads.size()))
+        .write();
     return 0;
 }

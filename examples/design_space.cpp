@@ -8,110 +8,248 @@
  *      worse (the Section 3 sizing argument for 4 MB cores).
  *   3. Wafer slice: how throughput scales when only a fraction of
  *      the wafer is populated (cost-down variants).
+ *
+ * Every sweep point is independent (own build, own deterministic
+ * seeds), so the sweep runs on the parallel runtime; each point
+ * writes only its own result slot, making the parallel output
+ * bit-identical to a serial run. Run with --compare to execute the
+ * sweep both serially and in parallel, verify identical output, and
+ * record the speedup in BENCH_design_space.json.
  */
 
+#include <cstring>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "sim/system.hh"
 #include "workload/requests.hh"
 
-int
-main()
+namespace
 {
-    using namespace ouro;
-    setQuiet(true);
+
+using namespace ouro;
+
+/** Loop executor: a serial for-loop or the parallel runtime. */
+using Executor = std::function<void(
+        std::size_t, const std::function<void(std::size_t)> &)>;
+
+/** One full exploration, rendered to text. */
+struct SweepOutput
+{
+    std::string rendered;
+    std::uint64_t tokensProcessed = 0; ///< engine events simulated
+};
+
+SweepOutput
+runSweeps(const Executor &exec)
+{
+    SweepOutput out;
+    std::uint64_t tokens = 0;
 
     const ModelConfig model = llama13b();
     const Workload workload = wikiText2Like(60, 2048, 21);
+    std::ostringstream os;
 
     // --- 1. KV threshold dial ---
-    std::cout << "1) KV anti-thrashing threshold:\n";
+    os << "1) KV anti-thrashing threshold:\n";
     Table kv_table({"threshold", "tokens/s", "evictions",
                     "kv utilization"});
-    for (const double threshold : {0.0, 0.1, 0.3}) {
+    const std::vector<double> thresholds{0.0, 0.1, 0.3};
+    std::vector<OuroborosReport> kv_reports(thresholds.size());
+    exec(thresholds.size(), [&](std::size_t i) {
         OuroborosOptions opts;
-        opts.kvThreshold = threshold;
+        opts.kvThreshold = thresholds[i];
         auto sys = OuroborosSystem::build(model, {}, opts);
         if (!sys)
             fatal("build failed");
-        const auto rep = sys->run(workload);
+        kv_reports[i] = sys->run(workload);
+    });
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const auto &rep = kv_reports[i];
         kv_table.row()
-            .cell(threshold, 1)
+            .cell(thresholds[i], 1)
             .cell(rep.result.outputTokensPerSecond, 0)
             .cell(rep.pipeline.evictions)
             .cell(rep.kvUtilization, 3);
+        tokens += rep.pipeline.tokensProcessed;
     }
-    kv_table.print(std::cout);
+    kv_table.print(os);
 
     // --- 2. Crossbars per core ---
-    std::cout << "\n2) Crossbars per core (core capacity vs pipeline "
-                 "balance):\n";
+    os << "\n2) Crossbars per core (core capacity vs pipeline "
+          "balance):\n";
     Table core_table({"crossbars", "core SRAM[MiB]", "tokens/s",
                       "util"});
-    for (const std::uint32_t xbars : {16u, 32u, 48u}) {
+    const std::vector<std::uint32_t> xbar_counts{16u, 32u, 48u};
+    struct CorePoint
+    {
+        bool fits = false;
+        double sramMib = 0.0;
+        OuroborosReport report;
+    };
+    std::vector<CorePoint> core_points(xbar_counts.size());
+    exec(xbar_counts.size(), [&](std::size_t i) {
         OuroborosParams hw;
-        hw.core.numCrossbars = xbars;
+        hw.core.numCrossbars = xbar_counts[i];
+        core_points[i].sramMib =
+            static_cast<double>(hw.core.sramBytes()) /
+            static_cast<double>(MiB);
         auto sys = OuroborosSystem::build(model, hw, {});
-        if (!sys) {
+        if (!sys)
+            return;
+        core_points[i].fits = true;
+        core_points[i].report = sys->run(workload);
+    });
+    for (std::size_t i = 0; i < xbar_counts.size(); ++i) {
+        const CorePoint &point = core_points[i];
+        if (!point.fits) {
             core_table.row()
-                .cell(static_cast<int>(xbars))
+                .cell(static_cast<int>(xbar_counts[i]))
                 .cell("-")
                 .cell("does not fit")
                 .cell("-");
             continue;
         }
-        const auto rep = sys->run(workload);
         core_table.row()
-            .cell(static_cast<int>(xbars))
-            .cell(static_cast<double>(hw.core.sramBytes()) /
-                  static_cast<double>(MiB), 1)
-            .cell(rep.result.outputTokensPerSecond, 0)
-            .cell(rep.result.utilization, 3);
+            .cell(static_cast<int>(xbar_counts[i]))
+            .cell(point.sramMib, 1)
+            .cell(point.report.result.outputTokensPerSecond, 0)
+            .cell(point.report.result.utilization, 3);
+        tokens += point.report.pipeline.tokensProcessed;
     }
-    core_table.print(std::cout);
+    core_table.print(os);
 
     // --- 3. Partial wafers ---
-    std::cout << "\n3) Partially populated wafers (die grid slices):\n";
+    os << "\n3) Partially populated wafers (die grid slices):\n";
     Table wafer_table({"die grid", "cores", "fits 13B?", "tokens/s"});
     struct Slice
     {
         std::uint32_t rows, cols;
     };
-    for (const Slice slice : {Slice{5, 4}, Slice{7, 5}, Slice{9, 7}}) {
+    const std::vector<Slice> slices{{5, 4}, {7, 5}, {9, 7}};
+    struct WaferPoint
+    {
+        std::uint64_t cores = 0;
+        bool fits = false;
+        std::string tps = "-";
+        std::uint64_t tokens = 0;
+    };
+    std::vector<WaferPoint> wafer_points(slices.size());
+    exec(slices.size(), [&](std::size_t i) {
+        const Slice slice = slices[i];
         const WaferGeometry geom(slice.rows, slice.cols, 13, 17);
+        WaferPoint &point = wafer_points[i];
+        point.cores = geom.numCores();
         // Rough capacity gate before attempting a build.
         OuroborosParams hw;
-        const bool fits =
-            hw.waferSramBytes(geom.numCores()) >
-            model.totalWeightBytes() * 1.2;
-        std::string tps = "-";
-        if (fits) {
-            // Build on a custom geometry via the mapping layer
-            // directly: the system simulator assumes the full wafer,
-            // so scale throughput by the KV-pool proxy instead.
-            auto sys = OuroborosSystem::build(model, hw, {});
-            if (sys) {
-                // Scale: stage timing is geometry-invariant; the KV
-                // pool (and hence decode concurrency) shrinks with
-                // the region size.
-                const auto rep = sys->run(workload);
-                const double scale =
-                    static_cast<double>(geom.numCores()) /
-                    static_cast<double>(WaferGeometry{}.numCores());
-                tps = formatDouble(
-                        rep.result.outputTokensPerSecond *
-                        std::min(1.0, scale), 0);
-            }
-        }
+        point.fits = hw.waferSramBytes(geom.numCores()) >
+                     model.totalWeightBytes() * 1.2;
+        if (!point.fits)
+            return;
+        // Build on a custom geometry via the mapping layer
+        // directly: the system simulator assumes the full wafer,
+        // so scale throughput by the KV-pool proxy instead.
+        auto sys = OuroborosSystem::build(model, hw, {});
+        if (!sys)
+            return;
+        // Scale: stage timing is geometry-invariant; the KV
+        // pool (and hence decode concurrency) shrinks with
+        // the region size.
+        const auto rep = sys->run(workload);
+        const double scale = static_cast<double>(geom.numCores()) /
+                             static_cast<double>(
+                                     WaferGeometry{}.numCores());
+        point.tps = formatDouble(
+                rep.result.outputTokensPerSecond *
+                        std::min(1.0, scale),
+                0);
+        point.tokens = rep.pipeline.tokensProcessed;
+    });
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        const WaferPoint &point = wafer_points[i];
         wafer_table.row()
-            .cell(std::to_string(slice.rows) + "x" +
-                  std::to_string(slice.cols))
-            .cell(geom.numCores())
-            .cell(fits ? "yes" : "no")
-            .cell(tps);
+            .cell(std::to_string(slices[i].rows) + "x" +
+                  std::to_string(slices[i].cols))
+            .cell(point.cores)
+            .cell(point.fits ? "yes" : "no")
+            .cell(point.tps);
+        tokens += point.tokens;
     }
-    wafer_table.print(std::cout);
+    wafer_table.print(os);
+
+    out.rendered = os.str();
+    out.tokensProcessed = tokens;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ouro;
+    using ouro::bench::BenchReport;
+    using ouro::bench::WallTimer;
+    setQuiet(true);
+
+    const bool compare =
+        argc > 1 && std::strcmp(argv[1], "--compare") == 0;
+
+    const Executor serial =
+            [](std::size_t n,
+               const std::function<void(std::size_t)> &body) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+    };
+    const Executor parallel =
+            [](std::size_t n,
+               const std::function<void(std::size_t)> &body) {
+        parallelFor(n, body);
+    };
+
+    BenchReport report("design_space");
+
+    double serial_seconds = 0.0;
+    if (compare) {
+        const WallTimer timer;
+        const SweepOutput baseline = runSweeps(serial);
+        serial_seconds = timer.seconds();
+        report.metric("serial_wall_seconds", serial_seconds);
+
+        const WallTimer ptimer;
+        const SweepOutput sweep = runSweeps(parallel);
+        const double parallel_seconds = ptimer.seconds();
+
+        if (sweep.rendered != baseline.rendered)
+            fatal("design_space: parallel sweep diverged from "
+                  "serial baseline");
+        std::cout << sweep.rendered;
+        std::cout << "\n[bench] parallel output bit-identical to "
+                     "serial\n";
+        report.metric("wall_seconds", parallel_seconds)
+            .metric("speedup", serial_seconds / parallel_seconds)
+            .metric("events_per_sec",
+                    static_cast<double>(sweep.tokensProcessed) /
+                            parallel_seconds)
+            .metric("sweep_points", std::uint64_t{9})
+            .text("determinism", "bit-identical");
+    } else {
+        const WallTimer timer;
+        const SweepOutput sweep = runSweeps(parallel);
+        const double seconds = timer.seconds();
+        std::cout << sweep.rendered;
+        report.metric("wall_seconds", seconds)
+            .metric("events_per_sec",
+                    static_cast<double>(sweep.tokensProcessed) /
+                            seconds)
+            .metric("sweep_points", std::uint64_t{9});
+    }
+    report.write();
     return 0;
 }

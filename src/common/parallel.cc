@@ -1,0 +1,149 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace ouro
+{
+
+namespace
+{
+
+/** Set while a pool worker runs a task: nested parallelFor calls on
+ *  the same pool would deadlock waiting for busy workers, so they
+ *  degrade to serial loops instead. */
+thread_local bool t_inWorker = false;
+
+} // namespace
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("OURO_THREADS")) {
+        const long n = std::atol(env);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    const unsigned n =
+        num_threads ? num_threads : defaultThreadCount();
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_inWorker = true;
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t width =
+        std::min<std::size_t>(n, size() + 1); // + the calling thread
+    if (width <= 1 || t_inWorker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Shared batch state. Iterations are claimed off one atomic
+    // counter; each writes only its own per-index results, so the
+    // outcome is independent of the claim order (determinism
+    // contract of this runtime).
+    struct Batch
+    {
+        std::atomic<std::size_t> next{0};
+        std::size_t n;
+        const std::function<void(std::size_t)> *body;
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+        std::size_t pending;
+        std::exception_ptr error;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->body = &body;
+    batch->pending = width;
+
+    auto runner = [batch] {
+        while (true) {
+            const std::size_t i = batch->next.fetch_add(
+                    1, std::memory_order_relaxed);
+            if (i >= batch->n)
+                break;
+            try {
+                (*batch->body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(batch->doneMutex);
+                if (!batch->error)
+                    batch->error = std::current_exception();
+                // Drain remaining iterations unrun.
+                batch->next.store(batch->n,
+                                  std::memory_order_relaxed);
+            }
+        }
+        std::lock_guard<std::mutex> lock(batch->doneMutex);
+        if (--batch->pending == 0)
+            batch->doneCv.notify_all();
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t h = 0; h + 1 < width; ++h)
+            tasks_.emplace_back(runner);
+    }
+    cv_.notify_all();
+    runner(); // the calling thread is a participant
+
+    std::unique_lock<std::mutex> lock(batch->doneMutex);
+    batch->doneCv.wait(lock, [&] { return batch->pending == 0; });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    static ThreadPool pool;
+    pool.parallelFor(n, body);
+}
+
+} // namespace ouro

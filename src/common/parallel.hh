@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic parallel sweep runtime.
+ *
+ * The design-space and figure harnesses are embarrassingly parallel:
+ * every sweep point builds its own system, seeds its own Rng and
+ * writes its own result slot. A plain fixed thread pool with a
+ * shared index counter therefore extracts all available speedup with
+ * no work stealing and - crucially - no effect on results: as long
+ * as the loop body only touches per-index state, the output is
+ * bit-identical whatever the thread count (including 1). That
+ * contract is what lets the benches assert parallel == serial.
+ *
+ * Usage:
+ *
+ *     std::vector<Row> rows(points.size());
+ *     parallelFor(points.size(), [&](std::size_t i) {
+ *         rows[i] = evaluate(points[i]); // per-index writes only
+ *     });
+ *
+ * Thread count: OURO_THREADS environment variable when set (>= 1),
+ * else std::thread::hardware_concurrency(). parallelFor from inside
+ * a pool worker degrades to a serial loop instead of deadlocking.
+ * The first exception thrown by any iteration is rethrown in the
+ * caller after the loop drains.
+ */
+
+#ifndef OURO_COMMON_PARALLEL_HH
+#define OURO_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ouro
+{
+
+/** Worker count from OURO_THREADS, else the hardware's. Always >= 1. */
+unsigned defaultThreadCount();
+
+/** Fixed-size thread pool running queued tasks FIFO. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 = defaultThreadCount(). */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (>= 1). */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Run body(i) for every i in [0, n), spreading iterations over
+     * the pool plus the calling thread. Blocks until every
+     * iteration finished; rethrows the first exception any
+     * iteration threw (remaining iterations are skipped once an
+     * exception is recorded).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> tasks_;
+    bool stop_ = false;
+};
+
+/**
+ * parallelFor on a process-wide shared pool (created on first use
+ * with defaultThreadCount() workers).
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace ouro
+
+#endif // OURO_COMMON_PARALLEL_HH

@@ -268,6 +268,44 @@ BlockKvManager::admitNoEvict(std::uint64_t seq_id,
     return tryAdmitOnce(seq_id, initial_tokens);
 }
 
+std::uint64_t
+BlockKvManager::growRoom(std::uint64_t seq_id) const
+{
+    const auto it = sequences_.find(seq_id);
+    ouroAssert(it != sequences_.end(), "growRoom: sequence ", seq_id,
+               " not resident");
+    const SequenceState &seq = it->second;
+    if (seq.k.empty() || seq.k.front().blocks == 0)
+        return 0;
+    std::uint32_t room = tokensPerBlock_;
+    for (const auto &alloc : seq.k)
+        room = std::min(room, tokensPerBlock_ - alloc.lastBlockFill);
+    for (const auto &alloc : seq.v)
+        room = std::min(room, tokensPerBlock_ - alloc.lastBlockFill);
+    return room;
+}
+
+void
+BlockKvManager::growFast(std::uint64_t seq_id, std::uint64_t n)
+{
+    const auto it = sequences_.find(seq_id);
+    ouroAssert(it != sequences_.end(), "growFast: sequence ", seq_id,
+               " not resident");
+    SequenceState &seq = it->second;
+    const auto count = static_cast<std::uint32_t>(n);
+    for (auto &alloc : seq.k) {
+        alloc.lastBlockFill += count;
+        ouroAssert(alloc.lastBlockFill <= tokensPerBlock_,
+                   "growFast: batch exceeds in-block room");
+    }
+    for (auto &alloc : seq.v) {
+        alloc.lastBlockFill += count;
+        ouroAssert(alloc.lastBlockFill <= tokensPerBlock_,
+                   "growFast: batch exceeds in-block room");
+    }
+    seq.tokens += n;
+}
+
 KvResult
 BlockKvManager::grow(std::uint64_t seq_id)
 {
@@ -298,15 +336,31 @@ BlockKvManager::grow(std::uint64_t seq_id)
 
     // Need one more block per head (K and V). Evict other residents
     // (most recent first) until it fits; never evict the grower.
+    //
+    // Several heads of the same sequence may share a core, so demand
+    // must be counted per core, not per alloc. Head counts are small
+    // (<= numKvHeads), so flat (core, count) vectors with a linear
+    // probe beat a per-call hash map.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> k_need;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> v_need;
+    k_need.reserve(seq.k.size());
+    v_need.reserve(seq.v.size());
+    auto count_core = [](std::vector<std::pair<std::uint32_t,
+                                               std::uint32_t>> &need,
+                         std::uint32_t core) {
+        for (auto &[c, n] : need) {
+            if (c == core) {
+                ++n;
+                return;
+            }
+        }
+        need.emplace_back(core, 1);
+    };
+    for (const auto &alloc : seq.k)
+        count_core(k_need, alloc.core);
+    for (const auto &alloc : seq.v)
+        count_core(v_need, alloc.core);
     while (true) {
-        // Several heads of the same sequence may share a core, so
-        // demand must be counted per core, not per alloc.
-        std::unordered_map<std::uint32_t, std::uint32_t> k_need;
-        std::unordered_map<std::uint32_t, std::uint32_t> v_need;
-        for (const auto &alloc : seq.k)
-            ++k_need[alloc.core];
-        for (const auto &alloc : seq.v)
-            ++v_need[alloc.core];
         bool fits = true;
         for (const auto &[core, need] : k_need)
             fits &= score_[core].totalFree() >= need;

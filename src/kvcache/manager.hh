@@ -110,6 +110,20 @@ class BlockKvManager
     /** Append one decode token's K/V for a resident sequence. */
     KvResult grow(std::uint64_t seq_id);
 
+    /**
+     * Tokens appendable to a resident sequence through the in-block
+     * fast path alone (no block allocation, hence no eviction): the
+     * minimum room left in the newest K/V block over all heads. The
+     * pipeline engine uses this to batch unconstrained decode steps.
+     */
+    std::uint64_t growRoom(std::uint64_t seq_id) const;
+
+    /**
+     * Append @p n tokens through the fast path; @p n must not exceed
+     * growRoom(seq_id). Equivalent to n fast-path grow() calls.
+     */
+    void growFast(std::uint64_t seq_id, std::uint64_t n);
+
     /** Release a finished (or externally evicted) sequence. */
     void release(std::uint64_t seq_id);
 

@@ -1,7 +1,8 @@
 #include "dp.hh"
 
 #include <algorithm>
-#include <map>
+#include <array>
+#include <bit>
 #include <numeric>
 #include <optional>
 
@@ -17,15 +18,6 @@ bool
 isPowerOfTwo(std::uint32_t x)
 {
     return x != 0 && (x & (x - 1)) == 0;
-}
-
-std::uint32_t
-nextPow2(std::uint32_t x)
-{
-    std::uint32_t p = 1;
-    while (p < x)
-        p <<= 1;
-    return p;
 }
 
 /**
@@ -44,35 +36,56 @@ tryAllocate(const std::vector<std::uint32_t> &group_counts,
 {
     std::vector<int> assignment(leaves, -1);
 
-    // Buddy free lists: block size -> sorted offsets (descending map
-    // so iteration sees the largest size first).
-    std::map<std::uint32_t, std::vector<std::uint32_t>,
-             std::greater<>> free_blocks;
-    free_blocks[leaves] = {0};
+    // Buddy free lists, one flat bucket per block order (block size
+    // 2^order): order lookup is O(1) with no node allocation, unlike
+    // the former std::map<size, offsets> which paid a tree walk and
+    // a heap node per live size class. Offsets are kept sorted
+    // descending so the smallest offset is an O(1) pop from the
+    // back.
+    const auto top_order =
+        static_cast<unsigned>(std::countr_zero(leaves));
+    std::array<std::vector<std::uint32_t>, 33> free_blocks;
+    free_blocks[top_order].push_back(0);
 
     auto take_block =
             [&](std::uint32_t want) -> std::optional<std::uint32_t> {
-        std::uint32_t best_size = 0;
-        for (const auto &[size, offsets] : free_blocks) {
-            if (size >= want && !offsets.empty()) {
-                best_size = size;
-                if (prefer_largest)
-                    break; // descending: first hit is the max
-                // else keep scanning for the smallest adequate block
+        const auto want_order =
+            static_cast<unsigned>(std::countr_zero(want));
+        unsigned order = 0;
+        bool found = false;
+        if (prefer_largest) {
+            // Largest free block anywhere at or above want.
+            for (unsigned o = top_order + 1; o-- > want_order;) {
+                if (!free_blocks[o].empty()) {
+                    order = o;
+                    found = true;
+                    break;
+                }
+            }
+        } else {
+            // Best fit: smallest adequate block.
+            for (unsigned o = want_order; o <= top_order; ++o) {
+                if (!free_blocks[o].empty()) {
+                    order = o;
+                    found = true;
+                    break;
+                }
             }
         }
-        if (best_size == 0)
+        if (!found)
             return std::nullopt;
-        auto &offsets = free_blocks[best_size];
-        std::uint32_t off = offsets.front();
-        offsets.erase(offsets.begin());
+        auto &offsets = free_blocks[order];
+        const std::uint32_t off = offsets.back(); // smallest offset
+        offsets.pop_back();
         // Split down to the wanted size, returning upper halves.
-        std::uint32_t size = best_size;
+        std::uint32_t size = std::uint32_t{1} << order;
         while (size > want) {
             size /= 2;
-            auto &bucket = free_blocks[size];
+            auto &bucket =
+                free_blocks[std::countr_zero(size)];
             bucket.insert(std::lower_bound(bucket.begin(),
-                                           bucket.end(), off + size),
+                                           bucket.end(), off + size,
+                                           std::greater<>{}),
                           off + size);
         }
         return off;
@@ -95,7 +108,8 @@ tryAllocate(const std::vector<std::uint32_t> &group_counts,
         const std::uint32_t count = group_counts[g];
         if (count == 0)
             continue;
-        const std::uint32_t padded = nextPow2(count);
+        const auto padded =
+            static_cast<std::uint32_t>(buddyNextPow2(count));
         if (padded - count <= slack) {
             const auto off = take_block(padded);
             if (!off)
@@ -125,6 +139,17 @@ tryAllocate(const std::vector<std::uint32_t> &group_counts,
 }
 
 } // namespace
+
+std::uint64_t
+buddyNextPow2(std::uint64_t x)
+{
+    // The former 32-bit `while (p < x) p <<= 1` looped forever for
+    // x > 2^31 (p wraps to 0); widths are 64-bit now and the one
+    // unrepresentable input is rejected instead of wrapping.
+    ouroAssert(x <= (std::uint64_t{1} << 63),
+               "buddyNextPow2: ", x, " exceeds 2^63");
+    return x <= 1 ? 1 : std::bit_ceil(x);
+}
 
 std::uint64_t
 leafAssignmentCost(const std::vector<int> &assignment)

@@ -48,6 +48,14 @@ std::vector<int> bruteForceLeafAssignment(
 /** Cost of an assignment under Eq. 4 (thin wrapper over HTree). */
 std::uint64_t leafAssignmentCost(const std::vector<int> &assignment);
 
+/**
+ * Smallest power of two >= @p x (1 for x == 0), computed in 64 bits.
+ * Asserts on x > 2^63, the one input whose ceiling is
+ * unrepresentable; the buddy paths use this instead of a 32-bit
+ * shift loop that wrapped (and hung) on huge leaf counts.
+ */
+std::uint64_t buddyNextPow2(std::uint64_t x);
+
 } // namespace ouro
 
 #endif // OURO_MAPPING_DP_HH

@@ -52,6 +52,8 @@
 namespace ouro
 {
 
+class TimingCache;
+
 /** Pipeline granularity (Fig. 5). */
 enum class PipelineKind
 {
@@ -73,6 +75,8 @@ struct PipelineStats
     std::uint64_t recomputedTokens = 0;  ///< re-prefilled after evict
     double peakConcurrency = 0.0;        ///< resident sequences (max)
     double avgContext = 0.0;             ///< mean attended context
+    std::uint64_t timingCacheHits = 0;   ///< memoized item reuses
+    std::uint64_t timingCacheMisses = 0; ///< items built fresh
 
     double outputTokensPerSecond() const
     {
@@ -104,6 +108,22 @@ struct PipelineOptions
      * concurrently. 1 = fully serial (conservative default).
      */
     double attentionParallelism = 1.0;
+
+    /**
+     * Shared timing-memoization cache. When null the engine uses a
+     * private cache for the run. A shared cache self-invalidates
+     * when the StageTiming coefficients change (fingerprint check),
+     * so remapped deployments never see stale timings.
+     */
+    TimingCache *timingCache = nullptr;
+
+    /**
+     * Context bucket width (log2) of the timing cache. 0 = exact
+     * contexts (cache hits bit-identical to fresh computation);
+     * larger shifts trade timing resolution for cache size on
+     * huge-context scans.
+     */
+    unsigned ctxBucketShift = 0;
 };
 
 /**

@@ -116,6 +116,32 @@ TEST(KvManager, GrowWithinBlockIsFree)
     EXPECT_EQ(mgr.usedBlocks(), before);
 }
 
+TEST(KvManager, GrowRoomAndGrowFastMatchGrowLoop)
+{
+    // growFast(n) must be exactly n fast-path grow() calls: same
+    // block accounting, same room left afterwards.
+    BlockKvManager a(kvModel(), pool(4), pool(4, 4, 8, 1));
+    BlockKvManager b(kvModel(), pool(4), pool(4, 4, 8, 1));
+    ASSERT_TRUE(a.admit(1, 64).ok);
+    ASSERT_TRUE(b.admit(1, 64).ok);
+    EXPECT_EQ(a.growRoom(1), 64u); // 64 of 128 rows used
+
+    for (int i = 0; i < 40; ++i)
+        ASSERT_TRUE(a.grow(1).ok);
+    b.growFast(1, 40);
+
+    EXPECT_EQ(a.growRoom(1), b.growRoom(1));
+    EXPECT_EQ(a.usedBlocks(), b.usedBlocks());
+    EXPECT_EQ(a.growRoom(1), 24u);
+
+    // Exhaust the room: the next grow crosses the block boundary.
+    b.growFast(1, b.growRoom(1));
+    EXPECT_EQ(b.growRoom(1), 0u);
+    const auto before = b.usedBlocks();
+    EXPECT_TRUE(b.grow(1).ok);
+    EXPECT_GT(b.usedBlocks(), before);
+}
+
 TEST(KvManager, GrowAcrossBlockBoundaryAllocates)
 {
     BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));

@@ -333,6 +333,47 @@ TEST(Dp, ThirtyTwoLeafProduction)
     // groups pair at depth 1 (2 concats) and root (free). Cost = 2.
 }
 
+TEST(Dp, BuddyNextPow2Basics)
+{
+    EXPECT_EQ(buddyNextPow2(0), 1u);
+    EXPECT_EQ(buddyNextPow2(1), 1u);
+    EXPECT_EQ(buddyNextPow2(2), 2u);
+    EXPECT_EQ(buddyNextPow2(3), 4u);
+    EXPECT_EQ(buddyNextPow2(17), 32u);
+    EXPECT_EQ(buddyNextPow2(1u << 31), std::uint64_t{1} << 31);
+}
+
+TEST(Dp, BuddyNextPow2SurvivesHugeLeafCounts)
+{
+    // Regression: the former 32-bit shift loop wrapped to zero and
+    // hung for any input above 2^31. The hardened path widens to 64
+    // bits and rounds up correctly.
+    EXPECT_EQ(buddyNextPow2((1u << 31) + 1u), std::uint64_t{1} << 32);
+    EXPECT_EQ(buddyNextPow2(0xFFFFFFFFull), std::uint64_t{1} << 32);
+    EXPECT_EQ(buddyNextPow2((std::uint64_t{1} << 40) + 1),
+              std::uint64_t{1} << 41);
+    EXPECT_EQ(buddyNextPow2(std::uint64_t{1} << 63),
+              std::uint64_t{1} << 63);
+}
+
+TEST(Dp, LargeLeafInstanceCompletes)
+{
+    // Flat per-order free lists keep big instances cheap; the old
+    // map-backed lists made this allocation-bound. Also exercises
+    // the binary-decomposition path (no power-of-two slack left).
+    const std::uint32_t leaves = 1u << 16;
+    std::vector<std::uint32_t> counts{40000, 20000, 5000, 536};
+    const auto a = dpLeafAssignment(counts, leaves);
+    ASSERT_EQ(a.size(), leaves);
+    std::array<std::uint32_t, 4> seen{};
+    for (const int g : a) {
+        if (g >= 0)
+            ++seen[static_cast<std::size_t>(g)];
+    }
+    for (std::size_t g = 0; g < counts.size(); ++g)
+        EXPECT_EQ(seen[g], counts[g]) << "group " << g;
+}
+
 TEST(WaferMappingTest, BuildsForLlama13b)
 {
     const WaferGeometry geom;

@@ -13,6 +13,7 @@
 #include "model/llm.hh"
 #include "pipeline/engine.hh"
 #include "pipeline/timing.hh"
+#include "pipeline/timing_cache.hh"
 #include "workload/requests.hh"
 
 namespace ouro
@@ -287,6 +288,143 @@ TEST(Pipeline, DeterministicAcrossRuns)
     const auto b = runPipeline(w, cfg, uniformTiming(), kv2);
     EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
     EXPECT_EQ(a.evictions, b.evictions);
+}
+
+void
+expectItemsIdentical(const ItemTiming &a, const ItemTiming &b)
+{
+    for (unsigned s = 0; s < kStagesPerBlock; ++s)
+        EXPECT_DOUBLE_EQ(a.stage[s], b.stage[s]) << "stage " << s;
+    EXPECT_DOUBLE_EQ(a.total, b.total);
+    EXPECT_EQ(a.context, b.context);
+    EXPECT_EQ(a.tokens, b.tokens);
+}
+
+TEST(TimingCache, TokenHitEqualsFreshComputation)
+{
+    const StageTiming t = uniformTiming(2e-6, 3e-9);
+    TimingCache cache;
+    const ItemTiming first = cache.token(t, 777); // miss: built fresh
+    EXPECT_EQ(cache.misses(), 1u);
+    expectItemsIdentical(first, freshTokenItem(t, 777));
+
+    const ItemTiming &again = cache.token(t, 777); // hit
+    EXPECT_EQ(cache.hits(), 1u);
+    expectItemsIdentical(again, freshTokenItem(t, 777));
+}
+
+TEST(TimingCache, SequenceHitEqualsFreshComputation)
+{
+    const StageTiming t = uniformTiming(1e-6, 5e-9);
+    TimingCache cache;
+    const auto mask = AttentionKind::Causal;
+    const ItemTiming &item = cache.sequence(t, mask, 333, 16.0);
+    expectItemsIdentical(item,
+                         freshSequenceItem(t, mask, 333, 16.0));
+    cache.sequence(t, mask, 333, 16.0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(TimingCache, BlockedHitEqualsFreshComputation)
+{
+    const StageTiming t = uniformTiming(1e-6, 5e-9);
+    TimingCache cache;
+    const auto mask = AttentionKind::Bidirectional;
+    // Deferred tokens carry zero attention positions.
+    expectItemsIdentical(cache.blockedToken(t, mask, 100, false, 4.0),
+                         freshBlockedTokenItem(t, 0.0));
+    // The final token accumulates the whole prefix's positions.
+    const double positions =
+        deferredAttentionPositions(mask, 100) / 4.0;
+    expectItemsIdentical(cache.blockedToken(t, mask, 100, true, 4.0),
+                         freshBlockedTokenItem(t, positions));
+}
+
+TEST(TimingCache, ExplicitInvalidateFlushes)
+{
+    const StageTiming t = uniformTiming();
+    TimingCache cache;
+    cache.token(t, 1);
+    cache.token(t, 2);
+    EXPECT_EQ(cache.size(), 2u);
+    cache.invalidate();
+    EXPECT_EQ(cache.size(), 0u);
+    cache.token(t, 1); // miss again after the flush
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(TimingCache, InvalidatesWhenTimingRederived)
+{
+    // A remap rederives StageTiming with new coefficients; a shared
+    // cache must flush itself (fingerprint check) rather than serve
+    // pre-remap entries.
+    const StageTiming before = uniformTiming(1e-6, 1e-9);
+    const StageTiming after = uniformTiming(3e-6, 2e-9);
+    ASSERT_NE(stageTimingFingerprint(before),
+              stageTimingFingerprint(after));
+
+    TimingCache cache;
+    cache.token(before, 64);
+    const ItemTiming &remapped = cache.token(after, 64);
+    expectItemsIdentical(remapped, freshTokenItem(after, 64));
+    EXPECT_EQ(cache.hits(), 0u); // the stale entry was dropped
+}
+
+TEST(TimingCache, EngineSharedCacheMatchesPrivateCache)
+{
+    const ModelConfig cfg = pipeModel();
+    const Workload w = wikiText2Like(40, 512, 5);
+    const StageTiming timing = uniformTiming();
+
+    auto kv1 = bigKv(cfg);
+    const PipelineStats plain =
+        runPipeline(w, cfg, timing, kv1, {});
+
+    TimingCache shared;
+    PipelineOptions opts;
+    opts.timingCache = &shared;
+    auto kv2 = bigKv(cfg);
+    const PipelineStats cached =
+        runPipeline(w, cfg, timing, kv2, opts);
+    // Second run on the warmed cache: all items served from memo.
+    auto kv3 = bigKv(cfg);
+    const PipelineStats warm =
+        runPipeline(w, cfg, timing, kv3, opts);
+
+    EXPECT_DOUBLE_EQ(plain.makespanSeconds, cached.makespanSeconds);
+    EXPECT_DOUBLE_EQ(plain.makespanSeconds, warm.makespanSeconds);
+    EXPECT_EQ(plain.outputTokens, warm.outputTokens);
+    EXPECT_DOUBLE_EQ(plain.utilization, warm.utilization);
+    EXPECT_EQ(warm.timingCacheMisses, 0u); // fully warm
+    EXPECT_GT(cached.timingCacheHits, 0u);
+}
+
+TEST(TimingCache, EngineReportsReuse)
+{
+    // Concurrent same-length decodes revisit the same contexts: the
+    // run must be dominated by cache hits, not rebuilds.
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const auto stats = runPipeline(fixedWorkload(16, 256, 64), cfg,
+                                   uniformTiming(), kv);
+    EXPECT_GT(stats.timingCacheHits, stats.timingCacheMisses);
+}
+
+TEST(Pipeline, SingleStreamDecodeBatchingPreservesCounts)
+{
+    // One resident sequence with a long decode exercises the
+    // batched (single-heap-event) fast path, including KV block
+    // boundaries every tokens_per_block steps.
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const Workload w = fixedWorkload(32, 5000, 1);
+    const auto stats = runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_EQ(stats.outputTokens, 5000u);
+    EXPECT_EQ(stats.tokensProcessed, 32u + 5000u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(kv.numResident(), 0u);
+    EXPECT_EQ(kv.usedBlocks(), 0u);
 }
 
 TEST(WorkloadGen, FixedWorkloadShape)
