@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -54,8 +55,12 @@ class WallTimer
  * Machine-readable benchmark record: BENCH_<name>.json in the
  * working directory, one flat JSON object per harness, so the perf
  * trajectory of the simulator itself is tracked run over run.
- * "name" and "threads" are always present; add wall time and an
- * events/sec figure via metric().
+ * "name", "threads" and "detected_cores" are always present; add
+ * wall time and an events/sec figure via metric(). Note that on a
+ * 1-core runner (like CI containers) every parallel-vs-serial
+ * speedup in these records is ~1x BY DESIGN - the deterministic
+ * sweep runtime degrades to a serial loop; read speedups together
+ * with detected_cores.
  */
 class BenchReport
 {
@@ -64,6 +69,21 @@ class BenchReport
     {
         metric("threads",
                static_cast<std::uint64_t>(defaultThreadCount()));
+        metric("detected_cores",
+               static_cast<std::uint64_t>(
+                       std::thread::hardware_concurrency()));
+    }
+
+    /** Record the run's timing-memoization effectiveness. */
+    BenchReport &timingCache(std::uint64_t hits,
+                             std::uint64_t misses)
+    {
+        const double total = static_cast<double>(hits + misses);
+        metric("timing_cache_hits", hits);
+        metric("timing_cache_misses", misses);
+        metric("timing_cache_hit_rate",
+               total > 0.0 ? static_cast<double>(hits) / total : 0.0);
+        return *this;
     }
 
     BenchReport &metric(const std::string &key, double value)

@@ -4,18 +4,50 @@
  * AttAcc and Cerebras WSE-2 across four decoder models and four
  * sequence-length regimes. Also prints the Section 6.2 aggregate
  * (13B-class and 32B-class mean speedups).
+ *
+ * The harness doubles as the serving-scale perf record for the
+ * SIMULATOR itself: a >= 64-way concurrent decode-heavy run is
+ * executed once through the per-event slow path and once through the
+ * cohort decode fast path; the two must agree bit for bit, and the
+ * events/sec of both land in BENCH_fig13_throughput.json so the
+ * fast-path speedup is tracked run over run.
  */
+
+#include <algorithm>
 
 #include "bench_util.hh"
 
 using namespace ouro;
 using namespace ouro::bench;
 
+namespace
+{
+
+/** Every field of two PipelineStats must agree exactly. */
+void
+assertBitIdentical(const PipelineStats &a, const PipelineStats &b)
+{
+    ouroAssert(a.makespanSeconds == b.makespanSeconds &&
+               a.tokensProcessed == b.tokensProcessed &&
+               a.outputTokens == b.outputTokens &&
+               a.bottleneckBusySeconds == b.bottleneckBusySeconds &&
+               a.utilization == b.utilization &&
+               a.evictions == b.evictions &&
+               a.recomputedTokens == b.recomputedTokens &&
+               a.skippedRequests == b.skippedRequests &&
+               a.peakConcurrency == b.peakConcurrency &&
+               a.avgContext == b.avgContext,
+               "fig13: cohort fast path diverged from slow path");
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
     const std::size_t n = requestCount(argc, argv);
+    const WallTimer total_timer;
 
     std::cout << "=== Fig. 13: normalized throughput vs baselines ("
               << n << " requests) ===\n";
@@ -24,6 +56,7 @@ main(int argc, char **argv)
 
     double gain_13b = 0.0, gain_32b = 0.0, gain_all = 0.0;
     int n_13b = 0, n_32b = 0, n_all = 0;
+    std::uint64_t cache_hits = 0, cache_misses = 0;
 
     for (const ModelConfig &model : decoderModels()) {
         const auto sys = buildOuroboros(model);
@@ -50,6 +83,9 @@ main(int argc, char **argv)
                 .cell(norm(ours_tps), 2)
                 .cell(norm(ours_tps), 2);
 
+            cache_hits += ours.pipeline.timingCacheHits;
+            cache_misses += ours.pipeline.timingCacheMisses;
+
             const double gain = norm(ours_tps);
             gain_all += gain;
             ++n_all;
@@ -71,5 +107,75 @@ main(int argc, char **argv)
               << formatDouble(gain_32b / n_32b, 2) << "x\n"
               << "  overall mean speedup vs DGX:   "
               << formatDouble(gain_all / n_all, 2) << "x\n";
+
+    // --- Serving fast-path record (PR 2) ---
+    // 384 decode-heavy chat-like sequences (16-token prompts, 112
+    // output tokens) resident at once on the llama-13B deployment.
+    // The pool admits the whole cohort at t=0 and decode stays in
+    // steady state (no thrashing - the operating point a production
+    // admission controller targets), which is exactly the regime the
+    // cohort fast path accelerates. The slow-path run is the PR 1
+    // engine (per-event heap pops, per-token KV grow); both runs
+    // must produce bit-identical PipelineStats. Best-of-3 timing on
+    // each side keeps the record stable on noisy shared runners.
+    const ModelConfig serve_model = llama13b();
+    const auto serve_sys = buildOuroboros(serve_model);
+    Workload serving = fixedWorkload(16, 112, 384);
+    serving.name = "decode-heavy-384";
+
+    auto engine_run = [&](bool cohort, double &best_wall) {
+        PipelineStats stats;
+        best_wall = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            BlockKvManager kv(serve_model, serve_sys.scorePool(),
+                              serve_sys.contextPool(), 128,
+                              serve_sys.options().kvThreshold);
+            PipelineOptions popts;
+            popts.attentionParallelism = 16.0;
+            popts.cohortFastPath = cohort;
+            const WallTimer timer;
+            const PipelineStats rep_stats =
+                runPipeline(serving, serve_model,
+                            serve_sys.stageTiming(), kv, popts);
+            best_wall = std::min(best_wall, timer.seconds());
+            if (rep > 0)
+                assertBitIdentical(stats, rep_stats);
+            stats = rep_stats;
+        }
+        return stats;
+    };
+    double slow_wall = 0.0;
+    double fast_wall = 0.0;
+    const PipelineStats slow_stats = engine_run(false, slow_wall);
+    const PipelineStats fast_stats = engine_run(true, fast_wall);
+    assertBitIdentical(slow_stats, fast_stats);
+    ouroAssert(fast_stats.peakConcurrency >= 64.0,
+               "fig13: serving cohort below 64 concurrent streams");
+    ouroAssert(fast_stats.evictions == 0 &&
+               fast_stats.skippedRequests == 0,
+               "fig13: serving run must be thrash-free");
+
+    const auto events =
+        static_cast<double>(fast_stats.tokensProcessed);
+    std::cout << "\nServing fast path (384 concurrent decode "
+                 "streams, bit-identical stats):\n"
+              << "  slow path: "
+              << formatDouble(events / slow_wall, 0)
+              << " events/s   cohort: "
+              << formatDouble(events / fast_wall, 0)
+              << " events/s   speedup: "
+              << formatDouble(slow_wall / fast_wall, 2) << "x\n";
+
+    BenchReport("fig13_throughput")
+        .metric("wall_seconds", total_timer.seconds())
+        .metric("events_per_sec", events / fast_wall)
+        .metric("events_per_sec_slow_path", events / slow_wall)
+        .metric("fastpath_speedup", slow_wall / fast_wall)
+        .metric("serving_events", fast_stats.tokensProcessed)
+        .metric("serving_peak_concurrency",
+                fast_stats.peakConcurrency)
+        .timingCache(cache_hits, cache_misses)
+        .text("determinism", "cohort == slow path (asserted)")
+        .write();
     return 0;
 }

@@ -58,7 +58,7 @@ runSweeps(const Executor &exec)
 
     // --- 1. KV threshold dial ---
     os << "1) KV anti-thrashing threshold:\n";
-    Table kv_table({"threshold", "tokens/s", "evictions",
+    Table kv_table({"threshold", "tokens/s", "evictions", "skipped",
                     "kv utilization"});
     const std::vector<double> thresholds{0.0, 0.1, 0.3};
     std::vector<OuroborosReport> kv_reports(thresholds.size());
@@ -76,6 +76,7 @@ runSweeps(const Executor &exec)
             .cell(thresholds[i], 1)
             .cell(rep.result.outputTokensPerSecond, 0)
             .cell(rep.pipeline.evictions)
+            .cell(rep.pipeline.skippedRequests)
             .cell(rep.kvUtilization, 3);
         tokens += rep.pipeline.tokensProcessed;
     }

@@ -77,13 +77,16 @@ main()
     std::cout << "LLM serving on Ouroboros (" << model.name
               << "): token-grained vs sequence-grained\n\n";
     Table table({"traffic", "pipeline", "tokens/s", "util",
-                 "bubbles", "evictions", "recomputed", "peak conc"});
+                 "bubbles", "evictions", "recomputed", "skipped",
+                 "peak conc"});
 
+    std::uint64_t skipped_total = 0;
     for (const Workload &w :
          {chatTraffic(80), summarizeTraffic(80), mixedTraffic(80)}) {
         for (const bool tgp : {true, false}) {
             const auto &sys = tgp ? *tgp_sys : *sgp_sys;
             const OuroborosReport rep = sys.run(w);
+            skipped_total += rep.pipeline.skippedRequests;
             table.row()
                 .cell(w.name)
                 .cell(tgp ? "token-grained" : "sequence-grained")
@@ -92,6 +95,7 @@ main()
                 .cell(rep.pipeline.bubbleFraction, 3)
                 .cell(rep.pipeline.evictions)
                 .cell(rep.pipeline.recomputedTokens)
+                .cell(rep.pipeline.skippedRequests)
                 .cell(rep.pipeline.peakConcurrency, 0);
         }
     }
@@ -99,5 +103,11 @@ main()
     std::cout << "\nTGP should dominate on every mix, with the edge "
                  "largest on 'mixed' (length\nvariance is what "
                  "sequence granularity cannot absorb).\n";
+    if (skipped_total > 0) {
+        std::cout << "NOTE: " << skipped_total
+                  << " request(s) exceeded KV pool capacity and were "
+                     "skipped - throughput\nnumbers above exclude "
+                     "that work.\n";
+    }
     return 0;
 }

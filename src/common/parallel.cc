@@ -130,7 +130,17 @@ ThreadPool::parallelFor(std::size_t n,
             tasks_.emplace_back(runner);
     }
     cv_.notify_all();
-    runner(); // the calling thread is a participant
+    {
+        // The calling thread participates as a de-facto worker, so
+        // a nested parallelFor inside body must degrade to a serial
+        // loop here exactly as it does on pool workers - otherwise
+        // it queues stub tasks behind the busy workers and blocks
+        // this thread until the whole outer sweep drains.
+        const bool was_in_worker = t_inWorker;
+        t_inWorker = true;
+        runner(); // the calling thread is a participant
+        t_inWorker = was_in_worker;
+    }
 
     std::unique_lock<std::mutex> lock(batch->doneMutex);
     batch->doneCv.wait(lock, [&] { return batch->pending == 0; });

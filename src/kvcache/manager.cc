@@ -143,7 +143,56 @@ BlockKvManager::applyThreshold(CoreState &core)
         core.markedFull = true;
 }
 
-bool
+BlockKvManager::SequenceState &
+BlockKvManager::slotRef(KvHandle handle)
+{
+    ouroAssert(handle.valid() && handle.slot_ < slots_.size() &&
+               slots_[handle.slot_].live &&
+               slots_[handle.slot_].stamp == handle.stamp_,
+               "BlockKvManager: stale or invalid KvHandle");
+    return slots_[handle.slot_];
+}
+
+const BlockKvManager::SequenceState &
+BlockKvManager::slotRef(KvHandle handle) const
+{
+    ouroAssert(handle.valid() && handle.slot_ < slots_.size() &&
+               slots_[handle.slot_].live &&
+               slots_[handle.slot_].stamp == handle.stamp_,
+               "BlockKvManager: stale or invalid KvHandle");
+    return slots_[handle.slot_];
+}
+
+void
+BlockKvManager::linkMru(std::uint32_t slot)
+{
+    SequenceState &seq = slots_[slot];
+    seq.mruPrev = mruTail_;
+    seq.mruNext = kNilSlot;
+    if (mruTail_ != kNilSlot)
+        slots_[mruTail_].mruNext = slot;
+    else
+        mruHead_ = slot;
+    mruTail_ = slot;
+}
+
+void
+BlockKvManager::unlinkMru(std::uint32_t slot)
+{
+    SequenceState &seq = slots_[slot];
+    if (seq.mruPrev != kNilSlot)
+        slots_[seq.mruPrev].mruNext = seq.mruNext;
+    else
+        mruHead_ = seq.mruNext;
+    if (seq.mruNext != kNilSlot)
+        slots_[seq.mruNext].mruPrev = seq.mruPrev;
+    else
+        mruTail_ = seq.mruPrev;
+    seq.mruPrev = kNilSlot;
+    seq.mruNext = kNilSlot;
+}
+
+std::uint32_t
 BlockKvManager::tryAdmitOnce(std::uint64_t seq_id,
                              std::uint64_t initial_tokens)
 {
@@ -152,7 +201,6 @@ BlockKvManager::tryAdmitOnce(std::uint64_t seq_id,
 
     SequenceState seq;
     seq.seqId = seq_id;
-    seq.scheduleOrder = scheduleStamp_;
     seq.tokens = initial_tokens;
     seq.k.resize(heads);
     seq.v.resize(heads);
@@ -217,26 +265,34 @@ BlockKvManager::tryAdmitOnce(std::uint64_t seq_id,
         }
         scoreCursor_ = saved_score;
         contextCursor_ = saved_context;
-        return false;
+        return kNilSlot;
     }
-    sequences_.emplace(seq_id, std::move(seq));
-    ++scheduleStamp_;
+
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    seq.live = true;
+    seq.stamp = slots_[slot].stamp; // keep the reuse stamp
+    slots_[slot] = std::move(seq);
+    linkMru(slot);
+    index_.emplace(seq_id, slot);
     ++admissions_;
-    return true;
+    return slot;
 }
 
 bool
 BlockKvManager::evictMru(std::vector<std::uint64_t> &evicted)
 {
-    const SequenceState *victim = nullptr;
-    for (const auto &[id, seq] : sequences_) {
-        if (!victim || seq.scheduleOrder > victim->scheduleOrder)
-            victim = &seq;
-    }
-    if (!victim)
+    if (mruTail_ == kNilSlot)
         return false;
-    const std::uint64_t id = victim->seqId;
-    release(id);
+    const std::uint32_t victim = mruTail_;
+    const std::uint64_t id = slots_[victim].seqId;
+    releaseSlot(victim);
     evicted.push_back(id);
     ++evictions_;
     return true;
@@ -250,7 +306,7 @@ BlockKvManager::admit(std::uint64_t seq_id,
                " already resident");
     KvResult result;
     while (true) {
-        if (tryAdmitOnce(seq_id, initial_tokens)) {
+        if (tryAdmitOnce(seq_id, initial_tokens) != kNilSlot) {
             result.ok = true;
             return result;
         }
@@ -263,18 +319,39 @@ bool
 BlockKvManager::admitNoEvict(std::uint64_t seq_id,
                              std::uint64_t initial_tokens)
 {
+    return admitNoEvictHandle(seq_id, initial_tokens).valid();
+}
+
+KvHandle
+BlockKvManager::admitNoEvictHandle(std::uint64_t seq_id,
+                                   std::uint64_t initial_tokens)
+{
     ouroAssert(!resident(seq_id), "admitNoEvict: sequence ", seq_id,
                " already resident");
-    return tryAdmitOnce(seq_id, initial_tokens);
+    const std::uint32_t slot = tryAdmitOnce(seq_id, initial_tokens);
+    return slot == kNilSlot ? KvHandle{}
+                            : KvHandle{slot, slots_[slot].stamp};
+}
+
+KvHandle
+BlockKvManager::handleOf(std::uint64_t seq_id) const
+{
+    const auto it = index_.find(seq_id);
+    ouroAssert(it != index_.end(), "handleOf: sequence ", seq_id,
+               " not resident");
+    return KvHandle{it->second, slots_[it->second].stamp};
 }
 
 std::uint64_t
 BlockKvManager::growRoom(std::uint64_t seq_id) const
 {
-    const auto it = sequences_.find(seq_id);
-    ouroAssert(it != sequences_.end(), "growRoom: sequence ", seq_id,
-               " not resident");
-    const SequenceState &seq = it->second;
+    return growRoom(handleOf(seq_id));
+}
+
+std::uint64_t
+BlockKvManager::growRoom(KvHandle handle) const
+{
+    const SequenceState &seq = slotRef(handle);
     if (seq.k.empty() || seq.k.front().blocks == 0)
         return 0;
     std::uint32_t room = tokensPerBlock_;
@@ -288,10 +365,13 @@ BlockKvManager::growRoom(std::uint64_t seq_id) const
 void
 BlockKvManager::growFast(std::uint64_t seq_id, std::uint64_t n)
 {
-    const auto it = sequences_.find(seq_id);
-    ouroAssert(it != sequences_.end(), "growFast: sequence ", seq_id,
-               " not resident");
-    SequenceState &seq = it->second;
+    growFast(handleOf(seq_id), n);
+}
+
+void
+BlockKvManager::growFast(KvHandle handle, std::uint64_t n)
+{
+    SequenceState &seq = slotRef(handle);
     const auto count = static_cast<std::uint32_t>(n);
     for (auto &alloc : seq.k) {
         alloc.lastBlockFill += count;
@@ -309,11 +389,14 @@ BlockKvManager::growFast(std::uint64_t seq_id, std::uint64_t n)
 KvResult
 BlockKvManager::grow(std::uint64_t seq_id)
 {
+    return grow(handleOf(seq_id));
+}
+
+KvResult
+BlockKvManager::grow(KvHandle handle)
+{
     KvResult result;
-    const auto it = sequences_.find(seq_id);
-    ouroAssert(it != sequences_.end(), "grow: sequence ", seq_id,
-               " not resident");
-    SequenceState &seq = it->second;
+    SequenceState &seq = slotRef(handle);
 
     // Fast path: the newest block of every head still has room.
     if (seq.k.front().lastBlockFill < tokensPerBlock_ &&
@@ -368,18 +451,15 @@ BlockKvManager::grow(std::uint64_t seq_id)
             fits &= context_[core].totalFree() >= need;
         if (fits)
             break;
-        // Find the MRU victim other than ourselves.
-        const SequenceState *victim = nullptr;
-        for (const auto &[id, other] : sequences_) {
-            if (id == seq_id)
-                continue;
-            if (!victim || other.scheduleOrder > victim->scheduleOrder)
-                victim = &other;
-        }
-        if (!victim)
+        // MRU victim other than ourselves: the list tail, or its
+        // predecessor when we ARE the tail.
+        std::uint32_t victim = mruTail_;
+        if (victim == handle.slot_)
+            victim = slots_[victim].mruPrev;
+        if (victim == kNilSlot)
             return result; // only us left and still no room
-        const std::uint64_t vid = victim->seqId;
-        release(vid);
+        const std::uint64_t vid = slots_[victim].seqId;
+        releaseSlot(victim);
         result.evicted.push_back(vid);
         ++evictions_;
     }
@@ -406,32 +486,47 @@ BlockKvManager::grow(std::uint64_t seq_id)
 void
 BlockKvManager::release(std::uint64_t seq_id)
 {
-    const auto it = sequences_.find(seq_id);
-    ouroAssert(it != sequences_.end(), "release: sequence ", seq_id,
-               " not resident");
-    for (const auto &alloc : it->second.k)
+    release(handleOf(seq_id));
+}
+
+void
+BlockKvManager::release(KvHandle handle)
+{
+    slotRef(handle); // validates
+    releaseSlot(handle.slot_);
+}
+
+void
+BlockKvManager::releaseSlot(std::uint32_t slot)
+{
+    SequenceState &seq = slots_[slot];
+    for (const auto &alloc : seq.k)
         releaseAlloc(score_, alloc);
-    for (const auto &alloc : it->second.v)
+    for (const auto &alloc : seq.v)
         releaseAlloc(context_, alloc);
-    sequences_.erase(it);
+    unlinkMru(slot);
+    index_.erase(seq.seqId);
+    seq.k.clear();
+    seq.v.clear();
+    seq.live = false;
+    ++seq.stamp; // invalidate outstanding handles (ABA guard)
+    freeSlots_.push_back(slot);
 }
 
 bool
 BlockKvManager::resident(std::uint64_t seq_id) const
 {
-    return sequences_.count(seq_id) > 0;
+    return index_.count(seq_id) > 0;
 }
 
 HeadPlacement
 BlockKvManager::headPlacement(std::uint64_t seq_id,
                               std::uint32_t head) const
 {
-    const auto it = sequences_.find(seq_id);
-    ouroAssert(it != sequences_.end(),
-               "headPlacement: sequence not resident");
-    ouroAssert(head < it->second.k.size(),
+    const SequenceState &seq = slotRef(handleOf(seq_id));
+    ouroAssert(head < seq.k.size(),
                "headPlacement: head out of range");
-    return {it->second.k[head].core, it->second.v[head].core};
+    return {seq.k[head].core, seq.v[head].core};
 }
 
 CoreCoord
@@ -467,7 +562,8 @@ BlockKvManager::dropCore(CoreCoord coord)
         for (std::uint32_t r = 0; r < ring.size(); ++r) {
             if (!(ring[r].info.coord == coord))
                 continue;
-            for (const auto &[id, seq] : sequences_) {
+            for (const auto &[id, slot] : index_) {
+                const SequenceState &seq = slots_[slot];
                 const auto &allocs = is_score ? seq.k : seq.v;
                 for (const auto &alloc : allocs) {
                     if (alloc.core == r) {

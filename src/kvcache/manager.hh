@@ -26,7 +26,17 @@
  *
  * Eviction (Section 4.4.4): when admission fails, the MOST RECENTLY
  * scheduled resident sequence is evicted and must be re-prefetched by
- * the scheduler (it re-enters the wait queue at the front).
+ * the scheduler (it re-enters the wait queue at the front). Residents
+ * are kept on an intrusive admission-order list, so the MRU victim is
+ * the list tail - O(1) instead of a scan of every resident.
+ *
+ * Hot-path API (PR 2): admission hands back an opaque KvHandle that
+ * addresses the sequence's slot directly. grow/growRoom/growFast/
+ * release on the handle skip the seq-id hash probe entirely - the
+ * pipeline engine holds one handle per resident sequence and only
+ * falls back to the id-keyed calls on rare paths (external eviction,
+ * failure handling). Handles die with release(); using a stale one is
+ * a checked error.
  */
 
 #ifndef OURO_KVCACHE_MANAGER_HH
@@ -68,6 +78,36 @@ struct KvResult
     std::vector<std::uint64_t> evicted;
 };
 
+class BlockKvManager;
+
+/**
+ * Opaque ticket for a resident sequence. Obtained from admission (or
+ * handleOf()); lets the per-token KV calls index the sequence's slot
+ * directly instead of re-probing the seq-id hash. Valid until the
+ * sequence is released or evicted.
+ */
+class KvHandle
+{
+  public:
+    KvHandle() = default;
+
+    bool valid() const { return slot_ != kInvalid; }
+
+  private:
+    friend class BlockKvManager;
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+    KvHandle(std::uint32_t slot, std::uint32_t stamp)
+        : slot_(slot), stamp_(stamp)
+    {
+    }
+
+    std::uint32_t slot_ = kInvalid;
+    /** Slot reuse stamp: detects a stale handle whose slot was
+     *  recycled by a later admission (ABA), not just a dead slot. */
+    std::uint32_t stamp_ = 0;
+};
+
 /**
  * Per-block KV manager. Thread-compatible, deterministic; the
  * multi-level translation (page table -> bitmap -> block registers,
@@ -107,8 +147,19 @@ class BlockKvManager
     bool admitNoEvict(std::uint64_t seq_id,
                       std::uint64_t initial_tokens);
 
+    /**
+     * Handle-returning admitNoEvict: the engine's hot path. The
+     * returned handle is invalid when the sequence does not fit.
+     */
+    KvHandle admitNoEvictHandle(std::uint64_t seq_id,
+                                std::uint64_t initial_tokens);
+
+    /** Handle of a resident sequence (one hash probe). */
+    KvHandle handleOf(std::uint64_t seq_id) const;
+
     /** Append one decode token's K/V for a resident sequence. */
     KvResult grow(std::uint64_t seq_id);
+    KvResult grow(KvHandle handle);
 
     /**
      * Tokens appendable to a resident sequence through the in-block
@@ -117,20 +168,23 @@ class BlockKvManager
      * pipeline engine uses this to batch unconstrained decode steps.
      */
     std::uint64_t growRoom(std::uint64_t seq_id) const;
+    std::uint64_t growRoom(KvHandle handle) const;
 
     /**
      * Append @p n tokens through the fast path; @p n must not exceed
      * growRoom(seq_id). Equivalent to n fast-path grow() calls.
      */
     void growFast(std::uint64_t seq_id, std::uint64_t n);
+    void growFast(KvHandle handle, std::uint64_t n);
 
     /** Release a finished (or externally evicted) sequence. */
     void release(std::uint64_t seq_id);
+    void release(KvHandle handle);
 
     bool resident(std::uint64_t seq_id) const;
 
     /** Number of resident sequences. */
-    std::size_t numResident() const { return sequences_.size(); }
+    std::size_t numResident() const { return index_.size(); }
 
     /** Placement of head @p h of a resident sequence. */
     HeadPlacement headPlacement(std::uint64_t seq_id,
@@ -184,13 +238,21 @@ class BlockKvManager
         std::vector<std::pair<std::uint32_t, std::uint32_t>> perXbar;
     };
 
+    static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
     struct SequenceState
     {
-        std::uint64_t seqId;
-        std::uint64_t scheduleOrder; ///< admission stamp (for MRU)
+        std::uint64_t seqId = 0;
         std::uint64_t tokens = 0;
         std::vector<HeadAlloc> k;    ///< per head, on score cores
         std::vector<HeadAlloc> v;    ///< per head, on context cores
+        /** Intrusive admission-order list (head = LRU, tail = MRU). */
+        std::uint32_t mruPrev = kNilSlot;
+        std::uint32_t mruNext = kNilSlot;
+        /** Bumped on every release so recycled slots refuse handles
+         *  from the previous residency. */
+        std::uint32_t stamp = 0;
+        bool live = false;
     };
 
     ModelConfig model_;
@@ -201,14 +263,23 @@ class BlockKvManager
 
     std::uint32_t scoreCursor_ = 0;
     std::uint32_t contextCursor_ = 0;
-    std::uint64_t scheduleStamp_ = 0;
     std::uint64_t totalBlocks_ = 0;
     std::uint64_t usedBlocks_ = 0;
     std::uint64_t evictions_ = 0;
     std::uint64_t admissions_ = 0;
     std::uint64_t vSpills_ = 0;
 
-    std::unordered_map<std::uint64_t, SequenceState> sequences_;
+    /** Slot storage: stable while resident, recycled after release. */
+    std::vector<SequenceState> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::uint32_t mruHead_ = kNilSlot; ///< least recently admitted
+    std::uint32_t mruTail_ = kNilSlot; ///< most recently admitted
+
+    /** seq id -> slot, for the id-keyed API and duplicate checks. */
+    std::unordered_map<std::uint64_t, std::uint32_t> index_;
+
+    SequenceState &slotRef(KvHandle handle);
+    const SequenceState &slotRef(KvHandle handle) const;
 
     /** Blocks needed to hold @p tokens of one head. */
     std::uint32_t blocksFor(std::uint64_t tokens) const;
@@ -216,8 +287,15 @@ class BlockKvManager
     /** Evict the most recently scheduled resident; false if none. */
     bool evictMru(std::vector<std::uint64_t> &evicted);
 
-    bool tryAdmitOnce(std::uint64_t seq_id,
-                      std::uint64_t initial_tokens);
+    /** Release by slot (shared by handle/id release and eviction). */
+    void releaseSlot(std::uint32_t slot);
+
+    void linkMru(std::uint32_t slot);
+    void unlinkMru(std::uint32_t slot);
+
+    /** Returns the new slot on success, kNilSlot when it won't fit. */
+    std::uint32_t tryAdmitOnce(std::uint64_t seq_id,
+                               std::uint64_t initial_tokens);
 
     /** Allocate @p blocks on a ring core; kind selects K/V policy. */
     bool allocBlocks(CoreState &core, HeadAlloc &alloc,

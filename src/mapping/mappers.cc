@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace ouro
 {
@@ -52,10 +53,40 @@ AnnealingMapper::AnnealingMapper(Options opts)
 Assignment
 AnnealingMapper::solve(const MappingProblem &problem) const
 {
+    if (opts_.restarts <= 1)
+        return annealOnce(problem, opts_.seed).first;
+
+    // Parallel multi-restart: every restart is an independent chain
+    // with its own deterministically derived seed writing its own
+    // result slot, so the sweep is bit-identical serial or parallel.
+    std::vector<std::pair<Assignment, double>> chains(opts_.restarts);
+    parallelFor(chains.size(), [&](std::size_t r) {
+        // Restart 0 keeps the caller's seed (restarts=1 equivalence);
+        // the rest take well-separated streams off the golden-ratio
+        // increment so chains never correlate.
+        const std::uint64_t seed =
+            r == 0 ? opts_.seed
+                   : opts_.seed +
+                         0x9E3779B97F4A7C15ULL *
+                             static_cast<std::uint64_t>(r);
+        chains[r] = annealOnce(problem, seed);
+    });
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < chains.size(); ++r) {
+        if (chains[r].second < chains[best].second)
+            best = r;
+    }
+    return std::move(chains[best].first);
+}
+
+std::pair<Assignment, double>
+AnnealingMapper::annealOnce(const MappingProblem &problem,
+                            std::uint64_t seed) const
+{
     Assignment current = GreedyMapper{}.solve(problem);
     const auto &tiles = problem.tiles();
     if (tiles.size() <= 1)
-        return current;
+        return {current, problem.assignmentCost(current)};
 
     const auto slots = usableSlots(problem);
     // Occupancy map: slot -> tile index or -1.
@@ -67,7 +98,7 @@ AnnealingMapper::solve(const MappingProblem &problem) const
     Assignment best = current;
     double best_cost = cost;
 
-    Rng rng(opts_.seed);
+    Rng rng(seed);
 
     // Auto-calibrate the starting temperature from a random-move
     // sample so acceptance starts near 80%.
@@ -150,7 +181,10 @@ AnnealingMapper::solve(const MappingProblem &problem) const
     }
 
     ouroAssert(problem.feasible(best), "AnnealingMapper: infeasible");
-    return best;
+    // Exact recompute: the incrementally tracked cost accumulates
+    // floating error, and restarts are compared on this value.
+    const double exact_cost = problem.assignmentCost(best);
+    return {std::move(best), exact_cost};
 }
 
 ExactMapper::ExactMapper(std::uint32_t max_tiles)

@@ -52,6 +52,18 @@ class AnnealingMapper
         double initialTemperature = -1.0; ///< <0: auto-calibrate
         double coolingFactor = 0.999;
         std::uint64_t seed = 1;
+
+        /**
+         * Independent annealing restarts; the lowest-cost result
+         * wins (ties: lowest restart index). Restart 0 runs with
+         * `seed` exactly - restarts=1 reproduces the single-restart
+         * mapper bit for bit - and restart r derives its own
+         * deterministic seed from (seed, r). Restarts fan out on
+         * the parallel sweep runtime with per-restart result slots,
+         * so the chosen mapping is identical however many threads
+         * run (including 1) - the PR 1 sweep contract.
+         */
+        std::uint32_t restarts = 1;
     };
 
     AnnealingMapper() : AnnealingMapper(Options{}) {}
@@ -60,6 +72,11 @@ class AnnealingMapper
     Assignment solve(const MappingProblem &problem) const;
 
   private:
+    /** One annealing chain; returns (assignment, exact cost). */
+    std::pair<Assignment, double>
+    annealOnce(const MappingProblem &problem,
+               std::uint64_t seed) const;
+
     Options opts_;
 };
 

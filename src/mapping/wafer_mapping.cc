@@ -127,6 +127,7 @@ WaferMapping::build(const ModelConfig &model,
               case MapperKind::Annealing: {
                 AnnealingMapper::Options sa;
                 sa.iterations = opts.annealIterations;
+                sa.restarts = std::max(1u, opts.annealRestarts);
                 sa.seed = opts.seed;
                 assignment = AnnealingMapper(sa).solve(problem);
                 break;

@@ -65,6 +65,9 @@ struct WaferMappingOptions
 {
     MapperKind mapper = MapperKind::Annealing;
     std::uint64_t annealIterations = 3000;
+    /** Independent annealing chains (best wins); they fan out on the
+     *  parallel runtime with deterministic per-restart seeds. */
+    std::uint32_t annealRestarts = 1;
     std::uint64_t seed = 1;
     double costInter = 2.0;
 

@@ -25,20 +25,6 @@ stageKindName(StageKind kind)
     panic("stageKindName: bad kind");
 }
 
-bool
-stageIsAttention(StageKind kind)
-{
-    return kind == StageKind::Score || kind == StageKind::Softmax ||
-           kind == StageKind::Context;
-}
-
-bool
-stageHoldsWeights(StageKind kind)
-{
-    return kind == StageKind::QkvGen || kind == StageKind::Projection ||
-           kind == StageKind::Ffn;
-}
-
 StageWork
 stageWork(const ModelConfig &cfg, StageKind kind, std::uint64_t context)
 {

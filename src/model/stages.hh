@@ -43,11 +43,23 @@ inline constexpr unsigned kStagesPerBlock = 6;
 
 const char *stageKindName(StageKind kind);
 
-/** Whether a stage's cost grows with the attended context length. */
-bool stageIsAttention(StageKind kind);
+/** Whether a stage's cost grows with the attended context length.
+ *  Header-inline: the pipeline engines ask this for every stage of
+ *  every heap event, so it must not be an out-of-line call. */
+constexpr bool
+stageIsAttention(StageKind kind)
+{
+    return kind == StageKind::Score || kind == StageKind::Softmax ||
+           kind == StageKind::Context;
+}
 
 /** Whether a stage holds static weights (vs. operating on KV/SFU). */
-bool stageHoldsWeights(StageKind kind);
+constexpr bool
+stageHoldsWeights(StageKind kind)
+{
+    return kind == StageKind::QkvGen ||
+           kind == StageKind::Projection || kind == StageKind::Ffn;
+}
 
 /**
  * Cost of pushing one token through one stage of one block.

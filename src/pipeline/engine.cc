@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -28,7 +27,7 @@ struct ActiveSeq
      *  stages are per-sequence resources, not shared servers. */
     double attnFree = 0.0;
     std::uint64_t generation = 0; ///< invalidates stale heap entries
-    bool dead = false;
+    KvHandle kv;                  ///< slot ticket into the KV manager
 };
 
 /** Pending (not yet admitted) request. */
@@ -37,6 +36,10 @@ struct Pending
     std::uint64_t id;
     std::uint64_t prefillLen;
     std::uint64_t decodeRemaining;
+    /** Re-admission after eviction resumes past the old generation so
+     *  stale heap entries of the previous residency can never match
+     *  (they would resurrect already-retired events otherwise). */
+    std::uint64_t generation = 0;
 };
 
 struct HeapEntry
@@ -45,11 +48,45 @@ struct HeapEntry
     std::uint64_t seq;
     std::uint64_t generation;
 
+    /** Strict total order: ready, then seq, then generation. The seq
+     *  tie-break pins the pop order of simultaneous events, which is
+     *  what lets the cohort fast path replay it exactly. */
     bool operator>(const HeapEntry &other) const
     {
-        return ready > other.ready;
+        if (ready != other.ready)
+            return ready > other.ready;
+        if (seq != other.seq)
+            return seq > other.seq;
+        return generation > other.generation;
     }
 };
+
+/** One cohort member in the insertion-sorted decode ring. The hot
+ *  per-token state is copied OUT of the ActiveSeq at ring build and
+ *  written back lazily (completion, eviction, or cohort exit), so
+ *  the token loop touches only this flat slot - never the hash-map
+ *  node. */
+struct RingMember
+{
+    double ready;             ///< this member's next event time
+    std::uint64_t seq;
+    std::uint64_t generation; ///< residency stamp at ring build
+    ActiveSeq *as;            ///< stable: rehash never moves nodes
+    std::uint64_t allowance;  ///< in-block tokens before a slow grow
+    std::uint64_t consumed;   ///< deferred tokens for one growFast
+    double attnFree;          ///< ring-local copy of as->attnFree
+    std::uint64_t position;   ///< prefillLen + decoded
+    std::uint64_t decodeRemaining;
+};
+
+bool
+ringBefore(double a_ready, std::uint64_t a_seq, double b_ready,
+           std::uint64_t b_seq)
+{
+    if (a_ready != b_ready)
+        return a_ready < b_ready;
+    return a_seq < b_seq;
+}
 
 } // namespace
 
@@ -82,15 +119,58 @@ runPipeline(const Workload &workload, const ModelConfig &model,
 
     std::deque<Pending> queue;
     for (const auto &r : workload.requests)
-        queue.push_back({r.id, r.prefillLen, r.decodeLen});
+        queue.push_back({r.id, r.prefillLen, r.decodeLen, 0});
 
     std::unordered_map<std::uint64_t, ActiveSeq> active;
     active.reserve(workload.requests.size());
-    std::vector<HeapEntry> heap_store;
-    heap_store.reserve(workload.requests.size() + 16);
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<>> ready(std::greater<>{},
-                                              std::move(heap_store));
+
+    // Min-heap of (ready, seq, generation) owned directly (not a
+    // priority_queue) so stale entries can be compacted in place.
+    std::vector<HeapEntry> ready_heap;
+    ready_heap.reserve(workload.requests.size() + 16);
+    std::size_t stale_entries = 0;
+
+    auto heap_push = [&](const HeapEntry &entry) {
+        ready_heap.push_back(entry);
+        std::push_heap(ready_heap.begin(), ready_heap.end(),
+                       std::greater<>{});
+    };
+    auto heap_pop = [&]() -> HeapEntry {
+        std::pop_heap(ready_heap.begin(), ready_heap.end(),
+                      std::greater<>{});
+        const HeapEntry top = ready_heap.back();
+        ready_heap.pop_back();
+        return top;
+    };
+
+    /** The live ActiveSeq a heap entry refers to, or null if stale. */
+    auto live_entry = [&](const HeapEntry &entry) -> ActiveSeq * {
+        const auto it = active.find(entry.seq);
+        if (it == active.end() ||
+            it->second.generation != entry.generation) {
+            return nullptr;
+        }
+        return &it->second;
+    };
+
+    // Heap hygiene: evictions leave stale generation entries behind;
+    // once they outnumber the live ones, compact in place so the heap
+    // stays O(live) instead of O(lifetime evictions).
+    auto compact_heap = [&]() {
+        if (ready_heap.size() < 32 ||
+            stale_entries * 2 <= ready_heap.size()) {
+            return;
+        }
+        ready_heap.erase(
+                std::remove_if(ready_heap.begin(), ready_heap.end(),
+                               [&](const HeapEntry &entry) {
+                                   return live_entry(entry) == nullptr;
+                               }),
+                ready_heap.end());
+        std::make_heap(ready_heap.begin(), ready_heap.end(),
+                       std::greater<>{});
+        stale_entries = 0;
+    };
 
     // One server per stage kind (the representative block's tandem
     // queue); blocks 2..N add pure latency, not contention - inter-
@@ -101,6 +181,10 @@ runPipeline(const Workload &workload, const ModelConfig &model,
 
     double ctx_sum = 0.0;
     std::uint64_t ctx_samples = 0;
+
+    /** Resident sequences still streaming prefill tokens; the cohort
+     *  fast path is legal only when this is zero. */
+    std::size_t prefill_count = 0;
 
     auto admission_tokens = [&](const Pending &p) -> std::uint64_t {
         return opts.staticKvAllocation ? opts.maxContext
@@ -120,15 +204,21 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         admissions_suspended = false; // nothing left running: resume
         while (!queue.empty()) {
             const Pending &p = queue.front();
-            if (!kv.admitNoEvict(p.id, admission_tokens(p)))
+            const KvHandle handle =
+                kv.admitNoEvictHandle(p.id, admission_tokens(p));
+            if (!handle.valid())
                 break;
             ActiveSeq seq;
             seq.id = p.id;
             seq.prefillLen = p.prefillLen;
             seq.decodeRemaining = p.decodeRemaining;
             seq.nextReady = now;
+            seq.generation = p.generation;
+            seq.kv = handle;
+            if (seq.prefillLen > 0)
+                ++prefill_count;
             active.emplace(p.id, seq);
-            ready.push({now, p.id, 0});
+            heap_push({now, p.id, p.generation});
             queue.pop_front();
         }
         stats.peakConcurrency = std::max(
@@ -138,8 +228,12 @@ runPipeline(const Workload &workload, const ModelConfig &model,
 
     // Eviction handler: kill the resident sequence and put it back at
     // the FRONT of the wait queue with its grown prefill (recompute).
+    // entries_in_heap says whether each victim's live heap entry is
+    // still enqueued (true on the slow path; false when the victim's
+    // entry lives in the cohort ring or was already popped).
     auto handle_evictions =
-            [&](const std::vector<std::uint64_t> &evicted) {
+            [&](const std::vector<std::uint64_t> &evicted,
+                bool entries_in_heap) {
         for (const auto id : evicted) {
             const auto it = active.find(id);
             if (it == active.end())
@@ -150,11 +244,14 @@ runPipeline(const Workload &workload, const ModelConfig &model,
             // Everything computed so far must be re-prefilled.
             back.prefillLen = seq.prefillLen + seq.decoded;
             back.decodeRemaining = seq.decodeRemaining;
+            back.generation = seq.generation + 1;
             queue.push_front(back);
             stats.evictions += 1;
             stats.recomputedTokens += back.prefillLen;
-            seq.dead = true;
-            seq.generation += 1;
+            if (seq.prefillEntered < seq.prefillLen)
+                --prefill_count;
+            if (entries_in_heap)
+                ++stale_entries;
             active.erase(it);
             admissions_suspended = true;
         }
@@ -166,21 +263,25 @@ runPipeline(const Workload &workload, const ModelConfig &model,
     // attention stages run on the sequence's OWN KV-ring cores
     // (Section 4.4.3 spreads sequences across distinct cores),
     // so they serialise within a sequence but overlap across
-    // sequences. Returns the item's completion time.
-    auto traverse = [&](ActiveSeq &seq,
-                        const ItemTiming &item) -> double {
-        double cursor = seq.nextReady;
+    // sequences. Returns the item's completion time. @p attn_free
+    // is wherever the caller keeps the sequence's attention-server
+    // clock (ActiveSeq on the slow path, the ring slot on the
+    // cohort path) - ONE implementation, so the two paths cannot
+    // drift apart and break their asserted bit-identity.
+    auto advance_item = [&](double ready, double &attn_free,
+                            const ItemTiming &item) -> double {
+        double cursor = ready;
         for (unsigned s = 0; s < kStagesPerBlock; ++s) {
             const auto kind = static_cast<StageKind>(s);
             double start;
             if (stageIsAttention(kind)) {
-                start = std::max(cursor, seq.attnFree);
+                start = std::max(cursor, attn_free);
             } else {
                 start = std::max(cursor, stage_free[s]);
             }
             const double done = start + item.stage[s];
             if (stageIsAttention(kind))
-                seq.attnFree = done;
+                attn_free = done;
             else
                 stage_free[s] = done;
             stage_busy[s] += item.stage[s];
@@ -194,11 +295,179 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         ++ctx_samples;
         return completion;
     };
+    auto traverse = [&](ActiveSeq &seq,
+                        const ItemTiming &item) -> double {
+        return advance_item(seq.nextReady, seq.attnFree, item);
+    };
+
+    // Cohort decode fast path: with every resident sequence in steady
+    // decode and nothing waiting to be admitted, the heap's pop order
+    // is a pure (ready, seq) merge of autoregressive chains. Replay
+    // it in an insertion-sorted ring: no heap push/pop, no `active`
+    // hash probe, and per-sequence KV growth batched into one
+    // growFast per in-block run. Block-boundary allocations happen
+    // in ring order via the handle-based grow, so results stay
+    // bit-identical to the slow path; the ring is abandoned the
+    // moment anything contends (eviction, admission, cohort of one).
+    auto cohort_pass = [&]() {
+        const bool static_kv = opts.staticKvAllocation;
+
+        // Gather the one live heap entry of every resident sequence,
+        // copying the hot per-token state into the flat ring slots.
+        std::vector<RingMember> ring;
+        ring.reserve(active.size());
+        for (const HeapEntry &entry : ready_heap) {
+            ActiveSeq *as = live_entry(entry);
+            if (as) {
+                ring.push_back({entry.ready, entry.seq,
+                                entry.generation, as, 0, 0,
+                                as->attnFree,
+                                as->prefillLen + as->decoded,
+                                as->decodeRemaining});
+            }
+        }
+        ouroAssert(ring.size() == active.size(),
+                   "cohort: live heap entries != resident sequences");
+        ready_heap.clear();
+        stale_entries = 0;
+        std::sort(ring.begin(), ring.end(),
+                  [](const RingMember &a, const RingMember &b) {
+                      return ringBefore(a.ready, a.seq, b.ready,
+                                        b.seq);
+                  });
+        for (auto &m : ring) {
+            m.allowance = static_kv ? m.decodeRemaining
+                                    : kv.growRoom(m.as->kv);
+        }
+
+        // Write a member's ring-local progress back to its ActiveSeq
+        // (needed whenever slow-path machinery may look at it).
+        auto sync_member = [&](const RingMember &m) {
+            ActiveSeq &seq = *m.as;
+            seq.decoded = m.position - seq.prefillLen;
+            seq.decodeRemaining = m.decodeRemaining;
+            seq.nextReady = m.ready;
+            seq.attnFree = m.attnFree;
+        };
+
+        // Circular buffer over `ring`: members [head, head+count).
+        const std::size_t cap = ring.size();
+        std::size_t head = 0;
+        std::size_t count = ring.size();
+        auto at = [&](std::size_t k) -> RingMember & {
+            return ring[(head + k) % cap];
+        };
+
+        bool bail = false;
+        while (!bail && count > 1) {
+            RingMember m = at(0);
+            head = (head + 1) % cap;
+            --count;
+
+            bool contended = false;
+            if (!static_kv) {
+                if (m.allowance == 0) {
+                    // Block boundary: flush the deferred in-block
+                    // growth, then allocate exactly as the slow path
+                    // would for this token. Eviction bookkeeping
+                    // reads ActiveSeq progress, so sync everyone
+                    // before a grow that may evict.
+                    if (m.consumed > 0) {
+                        kv.growFast(m.as->kv, m.consumed);
+                        m.consumed = 0;
+                    }
+                    sync_member(m);
+                    for (std::size_t k = 0; k < count; ++k)
+                        sync_member(at(k));
+                    const KvResult grown = kv.grow(m.as->kv);
+                    if (!grown.evicted.empty()) {
+                        handle_evictions(grown.evicted, false);
+                        contended = true; // queue is non-empty now
+                    }
+                    if (!grown.ok) {
+                        // Pool too small even after evicting everyone
+                        // else: evict self (slow-path semantics).
+                        handle_evictions({m.seq}, false);
+                        if (kv.resident(m.seq))
+                            kv.release(m.seq);
+                        pump_admissions(makespan);
+                        bail = true;
+                        break; // member dropped, not reinserted
+                    }
+                    m.allowance = kv.growRoom(m.as->kv);
+                } else {
+                    --m.allowance;
+                    ++m.consumed;
+                }
+            }
+
+            // Decode step on ring-local state: same builder and the
+            // SAME advance_item as the slow path (bit-identity by
+            // construction), only the attention clock lives in the
+            // ring slot instead of the ActiveSeq.
+            const ItemTiming item =
+                freshTokenItem(timing, m.position + 1);
+            const double entry = std::max(m.ready, stage_free[0]);
+            const double completion =
+                advance_item(m.ready, m.attnFree, item);
+
+            m.position += 1;
+            m.decodeRemaining -= 1;
+            stats.outputTokens += 1;
+            m.ready = completion; // autoregressive gating
+
+            if (m.decodeRemaining == 0) {
+                if (!static_kv && m.consumed > 0)
+                    kv.growFast(m.as->kv, m.consumed);
+                kv.release(m.as->kv);
+                active.erase(m.seq);
+                admissions_suspended = false; // a request completed
+                pump_admissions(entry);
+                if (contended)
+                    bail = true;
+                continue; // member dropped
+            }
+
+            // Reinsert at the sorted position. Autoregressive
+            // completions almost always land at the back, so scan
+            // from the tail; the freed front slot absorbs the shift.
+            std::size_t j = count;
+            while (j > 0 && ringBefore(m.ready, m.seq,
+                                       at(j - 1).ready,
+                                       at(j - 1).seq)) {
+                at(j) = at(j - 1);
+                --j;
+            }
+            at(j) = m;
+            ++count;
+            if (contended)
+                bail = true; // evictions re-queued work: fall back
+        }
+
+        // Survivors sync back and return to the heap with their
+        // deferred KV growth committed. Evicted members are skipped:
+        // either gone from `active`, or already re-admitted under a
+        // NEW generation (their fresh heap entry was pushed by
+        // pump_admissions, so re-pushing this stale membership would
+        // duplicate them).
+        for (std::size_t k = 0; k < count; ++k) {
+            const RingMember &m = at(k);
+            const auto it = active.find(m.seq);
+            if (it == active.end() ||
+                it->second.generation != m.generation) {
+                continue;
+            }
+            sync_member(m);
+            if (!static_kv && m.consumed > 0)
+                kv.growFast(it->second.kv, m.consumed);
+            heap_push({m.ready, m.seq, m.generation});
+        }
+    };
 
     pump_admissions(0.0);
 
-    while (!ready.empty() || !queue.empty()) {
-        if (ready.empty()) {
+    while (!ready_heap.empty() || !queue.empty()) {
+        if (ready_heap.empty()) {
             // Nothing runnable but requests remain: every resident
             // sequence finished yet the queue head still does not
             // fit, so the request genuinely exceeds pool capacity.
@@ -206,15 +475,30 @@ runPipeline(const Workload &workload, const ModelConfig &model,
             queue.pop_front();
             warn("pipeline: request ", p.id,
                  " exceeds KV pool capacity; skipped");
+            stats.skippedRequests += 1;
             pump_admissions(makespan);
             continue;
         }
-        const HeapEntry top = ready.top();
-        ready.pop();
+
+        // Cohort fast path entry: every resident sequence decoding,
+        // nobody waiting for admission, and >1 resident (a cohort of
+        // one is the single-stream batch below). O(1) eligibility
+        // thanks to the running prefill_count.
+        if (opts.cohortFastPath && prefill_count == 0 &&
+            queue.empty() && active.size() > 1) {
+            cohort_pass();
+            continue;
+        }
+
+        const HeapEntry top = heap_pop();
         const auto it = active.find(top.seq);
-        if (it == active.end() || it->second.dead ||
+        if (it == active.end() ||
             it->second.generation != top.generation) {
-            continue; // stale
+            // Stale entry drained naturally: keep the hygiene counter
+            // honest or compact_heap fires on an already-clean heap.
+            if (stale_entries > 0)
+                --stale_entries;
+            continue;
         }
         ActiveSeq &seq = it->second;
 
@@ -231,12 +515,12 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         if (!is_prefill && active.size() == 1 && queue.empty()) {
             const std::uint64_t room =
                 opts.staticKvAllocation ? seq.decodeRemaining
-                                        : kv.growRoom(seq.id);
+                                        : kv.growRoom(seq.kv);
             const std::uint64_t batch =
                 std::min(seq.decodeRemaining, room);
             if (batch > 0) {
                 if (!opts.staticKvAllocation)
-                    kv.growFast(seq.id, batch);
+                    kv.growFast(seq.kv, batch);
                 for (std::uint64_t i = 0; i < batch; ++i) {
                     const std::uint64_t pos =
                         seq.prefillLen + seq.decoded;
@@ -254,14 +538,14 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                 }
                 if (seq.decodeRemaining == 0) {
                     const double finished = seq.nextReady;
-                    kv.release(seq.id);
+                    kv.release(seq.kv);
                     active.erase(it); // invalidates seq
                     admissions_suspended = false;
                     pump_admissions(finished);
                     continue;
                 }
                 seq.generation += 1;
-                ready.push({seq.nextReady, seq.id, seq.generation});
+                heap_push({seq.nextReady, seq.id, seq.generation});
                 continue;
             }
             // No in-block room: fall through to the slow path, which
@@ -308,13 +592,13 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         // KV growth for the entering tokens (dynamic mode only).
         if (!opts.staticKvAllocation) {
             if (!is_prefill) {
-                const KvResult grow = kv.grow(seq.id);
-                handle_evictions(grow.evicted);
-                if (!grow.ok || seq.dead) {
+                const KvResult grow = kv.grow(seq.kv);
+                handle_evictions(grow.evicted, true);
+                compact_heap();
+                if (!grow.ok) {
                     // The grower itself could not fit (pool too small
                     // even after evicting everyone else): evict self.
-                    if (!seq.dead)
-                        handle_evictions({seq.id});
+                    handle_evictions({seq.id}, false);
                     if (kv.resident(seq.id))
                         kv.release(seq.id);
                     pump_admissions(makespan);
@@ -330,31 +614,33 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         // Advance the sequence and enqueue its next item.
         if (is_prefill) {
             seq.prefillEntered += item->tokens;
-            if (seq.prefillEntered >= seq.prefillLen) {
+            const bool done_prefill =
+                seq.prefillEntered >= seq.prefillLen;
+            if (done_prefill) {
                 // First decode token depends on the prompt's full
                 // traversal of the pipeline.
+                --prefill_count;
                 seq.nextReady = completion;
             } else {
                 // Prefill tokens stream: next is ready at this entry.
                 seq.nextReady = entry;
             }
-            if (seq.decodeRemaining == 0 &&
-                seq.prefillEntered >= seq.prefillLen) {
-                kv.release(seq.id);
+            if (seq.decodeRemaining == 0 && done_prefill) {
+                kv.release(seq.kv);
                 active.erase(it);
                 admissions_suspended = false; // a request completed
                 pump_admissions(entry);
                 continue;
             }
             seq.generation += 1;
-            ready.push({seq.nextReady, seq.id, seq.generation});
+            heap_push({seq.nextReady, seq.id, seq.generation});
         } else {
             seq.decoded += 1;
             seq.decodeRemaining -= 1;
             stats.outputTokens += 1;
             if (seq.decodeRemaining == 0) {
                 // Finished: release KV when the token drains.
-                kv.release(seq.id);
+                kv.release(seq.kv);
                 active.erase(it);
                 admissions_suspended = false; // a request completed
                 pump_admissions(entry);
@@ -362,7 +648,7 @@ runPipeline(const Workload &workload, const ModelConfig &model,
             }
             seq.nextReady = completion; // autoregressive gating
             seq.generation += 1;
-            ready.push({seq.nextReady, seq.id, seq.generation});
+            heap_push({seq.nextReady, seq.id, seq.generation});
         }
         pump_admissions(entry);
     }

@@ -73,6 +73,10 @@ struct PipelineStats
     double bubbleFraction = 0.0;         ///< 1 - utilization
     std::uint64_t evictions = 0;
     std::uint64_t recomputedTokens = 0;  ///< re-prefilled after evict
+    /** Requests dropped because they exceed KV pool capacity even
+     *  with the pool otherwise empty: work the run did NOT do.
+     *  Serving studies must report this or silently under-count. */
+    std::uint64_t skippedRequests = 0;
     double peakConcurrency = 0.0;        ///< resident sequences (max)
     double avgContext = 0.0;             ///< mean attended context
     std::uint64_t timingCacheHits = 0;   ///< memoized item reuses
@@ -124,6 +128,17 @@ struct PipelineOptions
      * huge-context scans.
      */
     unsigned ctxBucketShift = 0;
+
+    /**
+     * Cohort decode fast path (PR 2): when every resident sequence
+     * is in steady decode and the admission queue is empty, the
+     * deterministic heap-pop order is replayed in an insertion-
+     * sorted ring - no heap traffic, no per-token hash probes, KV
+     * growth batched through the handle-based growFast. Results are
+     * bit-identical to the per-event slow path (tests assert this);
+     * disable only to measure the slow path or to bisect.
+     */
+    bool cohortFastPath = true;
 };
 
 /**

@@ -20,18 +20,6 @@ maskLenKey(AttentionKind mask, std::uint64_t prefill_len)
 } // namespace
 
 ItemTiming
-freshTokenItem(const StageTiming &timing, std::uint64_t ctx)
-{
-    ItemTiming item;
-    item.context = ctx;
-    for (unsigned s = 0; s < kStagesPerBlock; ++s)
-        item.stage[s] =
-            timing.tokenTime(static_cast<StageKind>(s), ctx);
-    item.finalize();
-    return item;
-}
-
-ItemTiming
 freshBlockedTokenItem(const StageTiming &timing,
                       double attention_positions)
 {

@@ -59,8 +59,20 @@ struct ItemTiming
     }
 };
 
-/** One token, pure token-grained (causal path). Uncached builder. */
-ItemTiming freshTokenItem(const StageTiming &timing, std::uint64_t ctx);
+/** One token, pure token-grained (causal path). Uncached builder.
+ *  Header-inline: both decode fast paths build one per token, so the
+ *  six fused multiply-adds must not hide behind a call. */
+inline ItemTiming
+freshTokenItem(const StageTiming &timing, std::uint64_t ctx)
+{
+    ItemTiming item;
+    item.context = ctx;
+    for (unsigned s = 0; s < kStagesPerBlock; ++s)
+        item.stage[s] =
+            timing.tokenTime(static_cast<StageKind>(s), ctx);
+    item.finalize();
+    return item;
+}
 
 /**
  * One token whose attention work is deferred/accumulated (TGP with

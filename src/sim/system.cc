@@ -41,6 +41,7 @@ OuroborosSystem::build(const ModelConfig &model,
         mopts.mapper = opts.smartMapping ? MapperKind::Annealing
                                          : MapperKind::WaferLlm;
         mopts.annealIterations = opts.annealIterations;
+        mopts.annealRestarts = opts.annealRestarts;
         mopts.seed = opts.seed + w;
         // Small models replicate data-parallel across the wafer:
         // each replica needs its weight tiles plus a healthy KV

@@ -57,6 +57,9 @@ struct OuroborosOptions
 
     std::uint64_t seed = 1;
     std::uint64_t annealIterations = 1200;
+
+    /** Parallel multi-restart annealing chains (best mapping wins). */
+    std::uint32_t annealRestarts = 1;
 };
 
 /** Detailed report of one run. */

@@ -213,6 +213,29 @@ TEST(Mappers, AnnealingDeterministicPerSeed)
     EXPECT_EQ(a, b);
 }
 
+TEST(Mappers, MultiRestartDeterministicAndNeverWorse)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 48));
+    AnnealingMapper::Options opts;
+    opts.iterations = 4000;
+    opts.seed = 7;
+    const double single_cost = problem.assignmentCost(
+            AnnealingMapper(opts).solve(problem));
+
+    opts.restarts = 3;
+    const Assignment a = AnnealingMapper(opts).solve(problem);
+    const Assignment b = AnnealingMapper(opts).solve(problem);
+    // Restarts fan out on the shared pool yet the pick is exact:
+    // per-restart slots + deterministic seeds (PR 1 sweep contract).
+    EXPECT_EQ(a, b);
+    ASSERT_TRUE(problem.feasible(a));
+    // Restart 0 reuses the caller's seed, so the best-of-3 can never
+    // lose to the single-restart solve.
+    EXPECT_LE(problem.assignmentCost(a), single_cost + 1e-9);
+}
+
 /** A 2-layer micro-model whose block tiles to 6 cores: exact-solvable. */
 ModelConfig
 microModel()

@@ -427,6 +427,154 @@ TEST(Pipeline, SingleStreamDecodeBatchingPreservesCounts)
     EXPECT_EQ(kv.usedBlocks(), 0u);
 }
 
+void
+expectStatsIdentical(const PipelineStats &a, const PipelineStats &b)
+{
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.tokensProcessed, b.tokensProcessed);
+    EXPECT_EQ(a.outputTokens, b.outputTokens);
+    EXPECT_DOUBLE_EQ(a.bottleneckBusySeconds,
+                     b.bottleneckBusySeconds);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    EXPECT_DOUBLE_EQ(a.bubbleFraction, b.bubbleFraction);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.recomputedTokens, b.recomputedTokens);
+    EXPECT_EQ(a.skippedRequests, b.skippedRequests);
+    EXPECT_DOUBLE_EQ(a.peakConcurrency, b.peakConcurrency);
+    EXPECT_DOUBLE_EQ(a.avgContext, b.avgContext);
+    EXPECT_EQ(a.timingCacheHits, b.timingCacheHits);
+    EXPECT_EQ(a.timingCacheMisses, b.timingCacheMisses);
+}
+
+/** Run a workload with the cohort fast path force-disabled and
+ *  enabled; every PipelineStats field must agree exactly. */
+void
+expectCohortBitIdentical(const ModelConfig &cfg, const Workload &w,
+                         const StageTiming &timing,
+                         std::vector<KvCoreInfo> score,
+                         std::vector<KvCoreInfo> context,
+                         PipelineOptions base = {})
+{
+    BlockKvManager kv_slow(cfg, score, context);
+    PipelineOptions slow = base;
+    slow.cohortFastPath = false;
+    const PipelineStats a = runPipeline(w, cfg, timing, kv_slow, slow);
+
+    BlockKvManager kv_fast(cfg, score, context);
+    PipelineOptions fast = base;
+    fast.cohortFastPath = true;
+    const PipelineStats b = runPipeline(w, cfg, timing, kv_fast, fast);
+
+    expectStatsIdentical(a, b);
+    EXPECT_EQ(kv_slow.usedBlocks(), kv_fast.usedBlocks());
+    EXPECT_EQ(kv_slow.numResident(), kv_fast.numResident());
+}
+
+TEST(CohortFastPath, BitIdenticalDecodeHeavy)
+{
+    // The flagship regime: many concurrent sequences in steady
+    // decode, crossing KV block boundaries (decode > 128) inside
+    // the ring.
+    const ModelConfig cfg = pipeModel();
+    expectCohortBitIdentical(cfg, fixedWorkload(16, 300, 24),
+                             uniformTiming(), bigPool(64, 0),
+                             bigPool(64, 1));
+}
+
+TEST(CohortFastPath, BitIdenticalMixedLengths)
+{
+    // Variable lengths stagger block boundaries and completions, so
+    // the ring is entered and exited many times mid-run.
+    const ModelConfig cfg = pipeModel();
+    expectCohortBitIdentical(cfg, wikiText2Like(48, 512, 3),
+                             uniformTiming(), bigPool(64, 0),
+                             bigPool(64, 1));
+}
+
+TEST(CohortFastPath, BitIdenticalUnderEvictions)
+{
+    // Tight pool: growth collides, sequences are evicted from inside
+    // the cohort, re-queued and re-admitted. The fast path must bail
+    // out and replay the slow path exactly.
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(512, 1024, 16);
+
+    BlockKvManager kv_slow(cfg, bigPool(2, 0), bigPool(2, 1));
+    PipelineOptions slow;
+    slow.cohortFastPath = false;
+    const PipelineStats a =
+        runPipeline(w, cfg, uniformTiming(), kv_slow, slow);
+    EXPECT_GT(a.evictions, 0u); // the scenario must actually evict
+
+    expectCohortBitIdentical(cfg, w, uniformTiming(), bigPool(2, 0),
+                             bigPool(2, 1));
+}
+
+TEST(CohortFastPath, BitIdenticalStaticAllocation)
+{
+    const ModelConfig cfg = pipeModel();
+    PipelineOptions base;
+    base.staticKvAllocation = true;
+    base.maxContext = 512;
+    expectCohortBitIdentical(cfg, fixedWorkload(32, 200, 16),
+                             uniformTiming(), bigPool(64, 0),
+                             bigPool(64, 1), base);
+}
+
+TEST(CohortFastPath, BitIdenticalSequenceGrained)
+{
+    const ModelConfig cfg = pipeModel();
+    PipelineOptions base;
+    base.kind = PipelineKind::SequenceGrained;
+    expectCohortBitIdentical(cfg, wikiText2Like(32, 384, 9),
+                             uniformTiming(), bigPool(64, 0),
+                             bigPool(64, 1), base);
+}
+
+TEST(Pipeline, SkippedRequestsCounted)
+{
+    // One request larger than the whole pool must be dropped AND
+    // counted; the rest of the workload still completes.
+    const ModelConfig cfg = pipeModel();
+    std::vector<KvCoreInfo> tiny_score, tiny_context;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        tiny_score.push_back({{0, i}, 1, 2});
+        tiny_context.push_back({{1, i}, 1, 2});
+    }
+    BlockKvManager kv(cfg, tiny_score, tiny_context);
+
+    Workload w;
+    w.name = "oversize";
+    w.requests.push_back({0, 64, 16});
+    w.requests.push_back({1, 4096, 16}); // 32 blocks/head: never fits
+    w.requests.push_back({2, 64, 16});
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_EQ(stats.skippedRequests, 1u);
+    EXPECT_EQ(stats.outputTokens, 2u * 16);
+    EXPECT_EQ(kv.numResident(), 0u);
+}
+
+TEST(Pipeline, EvictionAccountingExact)
+{
+    // Regression for the eviction-requeue path: a stale heap entry
+    // resurrected after re-admission would double-process events and
+    // break the exact token balance
+    //   tokensProcessed == sum(prefill + decode) + recomputedTokens
+    //   outputTokens    == sum(decode).
+    const ModelConfig cfg = pipeModel();
+    BlockKvManager kv(cfg, bigPool(2, 0), bigPool(2, 1));
+    const Workload w = fixedWorkload(512, 1024, 16);
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv, {});
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_EQ(stats.outputTokens, 16u * 1024);
+    EXPECT_EQ(stats.tokensProcessed,
+              16u * (512 + 1024) + stats.recomputedTokens);
+    EXPECT_EQ(kv.numResident(), 0u);
+    EXPECT_EQ(kv.usedBlocks(), 0u);
+}
+
 TEST(WorkloadGen, FixedWorkloadShape)
 {
     const Workload w = fixedWorkload(128, 2048, 1000);
