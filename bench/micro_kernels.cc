@@ -1,10 +1,12 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator's hot kernels:
- * crossbar GEMV pricing, NoC routing (clean and faulted), traffic
- * accumulation, the intra-core DP, KV admission/growth, the MIQP
- * objective evaluation and the RNG. These guard the simulator's own
- * performance (the figure harnesses run millions of these calls).
+ * crossbar GEMV pricing, NoC routing (clean, faulted and cached),
+ * traffic accumulation (flat per-link loads), the intra-core DP, KV
+ * admission/growth, the MIQP objective / moveDelta / swapDelta on
+ * both the sparse flow-graph engine and the dense reference, and the
+ * RNG. These guard the simulator's own performance (the figure
+ * harnesses run millions of these calls).
  */
 
 #include <benchmark/benchmark.h>
@@ -73,6 +75,18 @@ BM_MeshRouteFaulted(benchmark::State &state)
 BENCHMARK(BM_MeshRouteFaulted);
 
 void
+BM_MeshRouteCached(benchmark::State &state)
+{
+    // Repeated (src, dst) lookups hit the route cache after the first
+    // computation - the TrafficAccumulator / transferCost hot path.
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(noc.routeCached({0, 0}, {100, 100}));
+}
+BENCHMARK(BM_MeshRouteCached);
+
+void
 BM_TrafficAccumulate(benchmark::State &state)
 {
     const WaferGeometry geom;
@@ -87,6 +101,23 @@ BM_TrafficAccumulate(benchmark::State &state)
 BENCHMARK(BM_TrafficAccumulate);
 
 void
+BM_TrafficAccumulateReused(benchmark::State &state)
+{
+    // Steady-state accumulation: one accumulator cleared per round,
+    // flat per-link loads + cached routes on the hot path.
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    for (auto _ : state) {
+        traffic.clear();
+        for (std::uint32_t i = 0; i < 64; ++i)
+            traffic.addFlow({i, 0}, {i, 16}, 4096);
+        benchmark::DoNotOptimize(traffic.bottleneckSeconds());
+    }
+}
+BENCHMARK(BM_TrafficAccumulateReused);
+
+void
 BM_DpLeafAssignment(benchmark::State &state)
 {
     for (auto _ : state) {
@@ -96,19 +127,103 @@ BM_DpLeafAssignment(benchmark::State &state)
 }
 BENCHMARK(BM_DpLeafAssignment);
 
+/** Shared fixture for the MIQP cost-engine benchmarks. */
+struct MiqpFixture
+{
+    WaferGeometry geom;
+    std::vector<CoreCoord> region;
+    MappingProblem problem;
+    Assignment assignment;
+
+    MiqpFixture()
+        : region([this] {
+              const auto order = geom.sShapedOrder();
+              return std::vector<CoreCoord>(order.begin(),
+                                            order.begin() + 128);
+          }()),
+          problem(llama13b(), CoreParams{}, geom, region),
+          assignment(GreedyMapper{}.solve(problem))
+    {
+    }
+};
+
 void
 BM_MiqpObjective(benchmark::State &state)
 {
-    const WaferGeometry geom;
-    const auto order = geom.sShapedOrder();
-    const std::vector<CoreCoord> region(order.begin(),
-                                        order.begin() + 128);
-    MappingProblem problem(llama13b(), CoreParams{}, geom, region);
-    const Assignment assignment = GreedyMapper{}.solve(problem);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(problem.assignmentCost(assignment));
+    const MiqpFixture fx;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                fx.problem.assignmentCost(fx.assignment));
+    }
 }
 BENCHMARK(BM_MiqpObjective);
+
+void
+BM_MiqpObjectiveDense(benchmark::State &state)
+{
+    const MiqpFixture fx;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                fx.problem.assignmentCostDense(fx.assignment));
+    }
+}
+BENCHMARK(BM_MiqpObjectiveDense);
+
+void
+BM_MoveDeltaSparse(benchmark::State &state)
+{
+    const MiqpFixture fx;
+    std::size_t t = 0;
+    for (auto _ : state) {
+        t = (t + 1) % fx.problem.tiles().size();
+        benchmark::DoNotOptimize(fx.problem.moveDelta(
+                fx.assignment, t,
+                static_cast<std::uint32_t>(fx.region.size() - 1)));
+    }
+}
+BENCHMARK(BM_MoveDeltaSparse);
+
+void
+BM_MoveDeltaDense(benchmark::State &state)
+{
+    const MiqpFixture fx;
+    std::size_t t = 0;
+    for (auto _ : state) {
+        t = (t + 1) % fx.problem.tiles().size();
+        benchmark::DoNotOptimize(fx.problem.moveDeltaDense(
+                fx.assignment, t,
+                static_cast<std::uint32_t>(fx.region.size() - 1)));
+    }
+}
+BENCHMARK(BM_MoveDeltaDense);
+
+void
+BM_SwapDeltaSparse(benchmark::State &state)
+{
+    const MiqpFixture fx;
+    std::size_t t = 0;
+    const std::size_t n = fx.problem.tiles().size();
+    for (auto _ : state) {
+        t = (t + 1) % (n - 1);
+        benchmark::DoNotOptimize(
+                fx.problem.swapDelta(fx.assignment, t, t + 1));
+    }
+}
+BENCHMARK(BM_SwapDeltaSparse);
+
+void
+BM_SwapDeltaDense(benchmark::State &state)
+{
+    const MiqpFixture fx;
+    std::size_t t = 0;
+    const std::size_t n = fx.problem.tiles().size();
+    for (auto _ : state) {
+        t = (t + 1) % (n - 1);
+        benchmark::DoNotOptimize(
+                fx.problem.swapDeltaDense(fx.assignment, t, t + 1));
+    }
+}
+BENCHMARK(BM_SwapDeltaDense);
 
 void
 BM_KvAdmitRelease(benchmark::State &state)

@@ -19,6 +19,7 @@
 #include "mapping/remap.hh"
 #include "mapping/wafer_mapping.hh"
 #include "model/llm.hh"
+#include "noc/mesh.hh"
 
 int
 main()
@@ -69,14 +70,16 @@ main()
                        "moved MB", "latency [us]"});
     BlockPlacement placement = mapping->placement(0);
     const Bytes tile_bytes = CoreParams{}.sramBytes();
-    const NocParams noc;
+    // Route-aware recovery: the mesh knows the fabrication defects,
+    // so every shift is priced over its actual (cached) detour route.
+    const MeshNoc noc(geom, NocParams{}, &defects);
 
     // Fail three weight cores and one KV core of block 0 in turn.
     for (int k = 0; k < 3; ++k) {
         const CoreCoord failed =
             placement.weightCores[static_cast<std::size_t>(k * 7)];
         const auto result = recoverCoreFailure(placement, failed,
-                                               geom, noc, tile_bytes);
+                                               noc, tile_bytes);
         ouroAssert(result.has_value(), "recovery failed");
         chain_table.row()
             .cell("(" + std::to_string(failed.row) + "," +
@@ -91,7 +94,7 @@ main()
     if (!placement.scoreCores.empty()) {
         const CoreCoord failed = placement.scoreCores.front();
         const auto result = recoverCoreFailure(placement, failed,
-                                               geom, noc, tile_bytes);
+                                               noc, tile_bytes);
         ouroAssert(result.has_value(), "KV recovery failed");
         chain_table.row()
             .cell("(" + std::to_string(failed.row) + "," +

@@ -100,6 +100,19 @@ AnnealingMapper::annealOnce(const MappingProblem &problem,
 
     Rng rng(seed);
 
+    // Engine selection: the sparse flow-graph engine is the default;
+    // the dense reference is bit-identical (asserted by tests and
+    // fig18), so the trajectory below is engine-invariant.
+    const bool dense = opts_.useDenseEngine;
+    const auto move_delta = [&](std::size_t t, std::uint32_t s) {
+        return dense ? problem.moveDeltaDense(current, t, s)
+                     : problem.moveDelta(current, t, s);
+    };
+    const auto swap_delta = [&](std::size_t t1, std::size_t t2) {
+        return dense ? problem.swapDeltaDense(current, t1, t2)
+                     : problem.swapDelta(current, t1, t2);
+    };
+
     // Auto-calibrate the starting temperature from a random-move
     // sample so acceptance starts near 80%.
     double temperature = opts_.initialTemperature;
@@ -112,8 +125,7 @@ AnnealingMapper::annealOnce(const MappingProblem &problem,
             if (s == current[t])
                 continue;
             if (occupant[s] < 0)
-                sum_abs += std::abs(
-                        problem.moveDelta(current, t, s));
+                sum_abs += std::abs(move_delta(t, s));
         }
         temperature = std::max(1.0, sum_abs / probes);
     }
@@ -131,7 +143,7 @@ AnnealingMapper::annealOnce(const MappingProblem &problem,
         const std::int64_t other = occupant[slot];
         if (other < 0) {
             // Relocate t1 to a free slot.
-            delta = problem.moveDelta(current, t1, slot);
+            delta = move_delta(t1, slot);
             if (delta <= 0.0 ||
                 rng.uniform() < std::exp(-delta / temperature)) {
                 occupant[current[t1]] = -1;
@@ -144,24 +156,7 @@ AnnealingMapper::annealOnce(const MappingProblem &problem,
             const auto t2 = static_cast<std::size_t>(other);
             const std::uint32_t s1 = current[t1];
             const std::uint32_t s2 = slot;
-            const CoreCoord c1 = problem.candidates()[s1];
-            const CoreCoord c2 = problem.candidates()[s2];
-            // Incremental: pairs touching t1 or t2 change; the
-            // (t1,t2) pair is invariant under swap (distance same),
-            // but compute it exactly for safety.
-            delta = 0.0;
-            for (std::size_t b = 0; b < tiles.size(); ++b) {
-                if (b == t1 || b == t2)
-                    continue;
-                const CoreCoord cb =
-                    problem.candidates()[current[b]];
-                delta += problem.pairCost(tiles[t1], c2, tiles[b], cb)
-                       - problem.pairCost(tiles[t1], c1, tiles[b], cb)
-                       + problem.pairCost(tiles[t2], c1, tiles[b], cb)
-                       - problem.pairCost(tiles[t2], c2, tiles[b], cb);
-            }
-            delta += problem.pairCost(tiles[t1], c2, tiles[t2], c1) -
-                     problem.pairCost(tiles[t1], c1, tiles[t2], c2);
+            delta = swap_delta(t1, t2);
             if (delta <= 0.0 ||
                 rng.uniform() < std::exp(-delta / temperature)) {
                 std::swap(current[t1], current[t2]);
@@ -220,13 +215,9 @@ ExactMapper::solve(const MappingProblem &problem) const
         for (const auto slot : slots) {
             if (used[slot])
                 continue;
-            double add = 0.0;
-            const CoreCoord ct = problem.candidates()[slot];
-            for (std::size_t b = 0; b < t; ++b) {
-                add += problem.pairCost(
-                        tiles[t], ct, tiles[b],
-                        problem.candidates()[current[b]]);
-            }
+            // Sparse partial cost over tile t's already-placed flow
+            // partners (bit-identical to the dense b < t scan).
+            const double add = problem.partialCost(current, t, slot);
             used[slot] = true;
             current[t] = slot;
             self(self, t + 1, partial + add);
@@ -297,6 +288,22 @@ WaferLlmMapper::solve(const MappingProblem &problem) const
     ouroAssert(slots.size() >= tiles.size(),
                "WaferLlmMapper: not enough cores");
 
+    // (layer, inSplit, outSplit) -> tile index, built in one pass so
+    // the reorder below is O(T) instead of an O(T^2) scan per tile.
+    std::vector<std::vector<std::uint32_t>> tile_index(
+            problem.layers().size());
+    for (std::uint32_t l = 0; l < problem.layers().size(); ++l) {
+        tile_index[l].assign(problem.layers()[l].numTiles(),
+                             UINT32_MAX);
+    }
+    for (std::size_t k = 0; k < tiles.size(); ++k) {
+        const Tile &tile = tiles[k];
+        const LayerSpec &spec = problem.layers()[tile.layer];
+        tile_index[tile.layer][tile.inSplit * spec.outSplits +
+                               tile.outSplit] =
+            static_cast<std::uint32_t>(k);
+    }
+
     // Within a layer, WaferLLM distributes input-split-major (rows of
     // the operand), which separates the reduction partners that our
     // tile order keeps together; reorder accordingly.
@@ -306,18 +313,10 @@ WaferLlmMapper::solve(const MappingProblem &problem) const
         const LayerSpec &spec = problem.layers()[l];
         for (std::uint32_t i = 0; i < spec.inSplits; ++i) {
             for (std::uint32_t o = 0; o < spec.outSplits; ++o) {
-                // Locate tile (l, i, o) in the canonical tile list.
-                const std::size_t t =
-                    [&]() -> std::size_t {
-                        for (std::size_t k = 0; k < tiles.size(); ++k) {
-                            if (tiles[k].layer == l &&
-                                tiles[k].inSplit == i &&
-                                tiles[k].outSplit == o) {
-                                return k;
-                            }
-                        }
-                        panic("WaferLlmMapper: tile not found");
-                    }();
+                const std::uint32_t t =
+                    tile_index[l][i * spec.outSplits + o];
+                ouroAssert(t != UINT32_MAX,
+                           "WaferLlmMapper: tile not found");
                 assignment[t] = slots[cursor++];
             }
         }

@@ -64,6 +64,15 @@ class AnnealingMapper
          * run (including 1) - the PR 1 sweep contract.
          */
         std::uint32_t restarts = 1;
+
+        /**
+         * Evaluate moves with the retained dense O(T) reference
+         * engine instead of the sparse flow-graph engine. The two
+         * are bit-identical (tests and fig18 assert it), so the
+         * annealing trajectory does not depend on this flag - it
+         * exists so harnesses can time and cross-check the engines.
+         */
+        bool useDenseEngine = false;
     };
 
     AnnealingMapper() : AnnealingMapper(Options{}) {}

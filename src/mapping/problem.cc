@@ -100,12 +100,21 @@ coresPerBlock(const ModelConfig &model, const CoreParams &core_params)
     return total;
 }
 
+namespace
+{
+
+/** Largest region for which the C^2 distance table is materialised. */
+constexpr std::size_t kMaxDistanceTableCandidates = 1024;
+
+} // namespace
+
 MappingProblem::MappingProblem(const ModelConfig &model,
                                const CoreParams &core_params,
                                const WaferGeometry &geom,
                                std::vector<CoreCoord> candidate_cores,
                                double cost_inter,
-                               const DefectMap *defects)
+                               const DefectMap *defects,
+                               bool precompute_distance_table)
     : layers_(tileBlockLayers(model, core_params)),
       candidates_(std::move(candidate_cores)), geom_(geom),
       costInter_(cost_inter), defects_(defects)
@@ -122,6 +131,123 @@ MappingProblem::MappingProblem(const ModelConfig &model,
     ouroAssert(usable >= tiles_.size(),
                "MappingProblem: region has ", usable,
                " usable cores but the block needs ", tiles_.size());
+
+    buildFlowGraph();
+    if (precompute_distance_table &&
+        candidates_.size() <= kMaxDistanceTableCandidates)
+        buildDistanceTable();
+}
+
+Bytes
+MappingProblem::flowBetween(std::size_t a, std::size_t b) const
+{
+    ouroAssert(a < tiles_.size() && b < tiles_.size() && a != b,
+               "flowBetween: bad tile pair");
+    const Tile &ta = tiles_[a];
+    const Tile &tb = tiles_[b];
+    const LayerSpec &la = layers_[ta.layer];
+    const LayerSpec &lb = layers_[tb.layer];
+    Bytes bytes = 0;
+
+    // Mirrors pairCost()'s flow terms exactly; at most one fires for
+    // any pair, so summing them is safe.
+    if (ta.layer + 1 == tb.layer && ta.inSplit == la.inSplits - 1) {
+        bytes += overlap(
+                la.outPartLo(ta.outSplit), la.outPartHi(ta.outSplit),
+                lb.inPartLo(tb.inSplit), lb.inPartHi(tb.inSplit));
+    }
+    if (tb.layer + 1 == ta.layer && tb.inSplit == lb.inSplits - 1) {
+        bytes += overlap(
+                lb.outPartLo(tb.outSplit), lb.outPartHi(tb.outSplit),
+                la.inPartLo(ta.inSplit), la.inPartHi(ta.inSplit));
+    }
+    if (ta.layer == tb.layer) {
+        const LayerSpec &layer = la;
+        if (ta.outSplit == tb.outSplit) {
+            const bool a_sends = ta.inSplit != layer.inSplits - 1 &&
+                                 tb.inSplit == layer.inSplits - 1;
+            const bool b_sends = tb.inSplit != layer.inSplits - 1 &&
+                                 ta.inSplit == layer.inSplits - 1;
+            if (a_sends || b_sends)
+                bytes += layer.reductionVolume(ta.outSplit);
+        }
+        if (ta.outSplit != tb.outSplit &&
+            ta.inSplit == layer.inSplits - 1 &&
+            tb.inSplit == layer.inSplits - 1) {
+            // Directed: prices the FIRST tile's slice (pairCost takes
+            // a.outSplit), so F(a->b) and F(b->a) can differ when the
+            // last split part is smaller.
+            bytes += layer.gatherVolume(ta.outSplit);
+        }
+    }
+    return bytes;
+}
+
+void
+MappingProblem::buildFlowGraph()
+{
+    const std::size_t n = tiles_.size();
+    flowOffsets_.assign(n + 1, 0);
+    flowUpper_.assign(n, 0);
+
+    // Single triangle scan, two flowBetween() evaluations per pair.
+    // Appending partner b to row a while the outer index ascends (and
+    // a to row b from earlier outer iterations) leaves every row in
+    // ascending partner order - the canonical order that makes the
+    // sparse sums bit-identical to the dense loops.
+    struct FlowEntry
+    {
+        std::uint32_t partner;
+        double bytes;
+    };
+    std::vector<std::vector<FlowEntry>> rows(n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const Bytes ab = flowBetween(a, b);
+            const Bytes ba = flowBetween(b, a);
+            if (ab == 0 && ba == 0)
+                continue;
+            rows[a].push_back({static_cast<std::uint32_t>(b),
+                               static_cast<double>(ab)});
+            rows[b].push_back({static_cast<std::uint32_t>(a),
+                               static_cast<double>(ba)});
+        }
+    }
+
+    for (std::size_t t = 0; t < n; ++t)
+        flowOffsets_[t + 1] =
+            flowOffsets_[t] +
+            static_cast<std::uint32_t>(rows[t].size());
+    flowPartner_.resize(flowOffsets_[n]);
+    flowBytes_.resize(flowOffsets_[n]);
+    for (std::size_t t = 0; t < n; ++t) {
+        std::uint32_t k = flowOffsets_[t];
+        flowUpper_[t] = k;
+        for (const FlowEntry &entry : rows[t]) {
+            flowPartner_[k] = entry.partner;
+            flowBytes_[k] = entry.bytes;
+            if (entry.partner < t)
+                flowUpper_[t] = k + 1;
+            ++k;
+        }
+    }
+}
+
+void
+MappingProblem::buildDistanceTable()
+{
+    const std::size_t c = candidates_.size();
+    distTable_.resize(c * c);
+    penTable_.resize(c * c);
+    for (std::size_t a = 0; a < c; ++a) {
+        for (std::size_t b = 0; b < c; ++b) {
+            distTable_[a * c + b] =
+                geom_.manhattan(candidates_[a], candidates_[b]);
+            penTable_[a * c + b] =
+                penalty(candidates_[a], candidates_[b]);
+        }
+    }
+    hasTable_ = true;
 }
 
 bool
@@ -207,6 +333,29 @@ MappingProblem::assignmentCost(
 {
     ouroAssert(assignment.size() == tiles_.size(),
                "assignmentCost: wrong assignment size");
+    // Sparse upper-triangle walk. The dense reference visits pairs
+    // (a, b > a) in ascending order; skipped pairs contribute exactly
+    // +0.0 there, so this sum is bit-identical.
+    double total = 0.0;
+    const std::uint32_t *partner = flowPartner_.data();
+    const double *bytes = flowBytes_.data();
+    for (std::size_t a = 0; a < tiles_.size(); ++a) {
+        const std::uint32_t sa = assignment[a];
+        for (std::uint32_t k = flowUpper_[a]; k < flowOffsets_[a + 1];
+             ++k) {
+            const std::uint32_t sb = assignment[partner[k]];
+            total += slotDist(sa, sb) * bytes[k] * slotPen(sa, sb);
+        }
+    }
+    return total;
+}
+
+double
+MappingProblem::assignmentCostDense(
+        const std::vector<std::uint32_t> &assignment) const
+{
+    ouroAssert(assignment.size() == tiles_.size(),
+               "assignmentCostDense: wrong assignment size");
     double total = 0.0;
     for (std::size_t a = 0; a < tiles_.size(); ++a) {
         const CoreCoord ca = candidates_[assignment[a]];
@@ -223,6 +372,27 @@ MappingProblem::moveDelta(const std::vector<std::uint32_t> &assignment,
                           std::size_t t, std::uint32_t new_slot) const
 {
     ouroAssert(t < tiles_.size(), "moveDelta: bad tile index");
+    const std::uint32_t old_slot = assignment[t];
+    double delta = 0.0;
+    const std::uint32_t *partner = flowPartner_.data();
+    const double *bytes = flowBytes_.data();
+    for (std::uint32_t k = flowOffsets_[t]; k < flowOffsets_[t + 1];
+         ++k) {
+        const std::uint32_t sb = assignment[partner[k]];
+        delta += slotDist(new_slot, sb) * bytes[k] *
+                         slotPen(new_slot, sb) -
+                 slotDist(old_slot, sb) * bytes[k] *
+                         slotPen(old_slot, sb);
+    }
+    return delta;
+}
+
+double
+MappingProblem::moveDeltaDense(
+        const std::vector<std::uint32_t> &assignment, std::size_t t,
+        std::uint32_t new_slot) const
+{
+    ouroAssert(t < tiles_.size(), "moveDeltaDense: bad tile index");
     const CoreCoord old_core = candidates_[assignment[t]];
     const CoreCoord new_core = candidates_[new_slot];
     double delta = 0.0;
@@ -234,6 +404,126 @@ MappingProblem::moveDelta(const std::vector<std::uint32_t> &assignment,
                  pairCost(tiles_[t], old_core, tiles_[b], cb);
     }
     return delta;
+}
+
+double
+MappingProblem::swapDelta(const std::vector<std::uint32_t> &assignment,
+                          std::size_t t1, std::size_t t2) const
+{
+    ouroAssert(t1 < tiles_.size() && t2 < tiles_.size() && t1 != t2,
+               "swapDelta: bad tile pair");
+    const std::uint32_t s1 = assignment[t1];
+    const std::uint32_t s2 = assignment[t2];
+    const std::uint32_t *partner = flowPartner_.data();
+    const double *bytes = flowBytes_.data();
+
+    // Merge the two adjacency rows in ascending partner order - the
+    // same order the dense reference visits its nonzero terms in - and
+    // evaluate each partner's contribution with the dense expression.
+    // Partners equal to t1/t2 are skipped here; the dense loop's
+    // closing (t1,t2) correction term is exactly +0.0 (same distance
+    // and penalty on both sides of the swap), so dropping it keeps the
+    // result bit-identical.
+    std::uint32_t i = flowOffsets_[t1];
+    const std::uint32_t i_end = flowOffsets_[t1 + 1];
+    std::uint32_t j = flowOffsets_[t2];
+    const std::uint32_t j_end = flowOffsets_[t2 + 1];
+    const std::uint32_t u1 = static_cast<std::uint32_t>(t1);
+    const std::uint32_t u2 = static_cast<std::uint32_t>(t2);
+
+    double delta = 0.0;
+    while (i < i_end || j < j_end) {
+        const std::uint32_t b1 =
+            i < i_end ? partner[i] : UINT32_MAX;
+        const std::uint32_t b2 =
+            j < j_end ? partner[j] : UINT32_MAX;
+        if (b1 < b2) {
+            if (b1 != u2) {
+                const std::uint32_t sb = assignment[b1];
+                const double f1 = bytes[i];
+                delta += slotDist(s2, sb) * f1 * slotPen(s2, sb) -
+                         slotDist(s1, sb) * f1 * slotPen(s1, sb);
+            }
+            ++i;
+        } else if (b2 < b1) {
+            if (b2 != u1) {
+                const std::uint32_t sb = assignment[b2];
+                const double f2 = bytes[j];
+                delta += slotDist(s1, sb) * f2 * slotPen(s1, sb) -
+                         slotDist(s2, sb) * f2 * slotPen(s2, sb);
+            }
+            ++j;
+        } else {
+            const std::uint32_t sb = assignment[b1];
+            const double f1 = bytes[i];
+            const double f2 = bytes[j];
+            delta += slotDist(s2, sb) * f1 * slotPen(s2, sb) -
+                     slotDist(s1, sb) * f1 * slotPen(s1, sb) +
+                     slotDist(s1, sb) * f2 * slotPen(s1, sb) -
+                     slotDist(s2, sb) * f2 * slotPen(s2, sb);
+            ++i;
+            ++j;
+        }
+    }
+    return delta;
+}
+
+double
+MappingProblem::swapDeltaDense(
+        const std::vector<std::uint32_t> &assignment, std::size_t t1,
+        std::size_t t2) const
+{
+    // Replica of the annealer's historical inline swap loop.
+    ouroAssert(t1 < tiles_.size() && t2 < tiles_.size() && t1 != t2,
+               "swapDeltaDense: bad tile pair");
+    const CoreCoord c1 = candidates_[assignment[t1]];
+    const CoreCoord c2 = candidates_[assignment[t2]];
+    double delta = 0.0;
+    for (std::size_t b = 0; b < tiles_.size(); ++b) {
+        if (b == t1 || b == t2)
+            continue;
+        const CoreCoord cb = candidates_[assignment[b]];
+        delta += pairCost(tiles_[t1], c2, tiles_[b], cb)
+               - pairCost(tiles_[t1], c1, tiles_[b], cb)
+               + pairCost(tiles_[t2], c1, tiles_[b], cb)
+               - pairCost(tiles_[t2], c2, tiles_[b], cb);
+    }
+    delta += pairCost(tiles_[t1], c2, tiles_[t2], c1) -
+             pairCost(tiles_[t1], c1, tiles_[t2], c2);
+    return delta;
+}
+
+double
+MappingProblem::partialCost(
+        const std::vector<std::uint32_t> &assignment, std::size_t t,
+        std::uint32_t slot) const
+{
+    ouroAssert(t < tiles_.size(), "partialCost: bad tile index");
+    // Partners below t in ascending order: the dense reference scans
+    // b = 0..t-1 with tile t as pairCost's first argument.
+    double add = 0.0;
+    const std::uint32_t *partner = flowPartner_.data();
+    const double *bytes = flowBytes_.data();
+    for (std::uint32_t k = flowOffsets_[t]; k < flowUpper_[t]; ++k) {
+        const std::uint32_t sb = assignment[partner[k]];
+        add += slotDist(slot, sb) * bytes[k] * slotPen(slot, sb);
+    }
+    return add;
+}
+
+double
+MappingProblem::partialCostDense(
+        const std::vector<std::uint32_t> &assignment, std::size_t t,
+        std::uint32_t slot) const
+{
+    ouroAssert(t < tiles_.size(), "partialCostDense: bad tile index");
+    const CoreCoord ct = candidates_[slot];
+    double add = 0.0;
+    for (std::size_t b = 0; b < t; ++b) {
+        add += pairCost(tiles_[t], ct, tiles_[b],
+                        candidates_[assignment[b]]);
+    }
+    return add;
 }
 
 bool

@@ -21,6 +21,19 @@
  * CostInter (Table 1). Constraints: one tile per core, no tiles on
  * defective cores (Eq. 2), each layer uses exactly #Core(l) cores
  * (Eq. 3) - our tiling makes #Core(l) = I(l) * O(l) by construction.
+ *
+ * Sparse cost engine: almost all tile pairs exchange zero bytes, so
+ * the problem precomputes, once, (a) per-tile adjacency lists of the
+ * nonzero-flow partners in ascending partner order with their directed
+ * byte volumes, and (b) a candidate x candidate Manhattan-distance and
+ * die-penalty table. assignmentCost / moveDelta / swapDelta /
+ * partialCost run over those lists. Because a zero-flow pair
+ * contributes exactly +0.0 to the dense Eq. 1 sums and the nonzero
+ * terms are visited in the same (ascending) order with the same
+ * ((dist * bytes) * penalty) association, the sparse results are
+ * BIT-IDENTICAL to the retained dense reference
+ * (assignmentCostDense / moveDeltaDense / swapDeltaDense) - tests and
+ * the fig18 harness assert this.
  */
 
 #ifndef OURO_MAPPING_PROBLEM_HH
@@ -89,13 +102,20 @@ class MappingProblem
      * with @p core_params capacity, to be placed on the region
      * @p candidate_cores (ordered; defective cores excluded by the
      * caller or flagged via @p defects).
+     *
+     * @p precompute_distance_table controls whether the candidate x
+     * candidate distance/penalty table is materialised (skipped for
+     * throwaway problems that evaluate the cost only once, e.g. the
+     * replicated-region instances of WaferMapping); results are
+     * bit-identical either way.
      */
     MappingProblem(const ModelConfig &model,
                    const CoreParams &core_params,
                    const WaferGeometry &geom,
                    std::vector<CoreCoord> candidate_cores,
                    double cost_inter = 2.0,
-                   const DefectMap *defects = nullptr);
+                   const DefectMap *defects = nullptr,
+                   bool precompute_distance_table = true);
 
     const std::vector<LayerSpec> &layers() const { return layers_; }
     const std::vector<Tile> &tiles() const { return tiles_; }
@@ -117,22 +137,80 @@ class MappingProblem
 
     /**
      * Quadratic cost (Eq. 1) of a full assignment: assignment[t] is an
-     * index into candidates() for tile t.
+     * index into candidates() for tile t. Sparse engine; bit-identical
+     * to assignmentCostDense().
      */
     double assignmentCost(
+            const std::vector<std::uint32_t> &assignment) const;
+
+    /** Dense O(T^2) reference implementation of assignmentCost(). */
+    double assignmentCostDense(
             const std::vector<std::uint32_t> &assignment) const;
 
     /**
      * Cost delta of moving tile @p t from its current core to
      * candidate @p new_slot (other tiles unchanged). Used by the
-     * annealer's incremental evaluation.
+     * annealer's incremental evaluation. Sparse engine; bit-identical
+     * to moveDeltaDense().
      */
     double moveDelta(const std::vector<std::uint32_t> &assignment,
                      std::size_t t, std::uint32_t new_slot) const;
 
+    /** Dense O(T) reference implementation of moveDelta(). */
+    double moveDeltaDense(const std::vector<std::uint32_t> &assignment,
+                          std::size_t t, std::uint32_t new_slot) const;
+
+    /**
+     * Cost delta of swapping the cores of tiles @p t1 and @p t2.
+     * Sparse engine over the merged adjacency of the two tiles, in
+     * ascending partner order; bit-identical to swapDeltaDense()
+     * (which replicates the annealer's historical inline O(T) loop,
+     * including its always-zero (t1,t2) correction term).
+     */
+    double swapDelta(const std::vector<std::uint32_t> &assignment,
+                     std::size_t t1, std::size_t t2) const;
+
+    /** Dense O(T) reference implementation of swapDelta(). */
+    double swapDeltaDense(const std::vector<std::uint32_t> &assignment,
+                          std::size_t t1, std::size_t t2) const;
+
+    /**
+     * Cost added by placing tile @p t on candidate @p slot given that
+     * tiles 0..t-1 are already placed per @p assignment (tiles >= t
+     * ignored): the branch-and-bound partial cost of ExactMapper.
+     * Sparse engine; bit-identical to partialCostDense().
+     */
+    double partialCost(const std::vector<std::uint32_t> &assignment,
+                       std::size_t t, std::uint32_t slot) const;
+
+    /** Dense O(t) reference implementation of partialCost(). */
+    double partialCostDense(
+            const std::vector<std::uint32_t> &assignment, std::size_t t,
+            std::uint32_t slot) const;
+
     /** Pairwise cost between two placed tiles (the Q entries). */
     double pairCost(const Tile &a, CoreCoord ca, const Tile &b,
                     CoreCoord cb) const;
+
+    /**
+     * Directed flow volume F(a -> b): the byte factor pairCost(a, ..,
+     * b, ..) multiplies by distance and penalty. Symmetric in
+     * *sparsity* (F(a->b) != 0 iff F(b->a) != 0) but not always in
+     * value: the gather term prices the first tile's slice.
+     */
+    Bytes flowBetween(std::size_t a, std::size_t b) const;
+
+    /** Nonzero-flow partner count of tile @p t (sparse degree). */
+    std::size_t flowDegree(std::size_t t) const
+    {
+        return flowOffsets_[t + 1] - flowOffsets_[t];
+    }
+
+    /** Total directed nonzero-flow pairs (sum of degrees). */
+    std::size_t flowEdges() const { return flowPartner_.size(); }
+
+    /** True when the candidate distance/penalty table is resident. */
+    bool hasDistanceTable() const { return hasTable_; }
 
     /** Verify constraints (Eq. 2/3): a legal one-to-one placement. */
     bool feasible(const std::vector<std::uint32_t> &assignment) const;
@@ -144,6 +222,45 @@ class MappingProblem
     WaferGeometry geom_;
     double costInter_;
     const DefectMap *defects_;
+
+    // Sparse flow graph (CSR): for tile t, partners are
+    // flowPartner_[flowOffsets_[t] .. flowOffsets_[t+1]) in ascending
+    // order (t itself never appears), flowBytes_ the directed volume
+    // F(t -> partner) as an exact double, and flowUpper_[t] the first
+    // entry whose partner index exceeds t.
+    std::vector<std::uint32_t> flowOffsets_;
+    std::vector<std::uint32_t> flowUpper_;
+    std::vector<std::uint32_t> flowPartner_;
+    std::vector<double> flowBytes_;
+
+    // Candidate x candidate Manhattan distance and die penalty,
+    // row-major (only when the region is small enough to afford C^2
+    // doubles; otherwise recomputed from the geometry on the fly,
+    // which yields the exact same values).
+    std::vector<double> distTable_;
+    std::vector<double> penTable_;
+    bool hasTable_ = false;
+
+    void buildFlowGraph();
+    void buildDistanceTable();
+
+    double slotDist(std::uint32_t a, std::uint32_t b) const
+    {
+        if (hasTable_)
+            return distTable_[static_cast<std::size_t>(a) *
+                                      candidates_.size() +
+                              b];
+        return geom_.manhattan(candidates_[a], candidates_[b]);
+    }
+
+    double slotPen(std::uint32_t a, std::uint32_t b) const
+    {
+        if (hasTable_)
+            return penTable_[static_cast<std::size_t>(a) *
+                                     candidates_.size() +
+                             b];
+        return penalty(candidates_[a], candidates_[b]);
+    }
 
     double penalty(CoreCoord a, CoreCoord b) const;
 

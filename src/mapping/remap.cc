@@ -22,12 +22,14 @@ removeCoord(std::vector<CoreCoord> &coords, CoreCoord target)
     return true;
 }
 
-} // namespace
-
+/**
+ * Chain construction shared by both recoverCoreFailure overloads:
+ * updates @p placement and fills everything of the result except
+ * latencySeconds (the overloads price the moves differently).
+ */
 std::optional<RemapResult>
-recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
-                   const WaferGeometry &geom, const NocParams &noc,
-                   Bytes tile_bytes)
+buildReplacementChain(BlockPlacement &placement, CoreCoord failed,
+                      const WaferGeometry &geom, Bytes tile_bytes)
 {
     // KV-core failure: drop from the pool; sequences recompute.
     if (removeCoord(placement.scoreCores, failed) ||
@@ -124,11 +126,27 @@ recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
     if (!removeCoord(placement.scoreCores, kv_core))
         removeCoord(placement.contextCores, kv_core);
 
-    // All shifts run in parallel: latency = slowest single move.
     result.movedBytes = tile_bytes *
         static_cast<Bytes>(result.moves.size());
+    return result;
+}
+
+} // namespace
+
+std::optional<RemapResult>
+recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
+                   const WaferGeometry &geom, const NocParams &noc,
+                   Bytes tile_bytes)
+{
+    auto result =
+        buildReplacementChain(placement, failed, geom, tile_bytes);
+    if (!result)
+        return std::nullopt;
+
+    // All shifts run in parallel: latency = slowest single move,
+    // priced over the clean-mesh Manhattan path.
     double worst = 0.0;
-    for (const auto &[from, to] : result.moves) {
+    for (const auto &[from, to] : result->moves) {
         const double hops = geom.manhattan(from, to);
         const double penalty =
             geom.sameDie(from, to) ? 1.0 : noc.interDiePenalty;
@@ -138,7 +156,27 @@ recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
             static_cast<double>(noc.routerLatency) / noc.clockHz;
         worst = std::max(worst, serial + head);
     }
-    result.latencySeconds = worst;
+    result->latencySeconds = worst;
+    return result;
+}
+
+std::optional<RemapResult>
+recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
+                   const MeshNoc &noc, Bytes tile_bytes)
+{
+    auto result = buildReplacementChain(placement, failed,
+                                        noc.geometry(), tile_bytes);
+    if (!result)
+        return std::nullopt;
+
+    // Route-aware pricing: each move follows the mesh's actual
+    // (cached) route, detouring around defects and failed links.
+    double worst = 0.0;
+    for (const auto &[from, to] : result->moves) {
+        worst = std::max(
+                worst, noc.transferCost(from, to, tile_bytes).seconds);
+    }
+    result->latencySeconds = worst;
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "hw/geometry.hh"
 #include "hw/params.hh"
 #include "mapping/wafer_mapping.hh"
+#include "noc/mesh.hh"
 
 namespace ouro
 {
@@ -63,6 +64,17 @@ std::optional<RemapResult>
 recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
                    const WaferGeometry &geom, const NocParams &noc,
                    Bytes tile_bytes);
+
+/**
+ * Route-aware variant: identical chain construction, but each move is
+ * priced over the mesh's actual (cached) route, so shifts detour
+ * around fabrication defects and previously failed links instead of
+ * assuming the clean-mesh Manhattan path. On a clean mesh this is
+ * equivalent to the NocParams overload.
+ */
+std::optional<RemapResult>
+recoverCoreFailure(BlockPlacement &placement, CoreCoord failed,
+                   const MeshNoc &noc, Bytes tile_bytes);
 
 } // namespace ouro
 

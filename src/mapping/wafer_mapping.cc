@@ -114,8 +114,15 @@ WaferMapping::build(const ModelConfig &model,
         std::vector<CoreCoord> region(
                 order.begin() + lo, order.begin() + lo + per_region);
 
+        // The candidate distance/penalty table only pays off for the
+        // annealed region (thousands of incremental evaluations);
+        // replicated regions and the constructive mappers evaluate
+        // the objective once, so they skip the O(C^2) precompute -
+        // the sparse engine's on-the-fly path is bit-identical.
+        const bool anneals =
+            b == 0 && opts.mapper == MapperKind::Annealing;
         MappingProblem problem(model, core_params, geom, region,
-                               opts.costInter, nullptr);
+                               opts.costInter, nullptr, anneals);
 
         Assignment assignment;
         if (b == 0 || opts.mapper == MapperKind::Summa ||

@@ -18,6 +18,14 @@ void
 MeshNoc::failLink(CoreCoord from, LinkDir dir)
 {
     failedLinks_.insert({geom_.coreIndex(from), dir});
+    // Cached paths may traverse the newly failed link.
+    invalidateRoutes();
+}
+
+void
+MeshNoc::invalidateRoutes() const
+{
+    routeCache_.clear();
 }
 
 bool
@@ -138,7 +146,7 @@ MeshNoc::routeBfs(CoreCoord src, CoreCoord dst) const
 }
 
 std::vector<CoreCoord>
-MeshNoc::route(CoreCoord src, CoreCoord dst) const
+MeshNoc::routeUncached(CoreCoord src, CoreCoord dst) const
 {
     ouroAssert(geom_.contains(src) && geom_.contains(dst),
                "route: endpoint off wafer");
@@ -153,13 +161,34 @@ MeshNoc::route(CoreCoord src, CoreCoord dst) const
     return path;
 }
 
+const std::vector<CoreCoord> &
+MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
+{
+    const std::uint64_t key =
+        geom_.coreIndex(src) * geom_.numCores() + geom_.coreIndex(dst);
+    const auto it = routeCache_.find(key);
+    if (it != routeCache_.end()) {
+        ++cacheHits_;
+        return it->second;
+    }
+    ++cacheMisses_;
+    return routeCache_.emplace(key, routeUncached(src, dst))
+        .first->second;
+}
+
+std::vector<CoreCoord>
+MeshNoc::route(CoreCoord src, CoreCoord dst) const
+{
+    return routeCached(src, dst);
+}
+
 TransferCost
 MeshNoc::transferCost(CoreCoord src, CoreCoord dst, Bytes bytes) const
 {
     TransferCost cost;
     if (src == dst)
         return cost;
-    const auto path = route(src, dst);
+    const auto &path = routeCached(src, dst);
     ouroAssert(!path.empty(), "transferCost: unroutable (",
                src.row, ",", src.col, ") -> (", dst.row, ",", dst.col,
                ")");
@@ -193,7 +222,7 @@ MeshNoc::transferEnergy(CoreCoord src, CoreCoord dst, Bytes bytes) const
 }
 
 TrafficAccumulator::TrafficAccumulator(const MeshNoc &noc)
-    : noc_(noc)
+    : noc_(noc), linkBytes_(noc.geometry().numCores() * 4, 0.0)
 {
 }
 
@@ -202,7 +231,7 @@ TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
 {
     if (src == dst || bytes == 0)
         return;
-    const auto path = noc_.route(src, dst);
+    const auto &path = noc_.routeCached(src, dst);
     ouroAssert(!path.empty(), "addFlow: unroutable flow");
     const auto &geom = noc_.geometry();
     const auto &params = noc_.params();
@@ -215,8 +244,12 @@ TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
         const bool crossing = !geom.sameDie(from, to);
         const double effective =
             b * (crossing ? params.interDiePenalty : 1.0);
-        LinkId link{geom.coreIndex(from), MeshNoc::stepDir(from, to)};
-        auto &bucket = linkBytes_[link];
+        const std::uint64_t slot =
+            geom.coreIndex(from) * 4 +
+            static_cast<unsigned>(MeshNoc::stepDir(from, to));
+        double &bucket = linkBytes_[slot];
+        if (bucket == 0.0)
+            touched_.push_back(slot);
         bucket += effective;
         maxLinkBytes_ = std::max(maxLinkBytes_, bucket);
         energyJ_ += b * 8.0 *
@@ -224,6 +257,13 @@ TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
                  (crossing ? params.dieCrossingEnergyPerBit : 0.0));
         byteHops_ += b;
     }
+}
+
+double
+TrafficAccumulator::linkLoad(CoreCoord from, LinkDir dir) const
+{
+    return linkBytes_[noc_.geometry().coreIndex(from) * 4 +
+                      static_cast<unsigned>(dir)];
 }
 
 double
@@ -235,7 +275,9 @@ TrafficAccumulator::bottleneckSeconds() const
 void
 TrafficAccumulator::clear()
 {
-    linkBytes_.clear();
+    for (const std::uint64_t slot : touched_)
+        linkBytes_[slot] = 0.0;
+    touched_.clear();
     maxLinkBytes_ = 0.0;
     energyJ_ = 0.0;
     byteHops_ = 0.0;

@@ -75,6 +75,15 @@ struct TransferCost
  * The wafer mesh. Holds the defect map (defective cores cannot be
  * routed *through*) and a set of failed links (interconnect failures,
  * Section 4.3.3), both of which routes detour around.
+ *
+ * Routes are memoised per (src, dst) pair: transferCost() and
+ * TrafficAccumulator::addFlow() re-request the same routes millions
+ * of times, so the first computation is cached and failLink() (or an
+ * explicit invalidateRoutes() after mutating the external DefectMap)
+ * flushes the cache. The cache mutates under const, so a MeshNoc
+ * instance must not be shared across threads without external
+ * synchronisation (per-index sweep state, the PR 1 parallel
+ * contract, already guarantees this everywhere in-tree).
  */
 class MeshNoc
 {
@@ -85,7 +94,8 @@ class MeshNoc
     const WaferGeometry &geometry() const { return geom_; }
     const NocParams &params() const { return params_; }
 
-    /** Mark a link failed; subsequent routes avoid it. */
+    /** Mark a link failed; subsequent routes avoid it (this flushes
+     *  the route cache). */
     void failLink(CoreCoord from, LinkDir dir);
 
     bool linkFailed(CoreCoord from, LinkDir dir) const;
@@ -98,6 +108,27 @@ class MeshNoc
      * region - should not happen at paper defect densities).
      */
     std::vector<CoreCoord> route(CoreCoord src, CoreCoord dst) const;
+
+    /**
+     * Cached variant of route(): the returned reference is stable
+     * until the next failLink()/invalidateRoutes(). This is the hot
+     * path behind transferCost() and TrafficAccumulator.
+     */
+    const std::vector<CoreCoord> &routeCached(CoreCoord src,
+                                              CoreCoord dst) const;
+
+    /**
+     * Drop all cached routes. failLink() calls this automatically;
+     * call it manually after mutating the DefectMap the mesh was
+     * constructed with (e.g. DefectMap::inject during fault
+     * injection).
+     */
+    void invalidateRoutes() const;
+
+    /** Cached-route statistics (hits/misses since construction). */
+    std::uint64_t routeCacheHits() const { return cacheHits_; }
+    std::uint64_t routeCacheMisses() const { return cacheMisses_; }
+    std::size_t routeCacheSize() const { return routeCache_.size(); }
 
     /** Latency + energy of an isolated @p bytes transfer. */
     TransferCost transferCost(CoreCoord src, CoreCoord dst,
@@ -116,6 +147,13 @@ class MeshNoc
     const DefectMap *defects_;
     std::unordered_set<LinkId, LinkIdHash> failedLinks_;
 
+    /** (src index * numCores + dst index) -> path. Mutable: filled
+     *  lazily from const routing calls. */
+    mutable std::unordered_map<std::uint64_t, std::vector<CoreCoord>>
+            routeCache_;
+    mutable std::uint64_t cacheHits_ = 0;
+    mutable std::uint64_t cacheMisses_ = 0;
+
     bool blocked(CoreCoord c) const;
     bool stepAllowed(CoreCoord from, CoreCoord to) const;
 
@@ -123,6 +161,8 @@ class MeshNoc
     std::vector<CoreCoord> routeDimOrder(CoreCoord src, CoreCoord dst,
                                          bool x_first) const;
     std::vector<CoreCoord> routeBfs(CoreCoord src, CoreCoord dst) const;
+    std::vector<CoreCoord> routeUncached(CoreCoord src,
+                                         CoreCoord dst) const;
 };
 
 /**
@@ -130,6 +170,11 @@ class MeshNoc
  * pattern take" as the bottleneck-link serialisation time, plus total
  * NoC energy. This is the quantity that throttles a pipeline interval
  * when many stage-to-stage and reduction flows share the mesh.
+ *
+ * Link loads live in a flat 4 x numCores array indexed by
+ * (core index, direction) - no hashing on the per-hop hot path - with
+ * a touched-slot list so clear() stays proportional to the links
+ * actually used, not the wafer size.
  */
 class TrafficAccumulator
 {
@@ -151,11 +196,20 @@ class TrafficAccumulator
     /** Total byte-hops (volume metric used by Fig. 18). */
     double totalByteHops() const { return byteHops_; }
 
+    /** Load on one directed link (bytes; die-penalty inflated). */
+    double linkLoad(CoreCoord from, LinkDir dir) const;
+
+    /** Number of distinct links carrying load. */
+    std::size_t loadedLinks() const { return touched_.size(); }
+
     void clear();
 
   private:
     const MeshNoc &noc_;
-    std::unordered_map<LinkId, double, LinkIdHash> linkBytes_;
+    /** core index * 4 + direction -> accumulated effective bytes. */
+    std::vector<double> linkBytes_;
+    /** Slots of linkBytes_ with nonzero load, in first-touch order. */
+    std::vector<std::uint64_t> touched_;
     double maxLinkBytes_ = 0.0;
     double energyJ_ = 0.0;
     double byteHops_ = 0.0;

@@ -52,28 +52,32 @@ Workload
 wikiText2Like(std::size_t count, std::uint64_t max_len,
               std::uint64_t seed)
 {
+    // Every request keeps prefill >= 16, decode >= 16 AND
+    // prefill + decode <= max_len, so the window must fit both floors.
+    ouroAssert(max_len >= 32,
+               "wikiText2Like: max_len must be at least 32");
     Workload workload;
     workload.name = "WikiText-2";
     workload.requests.reserve(count);
     Rng rng(seed);
     for (std::size_t i = 0; i < count; ++i) {
         // Prompt: log-normal with median ~180 tokens and a heavy
-        // tail (sigma 0.9); continuation: median ~130, fatter spread
-        // - both clipped into [16, max_len].
+        // tail (sigma 0.9); continuation: median ~130, fatter spread.
         const double lp = rng.logNormal(std::log(180.0), 0.9);
         const double ld = rng.logNormal(std::log(130.0), 1.0);
         Request request;
         request.id = i;
+        // Cap the prompt at max_len - 16 so the decode floor always
+        // fits (the former max_len cap could push the total past the
+        // context window once the floor was applied).
         request.prefillLen = std::clamp<std::uint64_t>(
-                static_cast<std::uint64_t>(lp), 16, max_len);
+                static_cast<std::uint64_t>(lp), 16, max_len - 16);
         request.decodeLen = std::clamp<std::uint64_t>(
                 static_cast<std::uint64_t>(ld), 16, max_len);
-        // Keep the total inside the context window.
-        if (request.prefillLen + request.decodeLen > max_len) {
+        // Keep the total inside the context window; the prompt cap
+        // guarantees at least 16 decode tokens remain.
+        if (request.prefillLen + request.decodeLen > max_len)
             request.decodeLen = max_len - request.prefillLen;
-            if (request.decodeLen < 16)
-                request.decodeLen = 16;
-        }
         workload.requests.push_back(request);
     }
     return workload;

@@ -53,8 +53,9 @@ struct Workload
 Workload fixedWorkload(std::uint64_t lp, std::uint64_t ld,
                        std::size_t count);
 
-/** WikiText-2-like variable lengths (see file comment), clipped to
- *  [16, max_len]. */
+/** WikiText-2-like variable lengths (see file comment). Guarantees
+ *  prefill >= 16, decode >= 16 and prefill + decode <= max_len for
+ *  every request; requires max_len >= 32. */
 Workload wikiText2Like(std::size_t count, std::uint64_t max_len = 2048,
                        std::uint64_t seed = 20260311);
 

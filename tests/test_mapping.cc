@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "hw/yield.hh"
@@ -478,6 +479,299 @@ TEST(WaferMappingTest, AnnealedBeatsSummaByHops)
                                        0, cfg.numBlocks, summa);
     ASSERT_TRUE(a && s);
     EXPECT_LT(a->totalByteHops(), s->totalByteHops());
+}
+
+/** Fisher-Yates shuffle driven by the deterministic Rng. */
+template <typename T>
+void
+shuffleWith(Rng &rng, std::vector<T> &v)
+{
+    for (std::size_t i = v.size(); i > 1; --i) {
+        const std::size_t j = rng.uniformInt(0, i - 1);
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+/** Random feasible assignment: a shuffle of distinct usable slots. */
+Assignment
+randomAssignment(const MappingProblem &problem, Rng &rng)
+{
+    std::vector<std::uint32_t> slots;
+    for (std::size_t r = 0; r < problem.candidates().size(); ++r) {
+        if (problem.candidateUsable(r))
+            slots.push_back(static_cast<std::uint32_t>(r));
+    }
+    shuffleWith(rng, slots);
+    Assignment a(slots.begin(),
+                 slots.begin() + problem.tiles().size());
+    return a;
+}
+
+TEST(SparseEngine, FlowGraphCountsMatchOracle)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    const std::size_t n = problem.tiles().size();
+    // Directed nonzero pairs from the flowBetween oracle must equal
+    // the CSR edge count, and the graph must be genuinely sparse.
+    std::size_t nonzero = 0;
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            if (a != b && (problem.flowBetween(a, b) != 0 ||
+                           problem.flowBetween(b, a) != 0))
+                ++nonzero;
+        }
+    }
+    EXPECT_EQ(problem.flowEdges(), nonzero);
+    EXPECT_LT(problem.flowEdges(), n * (n - 1) / 2); // sparse
+    std::size_t degree_sum = 0;
+    for (std::size_t t = 0; t < n; ++t)
+        degree_sum += problem.flowDegree(t);
+    EXPECT_EQ(degree_sum, problem.flowEdges());
+}
+
+TEST(SparseEngine, AssignmentCostBitIdenticalFuzz)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 96));
+    Rng rng(11);
+    for (int round = 0; round < 50; ++round) {
+        const Assignment a = randomAssignment(problem, rng);
+        // EXPECT_EQ on doubles is exact: the sparse engine must be
+        // bit-identical to the dense reference, not merely close.
+        EXPECT_EQ(problem.assignmentCost(a),
+                  problem.assignmentCostDense(a));
+    }
+}
+
+TEST(SparseEngine, MoveDeltaBitIdenticalFuzz)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 96));
+    Rng rng(13);
+    const std::size_t n = problem.tiles().size();
+    for (int round = 0; round < 200; ++round) {
+        const Assignment a = randomAssignment(problem, rng);
+        const auto t = static_cast<std::size_t>(
+                rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, problem.candidates().size() - 1));
+        EXPECT_EQ(problem.moveDelta(a, t, slot),
+                  problem.moveDeltaDense(a, t, slot));
+    }
+}
+
+TEST(SparseEngine, SwapDeltaBitIdenticalAndMatchesRecompute)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 96));
+    Rng rng(17);
+    const std::size_t n = problem.tiles().size();
+    for (int round = 0; round < 200; ++round) {
+        Assignment a = randomAssignment(problem, rng);
+        const auto t1 = static_cast<std::size_t>(
+                rng.uniformInt(0, n - 1));
+        auto t2 = static_cast<std::size_t>(rng.uniformInt(0, n - 2));
+        if (t2 >= t1)
+            ++t2;
+        const double sparse = problem.swapDelta(a, t1, t2);
+        EXPECT_EQ(sparse, problem.swapDeltaDense(a, t1, t2));
+
+        // And the delta agrees with a full recompute (to rounding).
+        const double before = problem.assignmentCost(a);
+        std::swap(a[t1], a[t2]);
+        const double after = problem.assignmentCost(a);
+        EXPECT_NEAR(after - before, sparse,
+                    1e-9 * std::max(1.0, std::abs(before)));
+    }
+}
+
+TEST(SparseEngine, PartialCostBitIdenticalFuzz)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 96));
+    Rng rng(19);
+    const std::size_t n = problem.tiles().size();
+    for (int round = 0; round < 100; ++round) {
+        const Assignment a = randomAssignment(problem, rng);
+        const auto t = static_cast<std::size_t>(
+                rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, problem.candidates().size() - 1));
+        EXPECT_EQ(problem.partialCost(a, t, slot),
+                  problem.partialCostDense(a, t, slot));
+    }
+}
+
+TEST(SparseEngine, BitIdenticalUnderDefectMaps)
+{
+    const WaferGeometry geom;
+    for (int round = 0; round < 8; ++round) {
+        DefectMap defects(geom);
+        const auto region = regionOf(geom, 96);
+        // Random defect sprinkle inside the region (leave enough
+        // usable cores for the block).
+        Rng rng(100 + round);
+        for (int d = 0; d < 12; ++d) {
+            defects.inject(
+                    region[rng.uniformInt(0, region.size() - 1)]);
+        }
+        MappingProblem problem(tinyModel(), CoreParams{}, geom, region,
+                               2.0, &defects);
+        for (int k = 0; k < 20; ++k) {
+            const Assignment a = randomAssignment(problem, rng);
+            EXPECT_EQ(problem.assignmentCost(a),
+                      problem.assignmentCostDense(a));
+            const auto t = static_cast<std::size_t>(
+                    rng.uniformInt(0, problem.tiles().size() - 1));
+            const auto slot = static_cast<std::uint32_t>(
+                    rng.uniformInt(0,
+                                   problem.candidates().size() - 1));
+            EXPECT_EQ(problem.moveDelta(a, t, slot),
+                      problem.moveDeltaDense(a, t, slot));
+        }
+    }
+}
+
+TEST(SparseEngine, TableAndOnTheFlyPathsBitIdentical)
+{
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    MappingProblem with_table(tinyModel(), CoreParams{}, geom, region,
+                              2.0, nullptr, true);
+    MappingProblem without_table(tinyModel(), CoreParams{}, geom,
+                                 region, 2.0, nullptr, false);
+    ASSERT_TRUE(with_table.hasDistanceTable());
+    ASSERT_FALSE(without_table.hasDistanceTable());
+    Rng rng(29);
+    for (int round = 0; round < 30; ++round) {
+        const Assignment a = randomAssignment(with_table, rng);
+        EXPECT_EQ(with_table.assignmentCost(a),
+                  without_table.assignmentCost(a));
+        const auto t = static_cast<std::size_t>(rng.uniformInt(
+                0, with_table.tiles().size() - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, region.size() - 1));
+        EXPECT_EQ(with_table.moveDelta(a, t, slot),
+                  without_table.moveDelta(a, t, slot));
+    }
+}
+
+TEST(SparseEngine, NonUniformSplitGatherIsDirected)
+{
+    // A model whose last output part is smaller exercises the
+    // directed gather volumes (F(a->b) != F(b->a)).
+    ModelConfig cfg = tinyModel();
+    cfg.ffnDim = 6001; // 2 output parts of 3000 / 3001 channels
+    const WaferGeometry geom;
+    MappingProblem problem(cfg, CoreParams{}, geom,
+                           regionOf(geom, 96));
+    const std::size_t n = problem.tiles().size();
+    bool found_asymmetric = false;
+    for (std::size_t a = 0; a < n && !found_asymmetric; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (problem.flowBetween(a, b) !=
+                problem.flowBetween(b, a)) {
+                found_asymmetric = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(found_asymmetric);
+    Rng rng(31);
+    for (int round = 0; round < 50; ++round) {
+        const Assignment a = randomAssignment(problem, rng);
+        EXPECT_EQ(problem.assignmentCost(a),
+                  problem.assignmentCostDense(a));
+        const auto t1 = static_cast<std::size_t>(
+                rng.uniformInt(0, n - 1));
+        auto t2 = static_cast<std::size_t>(rng.uniformInt(0, n - 2));
+        if (t2 >= t1)
+            ++t2;
+        EXPECT_EQ(problem.swapDelta(a, t1, t2),
+                  problem.swapDeltaDense(a, t1, t2));
+    }
+}
+
+TEST(SparseEngine, AnnealingTrajectoryEngineInvariant)
+{
+    // The whole point of the dense reference: the annealer must walk
+    // the exact same trajectory on either engine.
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    AnnealingMapper::Options sparse_opts;
+    sparse_opts.iterations = 5000;
+    sparse_opts.seed = 77;
+    AnnealingMapper::Options dense_opts = sparse_opts;
+    dense_opts.useDenseEngine = true;
+    const Assignment sparse =
+        AnnealingMapper(sparse_opts).solve(problem);
+    const Assignment dense = AnnealingMapper(dense_opts).solve(problem);
+    EXPECT_EQ(sparse, dense);
+}
+
+TEST(SparseEngine, MultiRestartPickEngineInvariant)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    AnnealingMapper::Options opts;
+    opts.iterations = 3000;
+    opts.seed = 5;
+    opts.restarts = 3;
+    AnnealingMapper::Options dense_opts = opts;
+    dense_opts.useDenseEngine = true;
+    EXPECT_EQ(AnnealingMapper(opts).solve(problem),
+              AnnealingMapper(dense_opts).solve(problem));
+}
+
+TEST(Remap, RouteAwareMatchesCleanMeshPricing)
+{
+    // On a defect-free mesh the route-aware overload walks the same
+    // Manhattan paths as the NocParams formula.
+    BlockPlacement a;
+    a.weightCores = {{0, 0}, {0, 1}, {0, 2}};
+    a.scoreCores = {{0, 3}};
+    BlockPlacement b = a;
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc mesh(geom, params);
+    const auto via_params =
+        recoverCoreFailure(a, {0, 0}, geom, params, 4 * MiB);
+    const auto via_mesh = recoverCoreFailure(b, {0, 0}, mesh, 4 * MiB);
+    ASSERT_TRUE(via_params && via_mesh);
+    EXPECT_EQ(via_params->moves, via_mesh->moves);
+    EXPECT_DOUBLE_EQ(via_params->latencySeconds,
+                     via_mesh->latencySeconds);
+    EXPECT_EQ(a.weightCores, b.weightCores);
+}
+
+TEST(Remap, RouteAwarePricesDetours)
+{
+    // A defect forcing a detour raises the route-aware latency above
+    // the clean-mesh estimate (more hops of head latency).
+    BlockPlacement clean_p;
+    clean_p.weightCores = {{0, 0}};
+    clean_p.scoreCores = {{0, 4}};
+    BlockPlacement faulty_p = clean_p;
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc clean(geom, params);
+    DefectMap defects(geom);
+    defects.inject({0, 2}); // on the direct path
+    const MeshNoc faulty(geom, params, &defects);
+    const auto fast =
+        recoverCoreFailure(clean_p, {0, 0}, clean, 4 * MiB);
+    const auto slow =
+        recoverCoreFailure(faulty_p, {0, 0}, faulty, 4 * MiB);
+    ASSERT_TRUE(fast && slow);
+    EXPECT_GT(slow->latencySeconds, fast->latencySeconds);
 }
 
 TEST(Remap, KvCoreFailureDropsFromPool)

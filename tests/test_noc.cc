@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.hh"
 #include "hw/geometry.hh"
 #include "hw/yield.hh"
 #include "noc/htree.hh"
@@ -193,6 +197,162 @@ TEST(Traffic, DieCrossingInflatesLoad)
     traffic.addFlow({12, 0}, {13, 0}, 1000); // crosses die boundary
     EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(),
                      1000.0 * params.interDiePenalty);
+}
+
+TEST(RouteCache, RepeatedRouteHitsCache)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const auto first = noc.route({0, 0}, {5, 7});
+    EXPECT_EQ(noc.routeCacheMisses(), 1u);
+    const auto second = noc.route({0, 0}, {5, 7});
+    EXPECT_EQ(second, first);
+    EXPECT_GE(noc.routeCacheHits(), 1u);
+    EXPECT_EQ(noc.routeCacheMisses(), 1u);
+    EXPECT_EQ(noc.routeCacheSize(), 1u);
+}
+
+TEST(RouteCache, CachedReferenceIsStable)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    const auto &a = noc.routeCached({1, 1}, {4, 4});
+    const auto &b = noc.routeCached({1, 1}, {4, 4});
+    EXPECT_EQ(&a, &b); // same cache entry, no recompute / copy
+}
+
+TEST(RouteCache, FailLinkInvalidates)
+{
+    const WaferGeometry geom;
+    MeshNoc noc(geom, NocParams{});
+    const auto before = noc.route({0, 0}, {0, 5});
+    ASSERT_EQ(before.size(), 6u);
+    EXPECT_GE(noc.routeCacheSize(), 1u);
+
+    // Fail a link ON the cached path; the cache must be flushed and
+    // the new route must avoid the dead link.
+    noc.failLink({0, 2}, LinkDir::East);
+    EXPECT_EQ(noc.routeCacheSize(), 0u);
+    const auto after = noc.route({0, 0}, {0, 5});
+    ASSERT_FALSE(after.empty());
+    EXPECT_GT(after.size(), before.size()); // detour
+    for (std::size_t i = 1; i < after.size(); ++i) {
+        const bool dead_hop =
+            after[i - 1] == (CoreCoord{0, 2}) &&
+            after[i] == (CoreCoord{0, 3});
+        EXPECT_FALSE(dead_hop);
+    }
+    // transferCost also sees the detour through the same cache.
+    EXPECT_EQ(noc.transferCost({0, 0}, {0, 5}, 1024).hops,
+              after.size() - 1);
+}
+
+TEST(RouteCache, ExplicitInvalidationAfterDefectInjection)
+{
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    const MeshNoc noc(geom, NocParams{}, &defects);
+    const auto clean = noc.route({0, 0}, {0, 4});
+    ASSERT_EQ(clean.size(), 5u);
+
+    // Mutating the external defect map requires an explicit flush.
+    defects.inject({0, 2});
+    noc.invalidateRoutes();
+    const auto detour = noc.route({0, 0}, {0, 4});
+    ASSERT_FALSE(detour.empty());
+    EXPECT_GT(detour.size(), clean.size());
+    for (const auto &c : detour)
+        EXPECT_FALSE(defects.defective(c));
+}
+
+TEST(Traffic, FlatLoadsMatchHashMapReference)
+{
+    // Random flow soup: the flat per-link arrays must agree with an
+    // independently accumulated hash-map reference on every metric.
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc noc(geom, params);
+    TrafficAccumulator traffic(noc);
+
+    std::unordered_map<std::uint64_t, double> reference;
+    double ref_energy = 0.0;
+    double ref_byte_hops = 0.0;
+    Rng rng(57);
+    for (int f = 0; f < 200; ++f) {
+        const CoreCoord src{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 20)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 20))};
+        const CoreCoord dst{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 20)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 20))};
+        const Bytes bytes = 64 + rng.uniformInt(0, 4096);
+        traffic.addFlow(src, dst, bytes);
+
+        if (src == dst)
+            continue;
+        const auto path = noc.route(src, dst);
+        const double b = static_cast<double>(bytes);
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            const bool crossing =
+                !geom.sameDie(path[i - 1], path[i]);
+            const std::uint64_t slot =
+                geom.coreIndex(path[i - 1]) * 4 +
+                static_cast<unsigned>(
+                        MeshNoc::stepDir(path[i - 1], path[i]));
+            reference[slot] +=
+                b * (crossing ? params.interDiePenalty : 1.0);
+            ref_energy += b * 8.0 *
+                    (params.hopEnergyPerBit +
+                     (crossing ? params.dieCrossingEnergyPerBit
+                               : 0.0));
+            ref_byte_hops += b;
+        }
+    }
+    double ref_max = 0.0;
+    for (const auto &[slot, load] : reference)
+        ref_max = std::max(ref_max, load);
+
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(), ref_max);
+    EXPECT_DOUBLE_EQ(traffic.totalEnergyJ(), ref_energy);
+    EXPECT_DOUBLE_EQ(traffic.totalByteHops(), ref_byte_hops);
+    EXPECT_EQ(traffic.loadedLinks(), reference.size());
+    for (const auto &[slot, load] : reference) {
+        const CoreCoord from = geom.coreAt(slot / 4);
+        const auto dir = static_cast<LinkDir>(slot % 4);
+        EXPECT_DOUBLE_EQ(traffic.linkLoad(from, dir), load);
+    }
+}
+
+TEST(Traffic, LinkLoadPerDirection)
+{
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({0, 0}, {0, 2}, 1000);
+    EXPECT_DOUBLE_EQ(traffic.linkLoad({0, 0}, LinkDir::East), 1000.0);
+    EXPECT_DOUBLE_EQ(traffic.linkLoad({0, 1}, LinkDir::East), 1000.0);
+    EXPECT_DOUBLE_EQ(traffic.linkLoad({0, 0}, LinkDir::West), 0.0);
+    EXPECT_EQ(traffic.loadedLinks(), 2u);
+}
+
+TEST(Traffic, ClearIsReusable)
+{
+    // clear() must reset only what was touched and leave the
+    // accumulator fully reusable with identical results.
+    const WaferGeometry geom;
+    const MeshNoc noc(geom, NocParams{});
+    TrafficAccumulator traffic(noc);
+    traffic.addFlow({0, 0}, {3, 3}, 4096);
+    traffic.addFlow({5, 5}, {5, 9}, 512);
+    const double max1 = traffic.bottleneckBytes();
+    const double energy1 = traffic.totalEnergyJ();
+    traffic.clear();
+    EXPECT_EQ(traffic.loadedLinks(), 0u);
+    EXPECT_DOUBLE_EQ(traffic.linkLoad({0, 0}, LinkDir::East), 0.0);
+    traffic.addFlow({0, 0}, {3, 3}, 4096);
+    traffic.addFlow({5, 5}, {5, 9}, 512);
+    EXPECT_DOUBLE_EQ(traffic.bottleneckBytes(), max1);
+    EXPECT_DOUBLE_EQ(traffic.totalEnergyJ(), energy1);
 }
 
 TEST(HTree, SingleGroupIsFree)

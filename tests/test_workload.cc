@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Property tests for the request-stream generators, most importantly
+ * the wikiText2Like context-window invariant: every request keeps
+ * prefill >= 16, decode >= 16 AND prefill + decode <= max_len. The
+ * pre-fix generator could overflow the window when a long prompt
+ * left fewer than 16 decode slots (the decode floor then pushed the
+ * total past max_len).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/requests.hh"
+
+namespace ouro
+{
+namespace
+{
+
+TEST(WikiTextWindow, NeverOverflowsContextProperty)
+{
+    // Sweep seeds and window sizes, including tight windows where the
+    // old clamp was guaranteed to overflow eventually.
+    for (const std::uint64_t max_len : {32ull, 48ull, 64ull, 128ull,
+                                        256ull, 512ull, 2048ull}) {
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+            const Workload w = wikiText2Like(400, max_len, seed);
+            ASSERT_EQ(w.requests.size(), 400u);
+            for (const auto &r : w.requests) {
+                EXPECT_GE(r.prefillLen, 16u) << "seed " << seed;
+                EXPECT_GE(r.decodeLen, 16u) << "seed " << seed;
+                EXPECT_LE(r.totalTokens(), max_len)
+                    << "seed " << seed << " max_len " << max_len
+                    << " lp " << r.prefillLen << " ld "
+                    << r.decodeLen;
+            }
+            EXPECT_EQ(w.maxSequenceLength() <= max_len, true);
+        }
+    }
+}
+
+TEST(WikiTextWindow, MinimalWindowDegeneratesToFloors)
+{
+    // max_len = 32 leaves exactly the two floors.
+    const Workload w = wikiText2Like(100, 32, 3);
+    for (const auto &r : w.requests) {
+        EXPECT_EQ(r.prefillLen, 16u);
+        EXPECT_EQ(r.decodeLen, 16u);
+    }
+}
+
+TEST(WikiTextWindow, RejectsWindowBelowFloors)
+{
+    EXPECT_DEATH({ wikiText2Like(1, 31, 1); }, "max_len");
+}
+
+TEST(WikiTextWindow, LongPromptsStillHaveDecodeRoom)
+{
+    // Requests whose prompt saturates the cap must still decode at
+    // least the 16-token floor - the exact case the old code broke.
+    const Workload w = wikiText2Like(2000, 128, 13);
+    bool saw_capped_prompt = false;
+    for (const auto &r : w.requests) {
+        if (r.prefillLen == 128 - 16) {
+            saw_capped_prompt = true;
+            EXPECT_GE(r.decodeLen, 16u);
+            EXPECT_LE(r.totalTokens(), 128u);
+        }
+    }
+    // The heavy log-normal tail makes capped prompts near-certain.
+    EXPECT_TRUE(saw_capped_prompt);
+}
+
+TEST(FixedWorkload, GridIsExact)
+{
+    const Workload w = fixedWorkload(128, 64, 10);
+    EXPECT_EQ(w.requests.size(), 10u);
+    EXPECT_EQ(w.totalTokens(), 10u * (128 + 64));
+    EXPECT_EQ(w.totalOutputTokens(), 10u * 64);
+    EXPECT_EQ(w.maxSequenceLength(), 192u);
+}
+
+TEST(PaperWorkloads, AllRespectTheirWindows)
+{
+    for (const auto &w : paperWorkloads(50)) {
+        for (const auto &r : w.requests) {
+            EXPECT_GT(r.prefillLen, 0u);
+            EXPECT_GT(r.decodeLen, 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace ouro
