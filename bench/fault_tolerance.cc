@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Fault-tolerance sweep harness (paper Section 4.3.3): N random core
+ * failures over a mapped LLaMA-13B wafer, recovered with the
+ * replacement-chain remapper, across several defect-map sweep
+ * points that all share one clean-route table.
+ *
+ * Two full recovery pipelines run over the exact same failure
+ * schedule:
+ *   - fast path: MeshNoc instances started from the shared
+ *     CleanRouteTable (the mechanism that amortises identical clean
+ *     routes across the sweep's meshes);
+ *   - oracle path: cold meshes.
+ * Every RemapResult must be BIT-identical between the two (moves,
+ * absorbed cores, latency bits) - the harness asserts it on every
+ * run, the same way fig18 pins its engines - and
+ * BENCH_fault_tolerance.json records recoveries/sec for both plus
+ * the shared-table hit rate.
+ *
+ * The RecoveryIndex is benchmarked separately on a wafer-sized
+ * region (also against its scan oracle, also bit-identical): a
+ * per-block region is only a few hundred cores, where the flat scan
+ * is already cheap, so indexing every block per sweep point would
+ * just measure index construction.
+ *
+ * Pass a count as argv[1] to scale the per-sweep-point failure
+ * injections (default 100).
+ */
+
+#include "bench_util.hh"
+
+#include "common/rng.hh"
+#include "hw/yield.hh"
+#include "mapping/remap.hh"
+#include "mapping/wafer_mapping.hh"
+#include "noc/mesh.hh"
+
+using namespace ouro;
+using namespace ouro::bench;
+
+namespace
+{
+
+constexpr std::size_t kSweepPoints = 6;
+
+/** One sweep point's mutable recovery state. */
+struct SweepState
+{
+    std::vector<BlockPlacement> blocks;
+
+    explicit SweepState(const WaferMapping &mapping)
+    {
+        for (std::uint64_t b = 0; b < mapping.numBlocks(); ++b)
+            blocks.push_back(mapping.placement(b));
+    }
+};
+
+/** A scheduled failure: block plus the core's rank at pick time. */
+struct Failure
+{
+    std::size_t block;
+    std::size_t pick; ///< index into the block's alive-core list
+};
+
+/** The failure schedule is derived from the placements' current
+ *  state, which both paths mutate identically - so resolving a pick
+ *  against either path's state yields the same core. */
+CoreCoord
+resolveFailure(const BlockPlacement &p, std::size_t pick)
+{
+    if (pick < p.weightCores.size())
+        return p.weightCores[pick];
+    pick -= p.weightCores.size();
+    if (pick < p.scoreCores.size())
+        return p.scoreCores[pick];
+    return p.contextCores[pick - p.scoreCores.size()];
+}
+
+std::size_t
+aliveCores(const BlockPlacement &p)
+{
+    return p.weightCores.size() + p.scoreCores.size() +
+           p.contextCores.size();
+}
+
+/**
+ * Re-price the wafer's steady-state inter-block activation traffic
+ * over the (post-recovery) placements on one sweep point's mesh -
+ * the long-haul flows a defect sweep re-evaluates per point, and
+ * where the shared clean-route table amortises real route work.
+ * Uses the same accumulateInterBlockFlows definition
+ * WaferMapping::build prices, so the bench can never drift from the
+ * product flow model. Returns the bottleneck-link time.
+ */
+double
+interBlockTraffic(const std::vector<BlockPlacement> &blocks,
+                  const std::vector<LayerSpec> &specs,
+                  std::uint32_t tiles_per_block, const MeshNoc &noc)
+{
+    TrafficAccumulator traffic(noc);
+    for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
+        const bool routable = accumulateInterBlockFlows(
+                specs, tiles_per_block, blocks[b].weightCores,
+                blocks[b + 1].weightCores, noc, traffic);
+        ouroAssert(routable, "fault_tolerance: sweep defect map "
+                             "fenced an inter-block flow");
+    }
+    return traffic.bottleneckSeconds();
+}
+
+struct PathResult
+{
+    double seconds = 0.0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t sharedHits = 0;
+    std::uint64_t routeMisses = 0;
+    std::vector<RemapResult> results;
+    /** Post-recovery bottleneck time per sweep point. */
+    std::vector<double> bottlenecks;
+};
+
+/**
+ * Run the full sweep (kSweepPoints defect maps x @p injections
+ * failures) through one pipeline. @p table is null on the oracle
+ * path (cold meshes, scan-based chains).
+ */
+PathResult
+runSweep(const WaferMapping &mapping, const WaferGeometry &geom,
+         std::size_t injections,
+         const std::shared_ptr<const CleanRouteTable> &table)
+{
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    PathResult out;
+    const WallTimer timer;
+    for (std::size_t point = 0; point < kSweepPoints; ++point) {
+        // Per-point defect map: routes must detour differently at
+        // every sweep point, which is exactly the situation the
+        // shared clean-route table amortises.
+        YieldParams yield;
+        Rng defect_rng(1000 + point);
+        const DefectMap defects(geom, yield, defect_rng);
+        const MeshNoc noc(geom, NocParams{}, &defects, table);
+
+        SweepState state(mapping);
+        Rng rng(77 + point);
+        for (std::size_t k = 0; k < injections; ++k) {
+            const std::size_t b = static_cast<std::size_t>(
+                    rng.uniformInt(0, state.blocks.size() - 1));
+            BlockPlacement &placement = state.blocks[b];
+            const std::size_t alive = aliveCores(placement);
+            if (alive == 0)
+                continue;
+            const std::size_t pick = static_cast<std::size_t>(
+                    rng.uniformInt(0, alive - 1));
+            const CoreCoord failed = resolveFailure(placement, pick);
+            const auto result = recoverCoreFailure(
+                    placement, failed, noc, tile_bytes);
+            if (!result)
+                continue; // chain exhausted this block's KV pool
+            ++out.recoveries;
+            out.results.push_back(*result);
+        }
+        // With the failures absorbed, re-price the wafer's inter-
+        // block traffic under this point's defect map - the long-
+        // haul route workload a sweep repeats per point.
+        out.bottlenecks.push_back(interBlockTraffic(
+                state.blocks, mapping.layerSpecs(),
+                mapping.tilesPerBlock(), noc));
+        out.sharedHits += noc.sharedTableHits();
+        out.routeMisses += noc.routeCacheMisses();
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+bool
+sameResult(const RemapResult &a, const RemapResult &b)
+{
+    return a.moves == b.moves &&
+           a.absorbedKvCore == b.absorbedKvCore &&
+           a.movedBytes == b.movedBytes &&
+           a.latencySeconds == b.latencySeconds &&
+           a.chainLength == b.chainLength;
+}
+
+/**
+ * Large-region scaling showdown: one placement spanning the whole
+ * wafer (the regime the spatial index exists for - per-block regions
+ * are only a few hundred cores, where a flat scan is already cheap).
+ * Runs the same failure schedule through the index and the scan,
+ * asserts bit-identity, and returns (scan seconds, index seconds).
+ */
+std::pair<double, double>
+largeRegionShowdown(const WaferGeometry &geom, std::size_t failures)
+{
+    const auto order = geom.sShapedOrder();
+    constexpr std::size_t kWeights = 2000;
+    BlockPlacement scan_p;
+    scan_p.weightCores.assign(order.begin(), order.begin() + kWeights);
+    bool to_score = true;
+    for (std::size_t i = kWeights; i < order.size(); ++i) {
+        (to_score ? scan_p.scoreCores : scan_p.contextCores)
+            .push_back(order[i]);
+        to_score = !to_score;
+    }
+    BlockPlacement idx_p = scan_p;
+
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    const NocParams params;
+    std::vector<CoreCoord> schedule;
+    Rng rng(4242);
+    for (std::size_t k = 0; k < failures; ++k) {
+        schedule.push_back(scan_p.weightCores[static_cast<std::size_t>(
+                rng.uniformInt(0, kWeights - 1))]);
+    }
+    // The schedule may fail an already-recovered (dead) coordinate
+    // again; both paths then return nullopt identically.
+
+    const WallTimer scan_timer;
+    std::vector<std::optional<RemapResult>> scan_results;
+    for (const CoreCoord failed : schedule) {
+        scan_results.push_back(recoverCoreFailure(
+                scan_p, failed, geom, params, tile_bytes));
+    }
+    const double scan_s = scan_timer.seconds();
+
+    const WallTimer index_timer;
+    RecoveryIndex index(idx_p); // amortised over the whole schedule
+    std::vector<std::optional<RemapResult>> idx_results;
+    for (const CoreCoord failed : schedule) {
+        idx_results.push_back(recoverCoreFailure(
+                idx_p, failed, geom, params, tile_bytes, &index));
+    }
+    const double index_s = index_timer.seconds();
+
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto &a = scan_results[i];
+        const auto &b = idx_results[i];
+        ouroAssert(a.has_value() == b.has_value() &&
+                           (!a || sameResult(*a, *b)),
+                   "fault_tolerance: spatial index diverged from the "
+                   "scan oracle at failure ", i);
+    }
+    ouroAssert(scan_p.weightCores == idx_p.weightCores &&
+                       scan_p.scoreCores == idx_p.scoreCores &&
+                       scan_p.contextCores == idx_p.contextCores,
+               "fault_tolerance: placements diverged after the "
+               "large-region schedule");
+    return {scan_s, index_s};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::size_t injections = requestCount(argc, argv, 100);
+
+    std::cout << "=== Fault-tolerance sweep: " << kSweepPoints
+              << " defect maps x " << injections
+              << " random core failures ===\n";
+
+    const WaferGeometry geom;
+    const ModelConfig model = llama13b();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ouroAssert(mapping.has_value(), "fault_tolerance: mapping failed");
+
+    // Fast path: meshes started from the shared clean-route table
+    // (the RecoveryIndex is benchmarked separately below - see the
+    // file header).
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    const PathResult fast =
+        runSweep(*mapping, geom, injections, table);
+    // Oracle path: cold meshes + full scans.
+    const PathResult oracle =
+        runSweep(*mapping, geom, injections, nullptr);
+
+    // The fast path must reproduce the oracle bit for bit on every
+    // recovery - same moves, same absorbed cores, same latency.
+    ouroAssert(fast.recoveries == oracle.recoveries,
+               "fault_tolerance: paths recovered different failure "
+               "counts");
+    for (std::size_t i = 0; i < fast.results.size(); ++i) {
+        ouroAssert(sameResult(fast.results[i], oracle.results[i]),
+                   "fault_tolerance: fast path diverged from the "
+                   "scan/cold-mesh oracle at recovery ", i);
+    }
+    ouroAssert(fast.bottlenecks == oracle.bottlenecks,
+               "fault_tolerance: traffic re-pricing diverged between "
+               "shared-table and cold routes");
+
+    const double fast_rate =
+        static_cast<double>(fast.recoveries) / fast.seconds;
+    const double oracle_rate =
+        static_cast<double>(oracle.recoveries) / oracle.seconds;
+    const double hit_rate =
+        fast.sharedHits + fast.routeMisses > 0
+            ? static_cast<double>(fast.sharedHits) /
+                  static_cast<double>(fast.sharedHits +
+                                      fast.routeMisses)
+            : 0.0;
+
+    Table table_out({"path", "recoveries", "wall [ms]",
+                     "recoveries/sec"});
+    table_out.row()
+        .cell("shared route table")
+        .cell(fast.recoveries)
+        .cell(fast.seconds * 1e3, 1)
+        .cell(fast_rate, 0);
+    table_out.row()
+        .cell("cold + scan (oracle)")
+        .cell(oracle.recoveries)
+        .cell(oracle.seconds * 1e3, 1)
+        .cell(oracle_rate, 0);
+    table_out.print(std::cout);
+    std::cout << "\nShared clean-route table: "
+              << fast.sharedHits << " hits / " << fast.routeMisses
+              << " local misses (hit rate "
+              << formatDouble(hit_rate * 100.0, 1)
+              << "%); all recoveries bit-identical to the oracle.\n";
+
+    // Where the spatial index earns its keep: a wafer-sized region
+    // (bit-identity asserted inside).
+    const auto [scan_s, index_s] =
+        largeRegionShowdown(geom, 4 * injections);
+    const double index_speedup = scan_s / index_s;
+    std::cout << "\nLarge-region recovery ("
+              << geom.numCores() << "-core region, "
+              << 4 * injections
+              << " failures, bit-identical chains):\n  full scans:    "
+              << formatDouble(scan_s * 1e3, 1)
+              << " ms\n  spatial index: "
+              << formatDouble(index_s * 1e3, 1)
+              << " ms\n  speedup:       "
+              << formatDouble(index_speedup, 1) << "x\n";
+
+    BenchReport("fault_tolerance")
+        .metric("wall_seconds", fast.seconds)
+        .metric("events_per_sec", fast_rate)
+        .metric("recoveries", fast.recoveries)
+        .metric("recoveries_per_sec", fast_rate)
+        .metric("oracle_recoveries_per_sec", oracle_rate)
+        .metric("recovery_speedup", fast_rate / oracle_rate)
+        .metric("shared_route_table_hits", fast.sharedHits)
+        .metric("shared_route_table_misses", fast.routeMisses)
+        .metric("shared_route_table_hit_rate", hit_rate)
+        .metric("sweep_points", std::uint64_t{kSweepPoints})
+        .metric("failures_injected",
+                std::uint64_t{kSweepPoints} * injections)
+        .metric("large_region_scan_seconds", scan_s)
+        .metric("large_region_index_seconds", index_s)
+        .metric("spatial_index_speedup", index_speedup)
+        .write();
+    return 0;
+}

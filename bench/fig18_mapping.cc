@@ -19,6 +19,7 @@
 #include "common/rng.hh"
 #include "mapping/mappers.hh"
 #include "mapping/problem.hh"
+#include "mapping/wafer_mapping.hh"
 
 using namespace ouro;
 using namespace ouro::bench;
@@ -93,6 +94,60 @@ runEvalSchedule(const std::vector<std::uint32_t> &assignment,
     rate.evalsPerSec =
         static_cast<double>(schedule.size()) / timer.seconds();
     return rate;
+}
+
+/**
+ * Wafer-build showdown: the region-congruence fast path (block 0's
+ * MappingProblem translated to every congruent region) against the
+ * retained per-block rebuild oracle. Asserts that every placement
+ * and every cost is bit-identical, and returns (rebuild seconds,
+ * congruence seconds). The greedy mapper isolates the
+ * problem-construction cost the fast path removes (annealing time
+ * would swamp it).
+ */
+std::pair<double, double>
+waferBuildShowdown()
+{
+    const ModelConfig model = llama13b();
+    const WaferGeometry geom;
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+
+    constexpr int kReps = 5;
+    double rebuild_s = 0.0;
+    double congruent_s = 0.0;
+    std::optional<WaferMapping> fast, oracle;
+    for (int rep = 0; rep < kReps; ++rep) {
+        opts.congruentReuse = false;
+        const WallTimer rebuild_timer;
+        oracle = WaferMapping::build(model, CoreParams{}, geom,
+                                     nullptr, 0, model.numBlocks,
+                                     opts);
+        rebuild_s += rebuild_timer.seconds();
+
+        opts.congruentReuse = true;
+        const WallTimer congruent_timer;
+        fast = WaferMapping::build(model, CoreParams{}, geom, nullptr,
+                                   0, model.numBlocks, opts);
+        congruent_s += congruent_timer.seconds();
+    }
+    ouroAssert(fast && oracle, "fig18: wafer build failed");
+    ouroAssert(fast->totalByteHops() == oracle->totalByteHops() &&
+                       fast->interBlockByteHops() ==
+                               oracle->interBlockByteHops(),
+               "fig18: congruence fast path diverged from the "
+               "per-block rebuild on total volume");
+    for (std::uint64_t b = 0; b < fast->numBlocks(); ++b) {
+        const BlockPlacement &f = fast->placement(b);
+        const BlockPlacement &o = oracle->placement(b);
+        ouroAssert(f.weightCores == o.weightCores &&
+                           f.scoreCores == o.scoreCores &&
+                           f.contextCores == o.contextCores &&
+                           f.mappingCost == o.mappingCost,
+                   "fig18: congruence fast path diverged from the "
+                   "per-block rebuild at block ", b);
+    }
+    return {rebuild_s, congruent_s};
 }
 
 /**
@@ -233,6 +288,18 @@ main()
     const auto [dense, sparse] = costEngineShowdown();
     const double engine_speedup =
         sparse.evalsPerSec / dense.evalsPerSec;
+
+    // Whole-wafer build: congruence translation vs the per-block
+    // MappingProblem rebuild (bit-identity asserted inside).
+    const auto [rebuild_s, congruent_s] = waferBuildShowdown();
+    const double build_speedup = rebuild_s / congruent_s;
+    std::cout << "\nWafer build (LLaMA-13B, greedy, bit-identical "
+                 "placements):\n  per-block rebuild:    "
+              << formatDouble(rebuild_s * 1e3, 1)
+              << " ms\n  congruence fast path: "
+              << formatDouble(congruent_s * 1e3, 1)
+              << " ms\n  speedup:              "
+              << formatDouble(build_speedup, 1) << "x\n";
     std::cout << "\nAnneal cost-evaluation throughput "
                  "(LLaMA-13B block region, bit-identical engines):\n"
               << "  dense reference: "
@@ -252,6 +319,9 @@ main()
         .metric("dense_evals_per_sec", dense.evalsPerSec)
         .metric("sparse_evals_per_sec", sparse.evalsPerSec)
         .metric("cost_engine_speedup", engine_speedup)
+        .metric("wafer_build_rebuild_seconds", rebuild_s)
+        .metric("wafer_build_congruent_seconds", congruent_s)
+        .metric("wafer_build_speedup", build_speedup)
         .write();
     return 0;
 }

@@ -138,6 +138,40 @@ MappingProblem::MappingProblem(const ModelConfig &model,
         buildDistanceTable();
 }
 
+MappingProblem
+MappingProblem::congruentTranslate(
+        std::vector<CoreCoord> candidate_cores,
+        bool precompute_distance_table) const
+{
+    ouroAssert(candidate_cores.size() == candidates_.size(),
+               "congruentTranslate: region of ",
+               candidate_cores.size(), " cores is not congruent to ",
+               candidates_.size());
+    // Field-wise clone instead of a copy construction: the template
+    // may hold the O(C^2) distance/penalty tables (the annealed
+    // region 0 does), and copying megabytes of table only to drop
+    // them per translated region would defeat the fast path.
+    MappingProblem translated;
+    translated.layers_ = layers_;
+    translated.tiles_ = tiles_;
+    translated.candidates_ = std::move(candidate_cores);
+    translated.geom_ = geom_;
+    translated.costInter_ = costInter_;
+    // Congruent regions are defect-free slices by construction (the
+    // caller filtered defective cores out of the candidate order), so
+    // the translated instance carries no defect map - the same way
+    // WaferMapping's per-block rebuild constructs its instances.
+    translated.defects_ = nullptr;
+    translated.flowOffsets_ = flowOffsets_;
+    translated.flowUpper_ = flowUpper_;
+    translated.flowPartner_ = flowPartner_;
+    translated.flowBytes_ = flowBytes_;
+    if (precompute_distance_table &&
+        translated.candidates_.size() <= kMaxDistanceTableCandidates)
+        translated.buildDistanceTable();
+    return translated;
+}
+
 Bytes
 MappingProblem::flowBetween(std::size_t a, std::size_t b) const
 {

@@ -117,6 +117,29 @@ class MappingProblem
                    const DefectMap *defects = nullptr,
                    bool precompute_distance_table = true);
 
+    /**
+     * Clone this problem onto a *congruent* candidate region: same
+     * model/tiling (the layers, tiles and the sparse flow graph are
+     * reused verbatim - the O(T^2) flow enumeration is NOT re-run),
+     * new candidate cores. Regions are congruent when they are
+     * defect-free index slices of equal length, which is exactly what
+     * WaferMapping's usable-core filtering produces; the translated
+     * problem is therefore built defect-free. assignmentCost (and the
+     * other engine entry points) on the translated problem are
+     * BIT-IDENTICAL to a from-scratch MappingProblem over the same
+     * region: the flow lists are byte-for-byte the same and the
+     * distances/penalties come from the same geometry arithmetic
+     * (tests and fig18_mapping assert this against the retained
+     * per-block rebuild oracle).
+     *
+     * @p precompute_distance_table defaults to off because translated
+     * regions (WaferMapping's replicated blocks) evaluate the
+     * objective once.
+     */
+    MappingProblem
+    congruentTranslate(std::vector<CoreCoord> candidate_cores,
+                       bool precompute_distance_table = false) const;
+
     const std::vector<LayerSpec> &layers() const { return layers_; }
     const std::vector<Tile> &tiles() const { return tiles_; }
     const std::vector<CoreCoord> &candidates() const
@@ -215,13 +238,23 @@ class MappingProblem
     /** Verify constraints (Eq. 2/3): a legal one-to-one placement. */
     bool feasible(const std::vector<std::uint32_t> &assignment) const;
 
+    /** Overlap in channels between [lo1,hi1) and [lo2,hi2) - the
+     *  byte factor of every activation flow (intra-region AND the
+     *  inter-block flows of accumulateInterBlockFlows). */
+    static std::uint64_t overlap(std::uint64_t lo1, std::uint64_t hi1,
+                                 std::uint64_t lo2,
+                                 std::uint64_t hi2);
+
   private:
+    /** Empty shell for congruentTranslate's field-wise clone. */
+    MappingProblem() = default;
+
     std::vector<LayerSpec> layers_;
     std::vector<Tile> tiles_;
     std::vector<CoreCoord> candidates_;
     WaferGeometry geom_;
-    double costInter_;
-    const DefectMap *defects_;
+    double costInter_ = 2.0;
+    const DefectMap *defects_ = nullptr;
 
     // Sparse flow graph (CSR): for tile t, partners are
     // flowPartner_[flowOffsets_[t] .. flowOffsets_[t+1]) in ascending
@@ -263,10 +296,6 @@ class MappingProblem
     }
 
     double penalty(CoreCoord a, CoreCoord b) const;
-
-    /** Overlap in channels between [lo1,hi1) and [lo2,hi2). */
-    static std::uint64_t overlap(std::uint64_t lo1, std::uint64_t hi1,
-                                 std::uint64_t lo2, std::uint64_t hi2);
 };
 
 /**

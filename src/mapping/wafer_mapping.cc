@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "noc/mesh.hh"
 
 namespace ouro
 {
@@ -33,23 +34,30 @@ embeddingCoreCount(const ModelConfig &model,
 }
 
 std::uint64_t
-regionSize(const ModelConfig &model, const CoreParams &core_params,
-           std::uint64_t num_blocks, std::uint64_t usable_cores,
+regionSize(std::uint64_t num_regions, std::uint64_t usable_cores,
            std::uint64_t reserved)
 {
-    (void)model;
-    (void)core_params;
+    ouroAssert(num_regions > 0, "regionSize: no regions");
     ouroAssert(usable_cores > reserved,
                "regionSize: no cores after reservation");
-    return (usable_cores - reserved) / num_blocks;
+    return (usable_cores - reserved) / num_regions;
 }
 
 const BlockPlacement &
 WaferMapping::placement(std::uint64_t block) const
 {
+    return placement(block, 0);
+}
+
+const BlockPlacement &
+WaferMapping::placement(std::uint64_t block,
+                        std::uint32_t replica) const
+{
     ouroAssert(block >= firstBlock_ && block < firstBlock_ + numBlocks_,
                "placement: block ", block, " not on this wafer");
-    return placements_[block - firstBlock_];
+    ouroAssert(replica < numReplicas_, "placement: replica ", replica,
+               " of ", numReplicas_, " not on this wafer");
+    return placements_[replica * numBlocks_ + (block - firstBlock_)];
 }
 
 std::uint64_t
@@ -59,6 +67,43 @@ WaferMapping::totalKvCores() const
     for (const auto &p : placements_)
         n += p.scoreCores.size() + p.contextCores.size();
     return n;
+}
+
+bool
+accumulateInterBlockFlows(const std::vector<LayerSpec> &specs,
+                          std::uint32_t tiles_per_block,
+                          const std::vector<CoreCoord> &cur,
+                          const std::vector<CoreCoord> &nxt,
+                          const MeshNoc &noc,
+                          TrafficAccumulator &traffic)
+{
+    ouroAssert(cur.size() == tiles_per_block &&
+                       nxt.size() == tiles_per_block,
+               "accumulateInterBlockFlows: placement/tiling mismatch");
+    const LayerSpec &first = specs.front();
+    const LayerSpec &last = specs.back();
+    const std::uint32_t last_offset =
+        tiles_per_block - last.numTiles();
+    for (std::uint32_t o = 0; o < last.outSplits; ++o) {
+        const CoreCoord src =
+            cur[last_offset + o * last.inSplits + last.inSplits - 1];
+        for (std::uint32_t i = 0; i < first.inSplits; ++i) {
+            const Bytes bytes = MappingProblem::overlap(
+                    last.outPartLo(o), last.outPartHi(o),
+                    first.inPartLo(i), first.inPartHi(i));
+            if (bytes == 0)
+                continue;
+            for (std::uint32_t o2 = 0; o2 < first.outSplits; ++o2) {
+                const CoreCoord dst = nxt[o2 * first.inSplits + i];
+                // An endpoint fenced in by defects has no route; let
+                // the caller decide (addFlow would abort).
+                if (noc.routeCached(src, dst).empty())
+                    return false;
+                traffic.addFlow(src, dst, bytes);
+            }
+        }
+    }
+    return true;
 }
 
 std::optional<WaferMapping>
@@ -90,14 +135,16 @@ WaferMapping::build(const ModelConfig &model,
     std::uint64_t reserved = 0;
     if (first_block == 0)
         reserved = embeddingCoreCount(model, core_params);
-    if (order.size() < reserved)
+    if (order.size() <= reserved)
         return std::nullopt;
     mapping.embeddingCores_.assign(order.begin(),
                                    order.begin() + reserved);
 
-    const std::uint64_t replicas = std::max(1u, opts.replicas);
+    const std::uint32_t replicas = std::max(1u, opts.replicas);
+    mapping.numReplicas_ = replicas;
+    const std::uint64_t num_regions = num_blocks * replicas;
     const std::uint64_t per_region =
-        (order.size() - reserved) / (num_blocks * replicas);
+        regionSize(num_regions, order.size(), reserved);
     if (per_region < mapping.tilesPerBlock_)
         return std::nullopt; // weights alone do not fit
 
@@ -105,27 +152,54 @@ WaferMapping::build(const ModelConfig &model,
     // from the first region is replicated to all congruent regions
     // (constraint (1)); regions are congruent here whenever they are
     // defect-free slices of equal length, which the usable-core
-    // filtering guarantees in index space.
+    // filtering guarantees in index space. Replica r's block b lives
+    // on region r * num_blocks + b, so each replica is a contiguous
+    // pipeline chain and replica 0 occupies the same regions a
+    // single-replica build would.
     std::vector<std::uint32_t> pattern; // slot indices for tiles
     const GreedyMapper greedy;
 
-    for (std::uint64_t b = 0; b < num_blocks; ++b) {
-        const std::uint64_t lo = reserved + b * per_region;
-        std::vector<CoreCoord> region(
+    // Block 0's problem is the template every congruent region is
+    // translated from; the candidate distance/penalty table only pays
+    // off for the annealed region (thousands of incremental
+    // evaluations) - replicated regions and the constructive mappers
+    // evaluate the objective once, so they skip the O(C^2) precompute
+    // (the sparse engine's on-the-fly path is bit-identical).
+    std::optional<MappingProblem> template_problem;
+
+    mapping.placements_.reserve(num_regions);
+    for (std::uint64_t region = 0; region < num_regions; ++region) {
+        const std::uint64_t lo = reserved + region * per_region;
+        std::vector<CoreCoord> region_cores(
                 order.begin() + lo, order.begin() + lo + per_region);
 
-        // The candidate distance/penalty table only pays off for the
-        // annealed region (thousands of incremental evaluations);
-        // replicated regions and the constructive mappers evaluate
-        // the objective once, so they skip the O(C^2) precompute -
-        // the sparse engine's on-the-fly path is bit-identical.
         const bool anneals =
-            b == 0 && opts.mapper == MapperKind::Annealing;
-        MappingProblem problem(model, core_params, geom, region,
-                               opts.costInter, nullptr, anneals);
+            region == 0 && opts.mapper == MapperKind::Annealing;
+        std::optional<MappingProblem> rebuilt;
+        if (region == 0 || !opts.congruentReuse) {
+            // Full construction: block 0 (the template) or the
+            // retained per-region rebuild oracle.
+            rebuilt.emplace(model, core_params, geom,
+                            std::move(region_cores), opts.costInter,
+                            nullptr, anneals);
+        }
+        const MappingProblem problem =
+            rebuilt ? std::move(*rebuilt)
+                    : template_problem->congruentTranslate(
+                              std::move(region_cores));
+        if (region == 0 && opts.congruentReuse) {
+            // Store the template as a self-translate: same layers,
+            // tiles and flow CSR, but WITHOUT region 0's (possibly
+            // materialised) O(C^2) distance table, which the
+            // translated regions never use. The oracle path never
+            // reads the template, so it skips the copy.
+            template_problem.emplace(problem.congruentTranslate(
+                    std::vector<CoreCoord>(problem.candidates())));
+        }
+        const auto &cores = problem.candidates();
 
         Assignment assignment;
-        if (b == 0 || opts.mapper == MapperKind::Summa ||
+        if (region == 0 || opts.mapper == MapperKind::Summa ||
             opts.mapper == MapperKind::WaferLlm) {
             switch (opts.mapper) {
               case MapperKind::Greedy:
@@ -146,10 +220,10 @@ WaferMapping::build(const ModelConfig &model,
                 assignment = WaferLlmMapper{}.solve(problem);
                 break;
             }
-            if (b == 0)
+            if (region == 0)
                 pattern = assignment;
         } else {
-            assignment = pattern; // replicate block-0 pattern
+            assignment = pattern; // replicate the region-0 pattern
         }
         ouroAssert(problem.feasible(assignment),
                    "WaferMapping: infeasible block assignment");
@@ -158,43 +232,52 @@ WaferMapping::build(const ModelConfig &model,
         placement.mappingCost = problem.assignmentCost(assignment);
         mapping.totalByteHops_ += placement.mappingCost;
 
-        std::vector<bool> used(region.size(), false);
+        std::vector<bool> used(cores.size(), false);
         placement.weightCores.reserve(assignment.size());
         for (const auto slot : assignment) {
-            placement.weightCores.push_back(region[slot]);
+            placement.weightCores.push_back(cores[slot]);
             used[slot] = true;
         }
         // Leftover region cores become dedicated KV cores, split
         // alternately between score (K) and context (V) duty.
         bool to_score = true;
-        for (std::size_t r = 0; r < region.size(); ++r) {
+        for (std::size_t r = 0; r < cores.size(); ++r) {
             if (used[r])
                 continue;
             if (to_score)
-                placement.scoreCores.push_back(region[r]);
+                placement.scoreCores.push_back(cores[r]);
             else
-                placement.contextCores.push_back(region[r]);
+                placement.contextCores.push_back(cores[r]);
             to_score = !to_score;
         }
         mapping.placements_.push_back(std::move(placement));
     }
 
-    // Inter-block activation flow: the last layer's reducers of block
-    // b feed block b+1's first-layer tiles. Charge hidden-vector
-    // bytes over the centroid distance between consecutive regions.
-    for (std::uint64_t b = 0; b + 1 < num_blocks; ++b) {
-        const auto &cur = mapping.placements_[b].weightCores;
-        const auto &nxt = mapping.placements_[b + 1].weightCores;
-        ouroAssert(!cur.empty() && !nxt.empty(),
-                   "WaferMapping: empty placement");
-        const CoreCoord a = cur.back();
-        const CoreCoord z = nxt.front();
-        const double dist = geom.manhattan(a, z);
-        const double pen =
-            geom.sameDie(a, z) ? 1.0 : opts.costInter;
-        mapping.totalByteHops_ +=
-            dist * static_cast<double>(model.hiddenDim) * pen;
+    // Inter-block activation flow: routed over the actual mesh
+    // (cached routes, defect detours included) and aggregated on
+    // per-link loads; the die-crossing hops carry the CostInter
+    // weight, matching the Fig. 18 volume metric. An unroutable
+    // flow (endpoint fenced in by defects) makes the wafer unusable
+    // under this defect map, so the build fails like any other
+    // infeasibility.
+    NocParams noc_params;
+    noc_params.interDiePenalty = opts.costInter;
+    const MeshNoc noc(geom, noc_params, defects, opts.cleanRoutes);
+    TrafficAccumulator traffic(noc);
+    for (std::uint32_t rep = 0; rep < replicas; ++rep) {
+        for (std::uint64_t b = 0; b + 1 < num_blocks; ++b) {
+            if (!accumulateInterBlockFlows(
+                        mapping.specs_, mapping.tilesPerBlock_,
+                        mapping.placements_[rep * num_blocks + b]
+                                .weightCores,
+                        mapping.placements_[rep * num_blocks + b + 1]
+                                .weightCores,
+                        noc, traffic))
+                return std::nullopt;
+        }
     }
+    mapping.interBlockByteHops_ = traffic.totalEffectiveByteHops();
+    mapping.totalByteHops_ += mapping.interBlockByteHops_;
 
     return mapping;
 }

@@ -13,14 +13,31 @@
  *
  * Because all transformer blocks are identical (mapping constraint
  * (1)), the optimiser runs once on the first defect-free region and
- * the resulting placement pattern is replicated; regions containing
- * defects fall back to a greedy fill that skips dead cores.
+ * the resulting placement pattern is replicated. The builder's fast
+ * path exploits the same congruence one level deeper: replicated
+ * regions reuse block 0's MappingProblem via congruentTranslate()
+ * (no per-block O(T^2) flow re-enumeration); the per-block rebuild
+ * is retained behind WaferMappingOptions::congruentReuse = false as
+ * the bit-identity oracle.
+ *
+ * Inter-block activation flows (last reducer of block b -> first
+ * layer of block b+1) are routed over the actual mesh (cached
+ * MeshNoc routes, defect detours included) and aggregated with
+ * TrafficAccumulator; the total is kept separately in
+ * interBlockByteHops() so per-region mapping costs stay comparable
+ * across builds.
+ *
+ * Data-parallel replicas (opts.replicas > 1) are laid out for real:
+ * every replica gets its own congruent region chain (replica r,
+ * block b at region index r * num_blocks + b), so capacity and KV
+ * accounting reflect the cores the replicas actually occupy.
  */
 
 #ifndef OURO_MAPPING_WAFER_MAPPING_HH
 #define OURO_MAPPING_WAFER_MAPPING_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -33,6 +50,10 @@
 
 namespace ouro
 {
+
+class CleanRouteTable;     // noc/mesh.hh
+class MeshNoc;             // noc/mesh.hh
+class TrafficAccumulator;  // noc/mesh.hh
 
 /** Which placement algorithm fills each block's region. */
 enum class MapperKind
@@ -80,10 +101,27 @@ struct WaferMappingOptions
 
     /**
      * Data-parallel replicas of the whole pipeline sharing the wafer
-     * (small models leave most cores idle otherwise). The builder
-     * places replica 0; the others are congruent.
+     * (small models leave most cores idle otherwise). Every replica
+     * is laid out on its own congruent region chain.
      */
     std::uint32_t replicas = 1;
+
+    /**
+     * Reuse block 0's MappingProblem for congruent regions via
+     * congruentTranslate() (the fast path). false re-runs the full
+     * per-block MappingProblem construction - the retained oracle
+     * that the fast path is asserted bit-identical against (tests
+     * and fig18_mapping compare the two on every run).
+     */
+    bool congruentReuse = true;
+
+    /**
+     * Shared clean-geometry route table for the inter-block flow
+     * routing (see CleanRouteTable in noc/mesh.hh). Null builds the
+     * internal mesh cold; sweeps that construct many mappings over
+     * one geometry pass a shared table to amortise clean routes.
+     */
+    std::shared_ptr<const CleanRouteTable> cleanRoutes;
 };
 
 /**
@@ -98,7 +136,8 @@ class WaferMapping
      * @p defects.
      *
      * Returns std::nullopt when the wafer cannot hold the requested
-     * blocks (weights alone exceed usable capacity).
+     * blocks (weights alone exceed usable capacity) or when the
+     * defect map leaves an inter-block activation flow unroutable.
      */
     static std::optional<WaferMapping>
     build(const ModelConfig &model, const CoreParams &core_params,
@@ -109,7 +148,15 @@ class WaferMapping
     std::uint64_t firstBlock() const { return firstBlock_; }
     std::uint64_t numBlocks() const { return numBlocks_; }
 
+    /** Data-parallel replica chains laid out on this wafer. */
+    std::uint32_t numReplicas() const { return numReplicas_; }
+
+    /** Placement of @p block in replica 0. */
     const BlockPlacement &placement(std::uint64_t block) const;
+
+    /** Placement of @p block in replica @p replica. */
+    const BlockPlacement &placement(std::uint64_t block,
+                                    std::uint32_t replica) const;
 
     const std::vector<LayerSpec> &layerSpecs() const { return specs_; }
 
@@ -121,7 +168,8 @@ class WaferMapping
         return embeddingCores_;
     }
 
-    /** Total dedicated KV cores across all placed blocks. */
+    /** Total dedicated KV cores across all placed blocks and
+     *  replicas. */
     std::uint64_t totalKvCores() const;
 
     /**
@@ -131,6 +179,15 @@ class WaferMapping
      */
     double totalByteHops() const { return totalByteHops_; }
 
+    /**
+     * Inter-block activation flow alone: the last-reducer ->
+     * first-tile flows of consecutive blocks, routed over the actual
+     * mesh (defect detours included) with die-crossing hops weighted
+     * by CostInter. Kept separate from the per-region mapping costs
+     * so those stay comparable across builds.
+     */
+    double interBlockByteHops() const { return interBlockByteHops_; }
+
     const WaferGeometry &geometry() const { return geom_; }
 
   private:
@@ -139,25 +196,51 @@ class WaferMapping
     WaferGeometry geom_;
     std::uint64_t firstBlock_ = 0;
     std::uint64_t numBlocks_ = 0;
+    std::uint32_t numReplicas_ = 1;
     std::uint32_t tilesPerBlock_ = 0;
     std::vector<LayerSpec> specs_;
+    /** Replica-major: placements_[rep * numBlocks_ + (block -
+     *  firstBlock_)]; replica 0 leads so legacy indexing holds. */
     std::vector<BlockPlacement> placements_;
     std::vector<CoreCoord> embeddingCores_;
     double totalByteHops_ = 0.0;
+    double interBlockByteHops_ = 0.0;
 };
 
 /**
- * Cores one block's region needs under @p opts (weights + KV share).
+ * Cores per region when @p usable_cores (minus the @p reserved
+ * embedding prefix) are divided into @p num_regions congruent
+ * regions (blocks x replicas).
  */
-std::uint64_t regionSize(const ModelConfig &model,
-                         const CoreParams &core_params,
-                         std::uint64_t num_blocks,
+std::uint64_t regionSize(std::uint64_t num_regions,
                          std::uint64_t usable_cores,
                          std::uint64_t reserved);
 
 /** Cores needed for the embedding + LM-head tables. */
 std::uint64_t embeddingCoreCount(const ModelConfig &model,
                                  const CoreParams &core_params);
+
+/**
+ * Accumulate the inter-block activation flows between two
+ * consecutive blocks' weight placements onto @p traffic: the last
+ * layer's reducer tiles of @p cur forward their output slices to
+ * every first-layer tile of @p nxt whose input range overlaps -
+ * the same flows the intra-region objective prices across adjacent
+ * layers. Both placements must be in the canonical (layer, o, i)
+ * tile order of @p specs. This is THE definition of inter-block
+ * traffic: WaferMapping::build prices it into interBlockByteHops()
+ * and the fault-tolerance harness re-prices it per sweep point, so
+ * they can never drift apart.
+ *
+ * Returns false (with @p traffic partially accumulated) when a flow
+ * is unroutable on @p noc's mesh - an endpoint fenced in by defects.
+ */
+bool accumulateInterBlockFlows(const std::vector<LayerSpec> &specs,
+                               std::uint32_t tiles_per_block,
+                               const std::vector<CoreCoord> &cur,
+                               const std::vector<CoreCoord> &nxt,
+                               const MeshNoc &noc,
+                               TrafficAccumulator &traffic);
 
 } // namespace ouro
 

@@ -9,9 +9,19 @@ namespace ouro
 {
 
 MeshNoc::MeshNoc(const WaferGeometry &geom, const NocParams &params,
-                 const DefectMap *defects)
-    : geom_(geom), params_(params), defects_(defects)
+                 const DefectMap *defects,
+                 std::shared_ptr<const CleanRouteTable> clean_routes)
+    : geom_(geom), params_(params), defects_(defects),
+      cleanRoutes_(std::move(clean_routes))
 {
+    if (cleanRoutes_) {
+        const WaferGeometry &tg = cleanRoutes_->geometry();
+        ouroAssert(tg.rows() == geom_.rows() &&
+                           tg.cols() == geom_.cols(),
+                   "MeshNoc: shared route table built for a ",
+                   tg.rows(), "x", tg.cols(),
+                   " mesh, not this geometry");
+    }
 }
 
 void
@@ -25,7 +35,11 @@ MeshNoc::failLink(CoreCoord from, LinkDir dir)
 void
 MeshNoc::invalidateRoutes() const
 {
+    // Shared clean routes are immutable and stay; only this mesh's
+    // overlay and its validation memo are stale (clean routes get
+    // revalidated lazily against the new fault state).
     routeCache_.clear();
+    sharedOk_.clear();
 }
 
 bool
@@ -161,6 +175,22 @@ MeshNoc::routeUncached(CoreCoord src, CoreCoord dst) const
     return path;
 }
 
+bool
+MeshNoc::cleanRouteValid(const std::vector<CoreCoord> &path) const
+{
+    if (!defects_ && failedLinks_.empty())
+        return true;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        if (linkFailed(path[i - 1], stepDir(path[i - 1], path[i])))
+            return false;
+        // Intermediate hops only: routes may end at a defective core
+        // (the router's rule), so the last hop skips the core check.
+        if (i + 1 < path.size() && blocked(path[i]))
+            return false;
+    }
+    return true;
+}
+
 const std::vector<CoreCoord> &
 MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
 {
@@ -171,9 +201,51 @@ MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
         ++cacheHits_;
         return it->second;
     }
+    if (cleanRoutes_) {
+        const auto ok = sharedOk_.find(key);
+        if (ok != sharedOk_.end()) {
+            ++sharedHits_;
+            return *ok->second;
+        }
+        // A clean XY route that survives this mesh's defects and
+        // failed links is exactly what the cold router would compute
+        // (dimension-ordered steps, none blocked), so serving it is
+        // bit-identical to routing from scratch. The table entry is
+        // immutable and address-stable, so the pointer memo is safe.
+        const auto &clean = cleanRoutes_->route(src, dst);
+        if (cleanRouteValid(clean)) {
+            sharedOk_.emplace(key, &clean);
+            ++sharedHits_;
+            return clean;
+        }
+    }
     ++cacheMisses_;
     return routeCache_.emplace(key, routeUncached(src, dst))
         .first->second;
+}
+
+CleanRouteTable::CleanRouteTable(const WaferGeometry &geom,
+                                 const NocParams &params)
+    : clean_(geom, params)
+{
+}
+
+const std::vector<CoreCoord> &
+CleanRouteTable::route(CoreCoord src, CoreCoord dst) const
+{
+    // The returned reference outlives the lock: entries are never
+    // erased or overwritten (this class exposes no mutation and the
+    // backing map is node-based), so only the lookup/insert races
+    // need the mutex.
+    std::lock_guard<std::mutex> lock(mutex_);
+    return clean_.routeCached(src, dst);
+}
+
+std::size_t
+CleanRouteTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return clean_.routeCacheSize();
 }
 
 std::vector<CoreCoord>
@@ -251,6 +323,7 @@ TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
         if (bucket == 0.0)
             touched_.push_back(slot);
         bucket += effective;
+        effectiveByteHops_ += effective;
         maxLinkBytes_ = std::max(maxLinkBytes_, bucket);
         energyJ_ += b * 8.0 *
                 (params.hopEnergyPerBit +
@@ -281,6 +354,7 @@ TrafficAccumulator::clear()
     maxLinkBytes_ = 0.0;
     energyJ_ = 0.0;
     byteHops_ = 0.0;
+    effectiveByteHops_ = 0.0;
 }
 
 } // namespace ouro

@@ -22,6 +22,8 @@
 #define OURO_NOC_MESH_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -71,6 +73,8 @@ struct TransferCost
     std::uint32_t dieCrossings = 0;
 };
 
+class CleanRouteTable;
+
 /**
  * The wafer mesh. Holds the defect map (defective cores cannot be
  * routed *through*) and a set of failed links (interconnect failures,
@@ -84,12 +88,23 @@ struct TransferCost
  * instance must not be shared across threads without external
  * synchronisation (per-index sweep state, the PR 1 parallel
  * contract, already guarantees this everywhere in-tree).
+ *
+ * Optionally a mesh starts from a shared CleanRouteTable: a lookup
+ * first consults the shared clean-geometry route and serves it
+ * directly when this mesh's defects/failed links do not invalidate
+ * it (a clean XY route that survives validation is exactly what the
+ * cold router would produce, so the result is bit-identical); only
+ * the invalidated pairs are computed and kept in the per-instance
+ * overlay (copy-on-fault). failLink()/invalidateRoutes() flush the
+ * overlay and the validation memo, never the shared table.
  */
 class MeshNoc
 {
   public:
     MeshNoc(const WaferGeometry &geom, const NocParams &params,
-            const DefectMap *defects = nullptr);
+            const DefectMap *defects = nullptr,
+            std::shared_ptr<const CleanRouteTable> clean_routes =
+                    nullptr);
 
     const WaferGeometry &geometry() const { return geom_; }
     const NocParams &params() const { return params_; }
@@ -125,10 +140,24 @@ class MeshNoc
      */
     void invalidateRoutes() const;
 
-    /** Cached-route statistics (hits/misses since construction). */
+    /** Cached-route statistics (hits/misses since construction).
+     *  Hits count the per-instance overlay; sharedTableHits() counts
+     *  lookups served straight from the shared clean-route table. A
+     *  shared-table serve is neither a hit nor a miss here. */
     std::uint64_t routeCacheHits() const { return cacheHits_; }
     std::uint64_t routeCacheMisses() const { return cacheMisses_; }
     std::size_t routeCacheSize() const { return routeCache_.size(); }
+
+    /** Lookups served from the shared clean-route table (0 when the
+     *  mesh was built without one). */
+    std::uint64_t sharedTableHits() const { return sharedHits_; }
+
+    /** The shared clean-route table this mesh starts from (null when
+     *  cold-constructed). */
+    const std::shared_ptr<const CleanRouteTable> &cleanRoutes() const
+    {
+        return cleanRoutes_;
+    }
 
     /** Latency + energy of an isolated @p bytes transfer. */
     TransferCost transferCost(CoreCoord src, CoreCoord dst,
@@ -146,16 +175,31 @@ class MeshNoc
     NocParams params_;
     const DefectMap *defects_;
     std::unordered_set<LinkId, LinkIdHash> failedLinks_;
+    std::shared_ptr<const CleanRouteTable> cleanRoutes_;
 
     /** (src index * numCores + dst index) -> path. Mutable: filled
-     *  lazily from const routing calls. */
+     *  lazily from const routing calls. Holds only the pairs the
+     *  shared table cannot serve (all pairs when cold). */
     mutable std::unordered_map<std::uint64_t, std::vector<CoreCoord>>
             routeCache_;
+    /** Pairs whose shared clean route has been validated against
+     *  this mesh's defects/failed links, mapped to the table's
+     *  (immutable, stable) entry so repeat lookups skip the table
+     *  mutex and the O(path) re-check. Flushed with the overlay. */
+    mutable std::unordered_map<std::uint64_t,
+                               const std::vector<CoreCoord> *>
+            sharedOk_;
     mutable std::uint64_t cacheHits_ = 0;
     mutable std::uint64_t cacheMisses_ = 0;
+    mutable std::uint64_t sharedHits_ = 0;
 
     bool blocked(CoreCoord c) const;
     bool stepAllowed(CoreCoord from, CoreCoord to) const;
+
+    /** True when a clean-geometry route survives this mesh's defect
+     *  map and failed links (intermediate hops only; the destination
+     *  may be defective, mirroring the router). */
+    bool cleanRouteValid(const std::vector<CoreCoord> &path) const;
 
     /** Single-path router used by route(); may fail (empty). */
     std::vector<CoreCoord> routeDimOrder(CoreCoord src, CoreCoord dst,
@@ -163,6 +207,45 @@ class MeshNoc
     std::vector<CoreCoord> routeBfs(CoreCoord src, CoreCoord dst) const;
     std::vector<CoreCoord> routeUncached(CoreCoord src,
                                          CoreCoord dst) const;
+};
+
+/**
+ * Shared clean-geometry route table: the routes of a defect-free,
+ * no-failed-link mesh over one WaferGeometry, filled lazily and held
+ * behind a shared_ptr so every MeshNoc a sweep builds over that
+ * geometry starts from the same table instead of recomputing
+ * identical clean routes.
+ *
+ * Entries are IMMUTABLE once computed - the table exposes no
+ * mutation, never erases, and the backing map is node-based - so the
+ * references route() returns stay valid for the table's lifetime and
+ * can be served concurrently. Lookups are mutex-guarded, which makes
+ * this the one NoC object that MAY be shared across sweep threads
+ * (each thread still owns its MeshNoc instances, per the PR 3
+ * contract).
+ */
+class CleanRouteTable
+{
+  public:
+    explicit CleanRouteTable(const WaferGeometry &geom,
+                             const NocParams &params = {});
+
+    /** The clean route src -> dst (computed on first request). */
+    const std::vector<CoreCoord> &route(CoreCoord src,
+                                        CoreCoord dst) const;
+
+    /** Distinct (src, dst) pairs resident. */
+    std::size_t size() const;
+
+    const WaferGeometry &geometry() const
+    {
+        return clean_.geometry();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    /** Defect-free mesh whose per-instance cache IS the table. */
+    MeshNoc clean_;
 };
 
 /**
@@ -196,6 +279,15 @@ class TrafficAccumulator
     /** Total byte-hops (volume metric used by Fig. 18). */
     double totalByteHops() const { return byteHops_; }
 
+    /** Total *effective* byte-hops: per-hop bytes with die-crossing
+     *  hops inflated by the inter-die penalty - the sum of all link
+     *  loads, i.e. the routed analogue of the mapping objective's
+     *  ((dist * bytes) * penalty) volume. */
+    double totalEffectiveByteHops() const
+    {
+        return effectiveByteHops_;
+    }
+
     /** Load on one directed link (bytes; die-penalty inflated). */
     double linkLoad(CoreCoord from, LinkDir dir) const;
 
@@ -213,6 +305,7 @@ class TrafficAccumulator
     double maxLinkBytes_ = 0.0;
     double energyJ_ = 0.0;
     double byteHops_ = 0.0;
+    double effectiveByteHops_ = 0.0;
 };
 
 } // namespace ouro

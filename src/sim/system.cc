@@ -116,15 +116,20 @@ OuroborosSystem::build(const ModelConfig &model,
         }
     }
 
-    // Active cores for leakage: all mapped cores across wafers.
+    // Active cores for leakage: all mapped cores across wafers,
+    // every replica chain included (replicas are laid out for real,
+    // so their cores burn leakage too).
     for (const auto &wafer : sys.wafers_) {
         sys.activeCores_ += wafer.embeddingCores().size();
-        for (std::uint64_t b = wafer.firstBlock();
-             b < wafer.firstBlock() + wafer.numBlocks(); ++b) {
-            const auto &p = wafer.placement(b);
-            sys.activeCores_ += p.weightCores.size() +
-                                p.scoreCores.size() +
-                                p.contextCores.size();
+        for (std::uint32_t rep = 0; rep < wafer.numReplicas();
+             ++rep) {
+            for (std::uint64_t b = wafer.firstBlock();
+                 b < wafer.firstBlock() + wafer.numBlocks(); ++b) {
+                const auto &p = wafer.placement(b, rep);
+                sys.activeCores_ += p.weightCores.size() +
+                                    p.scoreCores.size() +
+                                    p.contextCores.size();
+            }
         }
     }
     return sys;

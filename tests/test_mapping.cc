@@ -731,6 +731,204 @@ TEST(SparseEngine, MultiRestartPickEngineInvariant)
               AnnealingMapper(dense_opts).solve(problem));
 }
 
+TEST(Congruence, TranslateBitIdenticalToFreshProblem)
+{
+    // congruentTranslate must reproduce a from-scratch MappingProblem
+    // over the target region bit for bit: same flow graph, same
+    // costs, on every engine entry point.
+    const WaferGeometry geom;
+    const auto order = geom.sShapedOrder();
+    const std::vector<CoreCoord> region_a(order.begin(),
+                                          order.begin() + 96);
+    const std::vector<CoreCoord> region_b(order.begin() + 96,
+                                          order.begin() + 192);
+    const MappingProblem fresh_a(tinyModel(), CoreParams{}, geom,
+                                 region_a);
+    const MappingProblem fresh_b(tinyModel(), CoreParams{}, geom,
+                                 region_b, 2.0, nullptr, false);
+    const MappingProblem translated =
+        fresh_a.congruentTranslate(region_b);
+
+    ASSERT_EQ(translated.candidates(), fresh_b.candidates());
+    ASSERT_EQ(translated.flowEdges(), fresh_b.flowEdges());
+    EXPECT_FALSE(translated.hasDistanceTable());
+
+    Rng rng(23);
+    const std::size_t n = translated.tiles().size();
+    for (int round = 0; round < 40; ++round) {
+        const Assignment a = randomAssignment(fresh_b, rng);
+        EXPECT_EQ(translated.assignmentCost(a),
+                  fresh_b.assignmentCost(a));
+        EXPECT_EQ(translated.assignmentCost(a),
+                  fresh_b.assignmentCostDense(a));
+        const auto t = static_cast<std::size_t>(
+                rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, region_b.size() - 1));
+        EXPECT_EQ(translated.moveDelta(a, t, slot),
+                  fresh_b.moveDelta(a, t, slot));
+        auto t2 = static_cast<std::size_t>(rng.uniformInt(0, n - 2));
+        if (t2 >= t)
+            ++t2;
+        EXPECT_EQ(translated.swapDelta(a, t, t2),
+                  fresh_b.swapDelta(a, t, t2));
+    }
+}
+
+/** Build twice - congruence fast path vs per-block rebuild oracle -
+ *  and require bit-identical placements and costs. */
+void
+expectCongruenceBitIdentical(const ModelConfig &model,
+                             const DefectMap *defects,
+                             WaferMappingOptions opts)
+{
+    const WaferGeometry geom;
+    opts.congruentReuse = true;
+    const auto fast = WaferMapping::build(model, CoreParams{}, geom,
+                                          defects, 0, model.numBlocks,
+                                          opts);
+    opts.congruentReuse = false;
+    const auto oracle = WaferMapping::build(model, CoreParams{}, geom,
+                                            defects, 0,
+                                            model.numBlocks, opts);
+    ASSERT_TRUE(fast && oracle);
+    ASSERT_EQ(fast->numBlocks(), oracle->numBlocks());
+    ASSERT_EQ(fast->numReplicas(), oracle->numReplicas());
+    for (std::uint32_t rep = 0; rep < fast->numReplicas(); ++rep) {
+        for (std::uint64_t b = 0; b < fast->numBlocks(); ++b) {
+            const auto &f = fast->placement(b, rep);
+            const auto &o = oracle->placement(b, rep);
+            EXPECT_EQ(f.weightCores, o.weightCores);
+            EXPECT_EQ(f.scoreCores, o.scoreCores);
+            EXPECT_EQ(f.contextCores, o.contextCores);
+            // EXPECT_EQ on doubles is exact: bit-identity, not
+            // closeness.
+            EXPECT_EQ(f.mappingCost, o.mappingCost);
+        }
+    }
+    EXPECT_EQ(fast->totalByteHops(), oracle->totalByteHops());
+    EXPECT_EQ(fast->interBlockByteHops(),
+              oracle->interBlockByteHops());
+    EXPECT_EQ(fast->totalKvCores(), oracle->totalKvCores());
+}
+
+TEST(Congruence, WaferBuildBitIdenticalAcrossMappers)
+{
+    const ModelConfig model = tinyModel();
+    for (const MapperKind kind :
+         {MapperKind::Greedy, MapperKind::Annealing, MapperKind::Summa,
+          MapperKind::WaferLlm}) {
+        WaferMappingOptions opts;
+        opts.mapper = kind;
+        opts.annealIterations = 400;
+        expectCongruenceBitIdentical(model, nullptr, opts);
+    }
+}
+
+TEST(Congruence, WaferBuildBitIdenticalUnderDefects)
+{
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    for (const std::uint64_t seed : {3ull, 8ull}) {
+        Rng rng(seed);
+        const DefectMap defects(geom, YieldParams{}, rng);
+        WaferMappingOptions opts;
+        opts.mapper = MapperKind::Greedy;
+        expectCongruenceBitIdentical(model, &defects, opts);
+    }
+}
+
+TEST(Congruence, WaferBuildBitIdenticalWithReplicas)
+{
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.replicas = 3;
+    expectCongruenceBitIdentical(model, nullptr, opts);
+}
+
+TEST(WaferMappingTest, ReplicasAreLaidOut)
+{
+    // replicas > 1 must place real regions for every replica - the
+    // capacity math is honest, not just a divisor.
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.replicas = 2;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(mapping->numReplicas(), 2u);
+
+    // Every (block, replica) placement exists, holds the full tile
+    // set, and no core is used twice anywhere on the wafer.
+    std::set<std::uint64_t> used;
+    for (const auto &c : mapping->embeddingCores())
+        EXPECT_TRUE(used.insert(geom.coreIndex(c)).second);
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+            const auto &p = mapping->placement(b, rep);
+            EXPECT_EQ(p.weightCores.size(), mapping->tilesPerBlock());
+            for (const auto *pool :
+                 {&p.weightCores, &p.scoreCores, &p.contextCores}) {
+                for (const auto &c : *pool)
+                    EXPECT_TRUE(used.insert(geom.coreIndex(c)).second);
+            }
+        }
+    }
+
+    // Regression pin for the core accounting: every region's
+    // leftover cores (region size minus tiles) serve KV duty, across
+    // all blocks AND replicas.
+    const std::uint64_t reserved =
+        embeddingCoreCount(model, CoreParams{});
+    const std::uint64_t per_region = regionSize(
+            model.numBlocks * 2, geom.numCores(), reserved);
+    EXPECT_EQ(mapping->totalKvCores(),
+              model.numBlocks * 2 *
+                      (per_region - mapping->tilesPerBlock()));
+
+    // The two-arg accessor's replica 0 is the legacy placement()
+    // view, and every replica carries a priced (positive-cost)
+    // region of its own - congruent pattern, region-local coords.
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+        EXPECT_EQ(mapping->placement(b, 0).weightCores,
+                  mapping->placement(b).weightCores);
+        EXPECT_GT(mapping->placement(b, 1).mappingCost, 0.0);
+    }
+}
+
+TEST(WaferMappingTest, RegionSizeArithmetic)
+{
+    EXPECT_EQ(regionSize(4, 100, 20), 20u);
+    EXPECT_EQ(regionSize(1, 7, 0), 7u);
+    EXPECT_EQ(regionSize(3, 10, 1), 3u);
+}
+
+TEST(WaferMappingTest, InterBlockFlowsRoutedSeparately)
+{
+    // totalByteHops = per-region mapping costs + the routed
+    // inter-block activation flows, with the latter reported on its
+    // own so region costs stay comparable.
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ASSERT_TRUE(mapping.has_value());
+    ASSERT_GE(mapping->numBlocks(), 2u);
+    EXPECT_GT(mapping->interBlockByteHops(), 0.0);
+    double region_costs = 0.0;
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b)
+        region_costs += mapping->placement(b).mappingCost;
+    EXPECT_DOUBLE_EQ(mapping->totalByteHops(),
+                     region_costs + mapping->interBlockByteHops());
+}
+
 TEST(Remap, RouteAwareMatchesCleanMeshPricing)
 {
     // On a defect-free mesh the route-aware overload walks the same
@@ -877,6 +1075,128 @@ TEST_P(RemapPropertyTest, PreservesTilesAndUniqueness)
 
 INSTANTIATE_TEST_SUITE_P(FailEachWeightCore, RemapPropertyTest,
                          ::testing::Range(0, 6));
+
+/** Random placement over a shuffled coordinate window. */
+BlockPlacement
+randomPlacement(Rng &rng, std::uint32_t window, std::size_t weights,
+                std::size_t score, std::size_t context)
+{
+    std::vector<CoreCoord> cores;
+    for (std::uint32_t r = 0; r < window; ++r) {
+        for (std::uint32_t c = 0; c < window; ++c)
+            cores.push_back({r, c});
+    }
+    shuffleWith(rng, cores);
+    BlockPlacement placement;
+    auto it = cores.begin();
+    placement.weightCores.assign(it, it + weights);
+    it += weights;
+    placement.scoreCores.assign(it, it + score);
+    it += score;
+    placement.contextCores.assign(it, it + context);
+    return placement;
+}
+
+TEST(RecoveryIndexTest, MatchesScanOnRandomizedPlacements)
+{
+    // The spatial index must reproduce the oracle scan exactly -
+    // moves, absorbed core, latency bits - across whole random
+    // failure sequences, with the index carried through every
+    // mutation.
+    const WaferGeometry geom;
+    const NocParams params;
+    for (int trial = 0; trial < 6; ++trial) {
+        Rng rng(500 + trial);
+        BlockPlacement scan_p =
+            randomPlacement(rng, 20, 60, 20, 20);
+        BlockPlacement idx_p = scan_p;
+        RecoveryIndex index(idx_p);
+
+        for (int round = 0; round < 15; ++round) {
+            std::vector<CoreCoord> alive;
+            alive.insert(alive.end(), scan_p.weightCores.begin(),
+                         scan_p.weightCores.end());
+            alive.insert(alive.end(), scan_p.scoreCores.begin(),
+                         scan_p.scoreCores.end());
+            alive.insert(alive.end(), scan_p.contextCores.begin(),
+                         scan_p.contextCores.end());
+            const CoreCoord failed =
+                alive[rng.uniformInt(0, alive.size() - 1)];
+
+            const auto scan = recoverCoreFailure(
+                    scan_p, failed, geom, params, 4 * MiB);
+            const auto fast = recoverCoreFailure(
+                    idx_p, failed, geom, params, 4 * MiB, &index);
+            ASSERT_EQ(scan.has_value(), fast.has_value());
+            if (!scan)
+                break; // no KV core left to absorb
+            EXPECT_EQ(scan->moves, fast->moves);
+            EXPECT_EQ(scan->absorbedKvCore, fast->absorbedKvCore);
+            EXPECT_EQ(scan->chainLength, fast->chainLength);
+            EXPECT_EQ(scan->movedBytes, fast->movedBytes);
+            // Same moves, same pricing: the latency must match to
+            // the last bit, not just approximately.
+            EXPECT_EQ(scan->latencySeconds, fast->latencySeconds);
+            ASSERT_EQ(scan_p.weightCores, idx_p.weightCores);
+            ASSERT_EQ(scan_p.scoreCores, idx_p.scoreCores);
+            ASSERT_EQ(scan_p.contextCores, idx_p.contextCores);
+        }
+    }
+}
+
+TEST(RecoveryIndexTest, MatchesScanOnRouteAwareOverload)
+{
+    // Same pinning through the MeshNoc overload, with defects forcing
+    // detour pricing.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    Rng rng(911);
+    for (int d = 0; d < 10; ++d) {
+        defects.inject({static_cast<std::uint32_t>(
+                                rng.uniformInt(0, 19)),
+                        static_cast<std::uint32_t>(
+                                rng.uniformInt(0, 19))});
+    }
+    const MeshNoc noc(geom, NocParams{}, &defects);
+    BlockPlacement scan_p = randomPlacement(rng, 16, 40, 12, 12);
+    BlockPlacement idx_p = scan_p;
+    RecoveryIndex index(idx_p);
+    for (int round = 0; round < 10; ++round) {
+        const CoreCoord failed = scan_p.weightCores[
+                rng.uniformInt(0, scan_p.weightCores.size() - 1)];
+        const auto scan =
+            recoverCoreFailure(scan_p, failed, noc, 4 * MiB);
+        const auto fast = recoverCoreFailure(idx_p, failed, noc,
+                                             4 * MiB, &index);
+        ASSERT_EQ(scan.has_value(), fast.has_value());
+        if (!scan)
+            break;
+        EXPECT_EQ(scan->moves, fast->moves);
+        EXPECT_EQ(scan->latencySeconds, fast->latencySeconds);
+        ASSERT_EQ(scan_p.weightCores, idx_p.weightCores);
+        ASSERT_EQ(scan_p.scoreCores, idx_p.scoreCores);
+        ASSERT_EQ(scan_p.contextCores, idx_p.contextCores);
+    }
+}
+
+TEST(RecoveryIndexTest, UnknownCoreLeavesIndexUntouched)
+{
+    BlockPlacement placement;
+    placement.weightCores = {{0, 0}, {0, 1}};
+    placement.scoreCores = {{1, 0}};
+    RecoveryIndex index(placement);
+    const WaferGeometry geom;
+    EXPECT_FALSE(recoverCoreFailure(placement, {9, 9}, geom,
+                                    NocParams{}, 4 * MiB, &index)
+                         .has_value());
+    EXPECT_EQ(index.weightCount(), 2u);
+    EXPECT_EQ(index.kvCount(), 1u);
+    // And a real recovery still works through the same index.
+    const auto result = recoverCoreFailure(
+            placement, {0, 0}, geom, NocParams{}, 4 * MiB, &index);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(index.kvCount(), 0u);
+}
 
 } // namespace
 } // namespace ouro

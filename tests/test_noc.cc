@@ -355,6 +355,136 @@ TEST(Traffic, ClearIsReusable)
     EXPECT_DOUBLE_EQ(traffic.totalEnergyJ(), energy1);
 }
 
+TEST(SharedRouteTable, RoutesBitIdenticalToColdMesh)
+{
+    // A mesh started from the shared clean table must answer every
+    // route exactly as a cold mesh over the same defect map would.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    Rng seed_rng(71);
+    for (int d = 0; d < 25; ++d) {
+        defects.inject({static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40)),
+                        static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40))});
+    }
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    const MeshNoc shared(geom, NocParams{}, &defects, table);
+    const MeshNoc cold(geom, NocParams{}, &defects);
+
+    Rng rng(72);
+    for (int f = 0; f < 300; ++f) {
+        const CoreCoord src{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+        const CoreCoord dst{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+        EXPECT_EQ(shared.route(src, dst), cold.route(src, dst));
+    }
+    // Most pairs miss the sprinkled defects, so the shared table must
+    // have served real traffic (that is its whole point).
+    EXPECT_GT(shared.sharedTableHits(), 0u);
+    EXPECT_LT(shared.routeCacheMisses(), cold.routeCacheMisses());
+    EXPECT_GT(table->size(), 0u);
+}
+
+TEST(SharedRouteTable, CleanMeshServesEverythingFromTable)
+{
+    const WaferGeometry geom;
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    const MeshNoc mesh(geom, NocParams{}, nullptr, table);
+    const auto &a = mesh.routeCached({0, 0}, {5, 7});
+    const auto &b = mesh.routeCached({0, 0}, {5, 7});
+    EXPECT_EQ(&a, &b); // stable reference into the shared table
+    EXPECT_EQ(mesh.routeCacheMisses(), 0u);
+    EXPECT_EQ(mesh.routeCacheSize(), 0u); // no private overlay used
+    EXPECT_GE(mesh.sharedTableHits(), 2u);
+
+    // A second mesh over the same table reuses the entry outright.
+    const MeshNoc other(geom, NocParams{}, nullptr, table);
+    EXPECT_EQ(&other.routeCached({0, 0}, {5, 7}), &a);
+    EXPECT_EQ(other.routeCacheMisses(), 0u);
+}
+
+TEST(SharedRouteTable, FailLinkCopiesOnFaultAndStaysBitIdentical)
+{
+    const WaferGeometry geom;
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    MeshNoc shared(geom, NocParams{}, nullptr, table);
+    MeshNoc cold(geom, NocParams{});
+
+    const auto before = shared.route({0, 0}, {0, 5});
+    ASSERT_EQ(before.size(), 6u);
+
+    // failLink keeps the auto-invalidation contract: the overlay and
+    // the validation memo flush; the shared table is untouched.
+    shared.failLink({0, 2}, LinkDir::East);
+    cold.failLink({0, 2}, LinkDir::East);
+    EXPECT_EQ(shared.routeCacheSize(), 0u);
+
+    // The faulted pair detours identically to the cold mesh and now
+    // lives in the private overlay (copy-on-fault)...
+    const auto after = shared.route({0, 0}, {0, 5});
+    EXPECT_EQ(after, cold.route({0, 0}, {0, 5}));
+    EXPECT_GT(after.size(), before.size());
+    EXPECT_EQ(shared.routeCacheSize(), 1u);
+
+    // ... while pairs the failed link cannot touch are still served
+    // from the shared table after revalidation.
+    const std::uint64_t misses_before = shared.routeCacheMisses();
+    const auto &clean_pair = shared.routeCached({5, 5}, {8, 9});
+    EXPECT_EQ(clean_pair, cold.route({5, 5}, {8, 9}));
+    EXPECT_EQ(shared.routeCacheMisses(), misses_before);
+    EXPECT_GT(shared.sharedTableHits(), 0u);
+}
+
+TEST(SharedRouteTable, ExternalDefectMutationNeedsExplicitFlush)
+{
+    // The PR 3 invalidation contract holds verbatim with a shared
+    // table: mutating the external DefectMap requires
+    // invalidateRoutes(); afterwards shared entries revalidate
+    // against the new defects and invalid ones are rerouted locally.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    const MeshNoc shared(geom, NocParams{}, &defects, table);
+    const MeshNoc cold(geom, NocParams{}, &defects);
+
+    const auto clean = shared.route({0, 0}, {0, 4});
+    ASSERT_EQ(clean.size(), 5u);
+
+    defects.inject({0, 2});
+    shared.invalidateRoutes();
+    cold.invalidateRoutes();
+    const auto detour = shared.route({0, 0}, {0, 4});
+    EXPECT_EQ(detour, cold.route({0, 0}, {0, 4}));
+    EXPECT_GT(detour.size(), clean.size());
+    for (const auto &c : detour)
+        EXPECT_FALSE(defects.defective(c));
+}
+
+TEST(SharedRouteTable, DefectiveDestinationServedFromTable)
+{
+    // Routes may END at a defective core; the clean route to it is
+    // still valid (only intermediate hops matter), so the shared
+    // table serves it.
+    const WaferGeometry geom;
+    DefectMap defects(geom);
+    defects.inject({0, 4});
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, NocParams{});
+    const MeshNoc shared(geom, NocParams{}, &defects, table);
+    const auto path = shared.route({0, 0}, {0, 4});
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(shared.routeCacheMisses(), 0u);
+    EXPECT_GE(shared.sharedTableHits(), 1u);
+}
+
 TEST(HTree, SingleGroupIsFree)
 {
     const HTree tree(8);
