@@ -1,27 +1,40 @@
 /**
  * @file
- * Fault-tolerance sweep harness (paper Section 4.3.3): N random core
- * failures over a mapped LLaMA-13B wafer, recovered with the
- * replacement-chain remapper, across several defect-map sweep
- * points that all share one clean-route table.
+ * Fault-tolerance sweep + failure-storm harness (paper Section
+ * 4.3.3): N random core failures over a mapped LLaMA-13B wafer,
+ * recovered with the replacement-chain remapper, across several
+ * defect-map sweep points that all share one clean-route table - and
+ * a whole-wafer failure storm driven through the wafer-level
+ * RecoveryService.
  *
- * Two full recovery pipelines run over the exact same failure
- * schedule:
+ * Sweep section: two full recovery pipelines run over the exact same
+ * failure schedule:
  *   - fast path: MeshNoc instances started from the shared
  *     CleanRouteTable (the mechanism that amortises identical clean
  *     routes across the sweep's meshes);
  *   - oracle path: cold meshes.
  * Every RemapResult must be BIT-identical between the two (moves,
  * absorbed cores, latency bits) - the harness asserts it on every
- * run, the same way fig18 pins its engines - and
- * BENCH_fault_tolerance.json records recoveries/sec for both plus
- * the shared-table hit rate.
+ * run, the same way fig18 pins its engines. The sweep points fan out
+ * on parallelFor with per-point meshes and result slots (the PR 1
+ * sweep contract; the clean-route table is the one shareable NoC
+ * object), and the parallel sweep is asserted bit-identical to the
+ * serial loop on every run.
  *
- * The RecoveryIndex is benchmarked separately on a wafer-sized
+ * Storm section: a replicated mapping's replica-0/1 chains take a
+ * whole-wafer failure sequence through RecoveryService - KV pools
+ * drained dry, weight failures forcing deterministic cross-block KV
+ * borrows. The service is asserted bit-identical to the retained
+ * per-placement recoverCoreFailure oracle for the whole no-borrow
+ * prefix, and the index-mode service is asserted bit-identical to
+ * the scan-mode service across the ENTIRE storm, borrows included.
+ * BENCH_fault_tolerance.json records storm recoveries/sec and the
+ * borrow rate.
+ *
+ * The RecoveryIndex is additionally benchmarked on a wafer-sized
  * region (also against its scan oracle, also bit-identical): a
  * per-block region is only a few hundred cores, where the flat scan
- * is already cheap, so indexing every block per sweep point would
- * just measure index construction.
+ * is already cheap.
  *
  * Pass a count as argv[1] to scale the per-sweep-point failure
  * injections (default 100).
@@ -29,11 +42,13 @@
 
 #include "bench_util.hh"
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "hw/yield.hh"
 #include "mapping/remap.hh"
 #include "mapping/wafer_mapping.hh"
 #include "noc/mesh.hh"
+#include "runtime/recovery_service.hh"
 
 using namespace ouro;
 using namespace ouro::bench;
@@ -53,13 +68,6 @@ struct SweepState
         for (std::uint64_t b = 0; b < mapping.numBlocks(); ++b)
             blocks.push_back(mapping.placement(b));
     }
-};
-
-/** A scheduled failure: block plus the core's rank at pick time. */
-struct Failure
-{
-    std::size_t block;
-    std::size_t pick; ///< index into the block's alive-core list
 };
 
 /** The failure schedule is derived from the placements' current
@@ -108,70 +116,45 @@ interBlockTraffic(const std::vector<BlockPlacement> &blocks,
     return traffic.bottleneckSeconds();
 }
 
-struct PathResult
+/** One sweep point's full result (per-index slot of the parallel
+ *  fan-out). */
+struct PointResult
 {
-    double seconds = 0.0;
     std::uint64_t recoveries = 0;
     std::uint64_t sharedHits = 0;
     std::uint64_t routeMisses = 0;
     std::vector<RemapResult> results;
-    /** Post-recovery bottleneck time per sweep point. */
-    std::vector<double> bottlenecks;
+    /** Post-recovery bottleneck time of this point. */
+    double bottleneck = 0.0;
 };
 
-/**
- * Run the full sweep (kSweepPoints defect maps x @p injections
- * failures) through one pipeline. @p table is null on the oracle
- * path (cold meshes, scan-based chains).
- */
-PathResult
-runSweep(const WaferMapping &mapping, const WaferGeometry &geom,
-         std::size_t injections,
-         const std::shared_ptr<const CleanRouteTable> &table)
+struct PathResult
 {
-    const Bytes tile_bytes = CoreParams{}.sramBytes();
-    PathResult out;
-    const WallTimer timer;
-    for (std::size_t point = 0; point < kSweepPoints; ++point) {
-        // Per-point defect map: routes must detour differently at
-        // every sweep point, which is exactly the situation the
-        // shared clean-route table amortises.
-        YieldParams yield;
-        Rng defect_rng(1000 + point);
-        const DefectMap defects(geom, yield, defect_rng);
-        const MeshNoc noc(geom, NocParams{}, &defects, table);
+    double seconds = 0.0;
+    std::vector<PointResult> points;
 
-        SweepState state(mapping);
-        Rng rng(77 + point);
-        for (std::size_t k = 0; k < injections; ++k) {
-            const std::size_t b = static_cast<std::size_t>(
-                    rng.uniformInt(0, state.blocks.size() - 1));
-            BlockPlacement &placement = state.blocks[b];
-            const std::size_t alive = aliveCores(placement);
-            if (alive == 0)
-                continue;
-            const std::size_t pick = static_cast<std::size_t>(
-                    rng.uniformInt(0, alive - 1));
-            const CoreCoord failed = resolveFailure(placement, pick);
-            const auto result = recoverCoreFailure(
-                    placement, failed, noc, tile_bytes);
-            if (!result)
-                continue; // chain exhausted this block's KV pool
-            ++out.recoveries;
-            out.results.push_back(*result);
-        }
-        // With the failures absorbed, re-price the wafer's inter-
-        // block traffic under this point's defect map - the long-
-        // haul route workload a sweep repeats per point.
-        out.bottlenecks.push_back(interBlockTraffic(
-                state.blocks, mapping.layerSpecs(),
-                mapping.tilesPerBlock(), noc));
-        out.sharedHits += noc.sharedTableHits();
-        out.routeMisses += noc.routeCacheMisses();
+    std::uint64_t recoveries() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : points)
+            n += p.recoveries;
+        return n;
     }
-    out.seconds = timer.seconds();
-    return out;
-}
+    std::uint64_t sharedHits() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : points)
+            n += p.sharedHits;
+        return n;
+    }
+    std::uint64_t routeMisses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &p : points)
+            n += p.routeMisses;
+        return n;
+    }
+};
 
 bool
 sameResult(const RemapResult &a, const RemapResult &b)
@@ -181,6 +164,107 @@ sameResult(const RemapResult &a, const RemapResult &b)
            a.movedBytes == b.movedBytes &&
            a.latencySeconds == b.latencySeconds &&
            a.chainLength == b.chainLength;
+}
+
+/**
+ * Run ONE defect-map sweep point: its own mesh and mutable state
+ * (per-index slots only - the parallel contract), recoveries plus
+ * the post-recovery traffic re-pricing. @p table is null on the
+ * oracle path (cold meshes).
+ */
+PointResult
+runPoint(std::size_t point, const WaferMapping &mapping,
+         const WaferGeometry &geom, std::size_t injections,
+         const std::shared_ptr<const CleanRouteTable> &table)
+{
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    PointResult out;
+    // Per-point defect map: routes must detour differently at every
+    // sweep point, which is exactly the situation the shared
+    // clean-route table amortises.
+    YieldParams yield;
+    Rng defect_rng(1000 + point);
+    const DefectMap defects(geom, yield, defect_rng);
+    const MeshNoc noc(geom, NocParams{}, &defects, table);
+
+    SweepState state(mapping);
+    Rng rng(77 + point);
+    for (std::size_t k = 0; k < injections; ++k) {
+        const std::size_t b = static_cast<std::size_t>(
+                rng.uniformInt(0, state.blocks.size() - 1));
+        BlockPlacement &placement = state.blocks[b];
+        const std::size_t alive = aliveCores(placement);
+        if (alive == 0)
+            continue;
+        const std::size_t pick = static_cast<std::size_t>(
+                rng.uniformInt(0, alive - 1));
+        const CoreCoord failed = resolveFailure(placement, pick);
+        const auto result = recoverCoreFailure(
+                placement, failed, noc, tile_bytes);
+        if (!result)
+            continue; // chain exhausted this block's KV pool
+        ++out.recoveries;
+        out.results.push_back(*result);
+    }
+    // With the failures absorbed, re-price the wafer's inter-block
+    // traffic under this point's defect map - the long-haul route
+    // workload a sweep repeats per point.
+    out.bottleneck = interBlockTraffic(state.blocks,
+                                       mapping.layerSpecs(),
+                                       mapping.tilesPerBlock(), noc);
+    out.sharedHits = noc.sharedTableHits();
+    out.routeMisses = noc.routeCacheMisses();
+    return out;
+}
+
+/** Run all sweep points, serially or fanned out on parallelFor. */
+PathResult
+runSweep(const WaferMapping &mapping, const WaferGeometry &geom,
+         std::size_t injections,
+         const std::shared_ptr<const CleanRouteTable> &table,
+         bool parallel)
+{
+    PathResult out;
+    out.points.resize(kSweepPoints);
+    const WallTimer timer;
+    if (parallel) {
+        parallelFor(kSweepPoints, [&](std::size_t i) {
+            out.points[i] =
+                runPoint(i, mapping, geom, injections, table);
+        });
+    } else {
+        for (std::size_t i = 0; i < kSweepPoints; ++i) {
+            out.points[i] =
+                runPoint(i, mapping, geom, injections, table);
+        }
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+void
+assertSweepsIdentical(const PathResult &a, const PathResult &b,
+                      const char *what)
+{
+    ouroAssert(a.points.size() == b.points.size(),
+               "fault_tolerance: ", what, ": point count differs");
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const PointResult &pa = a.points[i];
+        const PointResult &pb = b.points[i];
+        ouroAssert(pa.recoveries == pb.recoveries &&
+                           pa.results.size() == pb.results.size(),
+                   "fault_tolerance: ", what,
+                   ": recovery counts differ at point ", i);
+        for (std::size_t k = 0; k < pa.results.size(); ++k) {
+            ouroAssert(sameResult(pa.results[k], pb.results[k]),
+                       "fault_tolerance: ", what,
+                       ": recovery diverged at point ", i,
+                       " failure ", k);
+        }
+        ouroAssert(pa.bottleneck == pb.bottleneck,
+                   "fault_tolerance: ", what,
+                   ": traffic re-pricing diverged at point ", i);
+    }
 }
 
 /**
@@ -249,6 +333,140 @@ largeRegionShowdown(const WaferGeometry &geom, std::size_t failures)
     return {scan_s, index_s};
 }
 
+/** What the failure storm measures and asserts. */
+struct StormResult
+{
+    double seconds = 0.0;
+    std::uint64_t failures = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t borrows = 0;
+};
+
+/**
+ * Whole-wafer failure storm through the RecoveryService: for each
+ * replica chain, drain block 0's dedicated KV pool dry, then keep
+ * failing block 0's weight cores so every further recovery must
+ * borrow KV capacity from adjacent blocks.
+ *
+ * Asserts, on every run:
+ *  - the per-placement recoverCoreFailure oracle (mirror state, cold
+ *    mesh, flat scans) reproduces the service bit for bit across the
+ *    whole no-borrow prefix of the storm;
+ *  - a scan-mode service reproduces the index-mode service bit for
+ *    bit across the ENTIRE storm, borrows included.
+ */
+StormResult
+runStorm(const WaferGeometry &geom, std::size_t weight_failures)
+{
+    const ModelConfig model = bertLarge();
+    WaferMappingOptions mopts;
+    mopts.mapper = MapperKind::Greedy;
+    mopts.replicas = 2;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            mopts);
+    ouroAssert(mapping.has_value(),
+               "fault_tolerance: storm mapping failed");
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+
+    RecoveryService indexed(*mapping, NocParams{}, tile_bytes,
+                            nullptr);
+    RecoveryServiceOptions scan_opts;
+    scan_opts.useSpatialIndex = false;
+    RecoveryService scanned(*mapping, NocParams{}, tile_bytes,
+                            nullptr, scan_opts);
+
+    // Mirror oracle state: raw per-placement recoveries, cold mesh,
+    // flat scans. It can follow the service exactly until the first
+    // borrow (the oracle has no cross-block capacity to draw on).
+    const MeshNoc cold(geom, NocParams{});
+    std::vector<BlockPlacement> mirror;
+    for (std::uint32_t rep = 0; rep < mapping->numReplicas(); ++rep) {
+        for (std::uint64_t b = 0; b < mapping->numBlocks(); ++b)
+            mirror.push_back(mapping->placement(b, rep));
+    }
+
+    // The schedule: per replica, every KV core of block 0 (drain),
+    // then weight_failures failures cycling block 0's tiles (each
+    // one borrows). Coordinates are resolved against the indexed
+    // service's state as the storm progresses and recorded, so the
+    // scan service and the oracle replay the identical sequence.
+    StormResult out;
+    std::vector<CoreCoord> schedule;
+    std::uint64_t oracle_matched = 0;
+    bool oracle_live = true;
+    const WallTimer timer;
+    for (std::uint32_t rep = 0; rep < mapping->numReplicas(); ++rep) {
+        const auto score = indexed.placement(0, rep).scoreCores;
+        const auto context = indexed.placement(0, rep).contextCores;
+        std::vector<CoreCoord> coords;
+        for (const auto *pool : {&score, &context})
+            coords.insert(coords.end(), pool->begin(), pool->end());
+        // Drain phase (the snapshot above), then weight failures
+        // resolved lazily against the evolving placement (tiles
+        // move as chains shift).
+        const std::size_t drain = coords.size();
+        for (std::size_t k = 0; k < drain + weight_failures; ++k) {
+            const CoreCoord failed =
+                k < drain ? coords[k]
+                          : indexed.placement(0, rep).weightCores
+                                    [k % mapping->tilesPerBlock()];
+            schedule.push_back(failed);
+            const auto got = indexed.handleCoreFailure(failed);
+            ouroAssert(got.has_value(),
+                       "fault_tolerance: storm recovery failed at ",
+                       schedule.size() - 1);
+            ++out.failures;
+            ++out.recoveries;
+            out.borrows += got->borrows.size();
+            if (oracle_live && !got->borrows.empty())
+                oracle_live = false; // placements diverge from here
+            if (oracle_live) {
+                BlockPlacement &p =
+                    mirror[rep * mapping->numBlocks() + 0];
+                const auto want = recoverCoreFailure(
+                        p, failed, cold, tile_bytes);
+                ouroAssert(want.has_value() &&
+                                   sameResult(got->remap, *want),
+                           "fault_tolerance: service diverged from "
+                           "the per-placement oracle at storm "
+                           "failure ", schedule.size() - 1);
+                ++oracle_matched;
+            }
+        }
+    }
+    out.seconds = timer.seconds();
+    ouroAssert(out.borrows > 0,
+               "fault_tolerance: storm never triggered a KV borrow");
+    ouroAssert(oracle_matched > 0,
+               "fault_tolerance: storm never exercised the oracle");
+
+    // Scan-mode service: replay the identical schedule; outcomes
+    // must match bit for bit across the whole storm, borrows
+    // included.
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto got = scanned.handleCoreFailure(schedule[i]);
+        ouroAssert(got.has_value(),
+                   "fault_tolerance: scan-mode storm failed at ", i);
+    }
+    ouroAssert(scanned.recoveries() == indexed.recoveries() &&
+                       scanned.borrowCount() == indexed.borrowCount(),
+               "fault_tolerance: scan-mode service diverged from the "
+               "index mode");
+    for (std::uint32_t rep = 0; rep < mapping->numReplicas(); ++rep) {
+        for (std::uint64_t b = 0; b < mapping->numBlocks(); ++b) {
+            const auto &a = indexed.placement(b, rep);
+            const auto &s = scanned.placement(b, rep);
+            ouroAssert(a.weightCores == s.weightCores &&
+                               a.scoreCores == s.scoreCores &&
+                               a.contextCores == s.contextCores,
+                       "fault_tolerance: storm placements diverged "
+                       "between index and scan modes");
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -270,60 +488,65 @@ main(int argc, char **argv)
             opts);
     ouroAssert(mapping.has_value(), "fault_tolerance: mapping failed");
 
-    // Fast path: meshes started from the shared clean-route table
-    // (the RecoveryIndex is benchmarked separately below - see the
-    // file header).
+    // Fast path: meshes started from the shared clean-route table,
+    // sweep points fanned out on parallelFor (per-point meshes and
+    // result slots; the table is the one shareable NoC object). The
+    // serial loop runs too and the two must be bit-identical - the
+    // sweep-runtime contract.
     const auto table =
         std::make_shared<const CleanRouteTable>(geom, NocParams{});
     const PathResult fast =
-        runSweep(*mapping, geom, injections, table);
+        runSweep(*mapping, geom, injections, table, false);
+    const PathResult fast_parallel =
+        runSweep(*mapping, geom, injections, table, true);
+    assertSweepsIdentical(fast, fast_parallel,
+                          "parallel sweep vs serial");
     // Oracle path: cold meshes + full scans.
     const PathResult oracle =
-        runSweep(*mapping, geom, injections, nullptr);
-
-    // The fast path must reproduce the oracle bit for bit on every
-    // recovery - same moves, same absorbed cores, same latency.
-    ouroAssert(fast.recoveries == oracle.recoveries,
-               "fault_tolerance: paths recovered different failure "
-               "counts");
-    for (std::size_t i = 0; i < fast.results.size(); ++i) {
-        ouroAssert(sameResult(fast.results[i], oracle.results[i]),
-                   "fault_tolerance: fast path diverged from the "
-                   "scan/cold-mesh oracle at recovery ", i);
-    }
-    ouroAssert(fast.bottlenecks == oracle.bottlenecks,
-               "fault_tolerance: traffic re-pricing diverged between "
-               "shared-table and cold routes");
+        runSweep(*mapping, geom, injections, nullptr, false);
+    assertSweepsIdentical(fast, oracle,
+                          "shared-table fast path vs cold oracle");
 
     const double fast_rate =
-        static_cast<double>(fast.recoveries) / fast.seconds;
+        static_cast<double>(fast.recoveries()) / fast.seconds;
     const double oracle_rate =
-        static_cast<double>(oracle.recoveries) / oracle.seconds;
+        static_cast<double>(oracle.recoveries()) / oracle.seconds;
+    const double parallel_speedup =
+        fast.seconds / fast_parallel.seconds;
     const double hit_rate =
-        fast.sharedHits + fast.routeMisses > 0
-            ? static_cast<double>(fast.sharedHits) /
-                  static_cast<double>(fast.sharedHits +
-                                      fast.routeMisses)
+        fast.sharedHits() + fast.routeMisses() > 0
+            ? static_cast<double>(fast.sharedHits()) /
+                  static_cast<double>(fast.sharedHits() +
+                                      fast.routeMisses())
             : 0.0;
 
     Table table_out({"path", "recoveries", "wall [ms]",
                      "recoveries/sec"});
     table_out.row()
         .cell("shared route table")
-        .cell(fast.recoveries)
+        .cell(fast.recoveries())
         .cell(fast.seconds * 1e3, 1)
         .cell(fast_rate, 0);
     table_out.row()
+        .cell("shared table, parallel")
+        .cell(fast_parallel.recoveries())
+        .cell(fast_parallel.seconds * 1e3, 1)
+        .cell(static_cast<double>(fast_parallel.recoveries()) /
+                      fast_parallel.seconds, 0);
+    table_out.row()
         .cell("cold + scan (oracle)")
-        .cell(oracle.recoveries)
+        .cell(oracle.recoveries())
         .cell(oracle.seconds * 1e3, 1)
         .cell(oracle_rate, 0);
     table_out.print(std::cout);
     std::cout << "\nShared clean-route table: "
-              << fast.sharedHits << " hits / " << fast.routeMisses
+              << fast.sharedHits() << " hits / " << fast.routeMisses()
               << " local misses (hit rate "
               << formatDouble(hit_rate * 100.0, 1)
-              << "%); all recoveries bit-identical to the oracle.\n";
+              << "%); all recoveries bit-identical to the oracle, "
+                 "parallel sweep bit-identical to serial ("
+              << formatDouble(parallel_speedup, 2) << "x, "
+              << defaultThreadCount() << " threads).\n";
 
     // Where the spatial index earns its keep: a wafer-sized region
     // (bit-identity asserted inside).
@@ -340,22 +563,49 @@ main(int argc, char **argv)
               << " ms\n  speedup:       "
               << formatDouble(index_speedup, 1) << "x\n";
 
+    // Failure storm through the wafer-level RecoveryService (oracle
+    // prefix + index-vs-scan bit-identity asserted inside).
+    const StormResult storm = runStorm(geom, injections / 2 + 1);
+    const double storm_rate =
+        static_cast<double>(storm.recoveries) / storm.seconds;
+    const double borrow_rate =
+        static_cast<double>(storm.borrows) /
+        static_cast<double>(storm.recoveries);
+    std::cout << "\nFailure storm (RecoveryService, replicated "
+                 "BERT-large chains):\n  "
+              << storm.failures << " failures, " << storm.recoveries
+              << " recoveries, " << storm.borrows
+              << " cross-block KV borrows (borrow rate "
+              << formatDouble(borrow_rate * 100.0, 1)
+              << "%)\n  recoveries/sec: "
+              << formatDouble(storm_rate, 0)
+              << "; service bit-identical to the per-placement "
+                 "oracle until the first borrow,\n  index and scan "
+                 "modes bit-identical across the whole storm.\n";
+
     BenchReport("fault_tolerance")
         .metric("wall_seconds", fast.seconds)
         .metric("events_per_sec", fast_rate)
-        .metric("recoveries", fast.recoveries)
+        .metric("recoveries", fast.recoveries())
         .metric("recoveries_per_sec", fast_rate)
         .metric("oracle_recoveries_per_sec", oracle_rate)
         .metric("recovery_speedup", fast_rate / oracle_rate)
-        .metric("shared_route_table_hits", fast.sharedHits)
-        .metric("shared_route_table_misses", fast.routeMisses)
+        .metric("shared_route_table_hits", fast.sharedHits())
+        .metric("shared_route_table_misses", fast.routeMisses())
         .metric("shared_route_table_hit_rate", hit_rate)
         .metric("sweep_points", std::uint64_t{kSweepPoints})
         .metric("failures_injected",
                 std::uint64_t{kSweepPoints} * injections)
+        .metric("sweep_parallel_seconds", fast_parallel.seconds)
+        .metric("sweep_parallel_speedup", parallel_speedup)
         .metric("large_region_scan_seconds", scan_s)
         .metric("large_region_index_seconds", index_s)
         .metric("spatial_index_speedup", index_speedup)
+        .metric("storm_failures", storm.failures)
+        .metric("storm_recoveries", storm.recoveries)
+        .metric("storm_borrows", storm.borrows)
+        .metric("borrow_rate", borrow_rate)
+        .metric("storm_recoveries_per_sec", storm_rate)
         .write();
     return 0;
 }

@@ -4,9 +4,10 @@
  * crossbar GEMV pricing, NoC routing (clean, faulted and cached),
  * traffic accumulation (flat per-link loads), the intra-core DP, KV
  * admission/growth, the MIQP objective / moveDelta / swapDelta on
- * both the sparse flow-graph engine and the dense reference, and the
- * RNG. These guard the simulator's own performance (the figure
- * harnesses run millions of these calls).
+ * both the sparse flow-graph engine and the dense reference, the
+ * wafer-level recovery service's failure handling and dry-pool KV
+ * borrowing, and the RNG. These guard the simulator's own
+ * performance (the figure harnesses run millions of these calls).
  */
 
 #include <benchmark/benchmark.h>
@@ -18,8 +19,10 @@
 #include "mapping/dp.hh"
 #include "mapping/mappers.hh"
 #include "mapping/problem.hh"
+#include "mapping/wafer_mapping.hh"
 #include "model/llm.hh"
 #include "noc/mesh.hh"
+#include "runtime/recovery_service.hh"
 
 namespace
 {
@@ -265,6 +268,95 @@ BM_KvGrow(benchmark::State &state)
     }
 }
 BENCHMARK(BM_KvGrow);
+
+/** Shared fixture for the wafer-level recovery-service kernels: a
+ *  small wafer keeps per-iteration service rebuilds cheap while the
+ *  handled failures still exercise the full path (ownership lookup,
+ *  index chain construction, inter-block re-pricing). */
+struct RecoveryFixture
+{
+    WaferGeometry geom{2, 2, 8, 8};
+    ModelConfig model;
+    std::optional<WaferMapping> mapping;
+
+    RecoveryFixture()
+    {
+        model.name = "tiny";
+        model.numBlocks = 2;
+        model.hiddenDim = 1024;
+        model.numHeads = 8;
+        model.numKvHeads = 8;
+        model.headDim = 128;
+        model.ffnDim = 4096;
+        model.ffnMatrices = 2;
+        model.vocabSize = 1000;
+        model.bytesPerParam = 1;
+        model.maxContext = 2048;
+        WaferMappingOptions opts;
+        opts.mapper = MapperKind::Greedy;
+        mapping = WaferMapping::build(model, CoreParams{}, geom,
+                                      nullptr, 0, model.numBlocks,
+                                      opts);
+    }
+};
+
+void
+BM_RecoveryServiceFailure(benchmark::State &state)
+{
+    // The service's hot path: handleCoreFailure on a weight core -
+    // ownership lookup, index-backed chain construction, placement
+    // mutation, inter-block flow re-pricing over the cached mesh.
+    const RecoveryFixture fix;
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    constexpr int kFailures = 16;
+    for (auto _ : state) {
+        state.PauseTiming();
+        RecoveryService service(*fix.mapping, NocParams{},
+                                tile_bytes, nullptr);
+        const std::uint32_t tiles = fix.mapping->tilesPerBlock();
+        state.ResumeTiming();
+        for (int k = 0; k < kFailures; ++k) {
+            benchmark::DoNotOptimize(service.handleCoreFailure(
+                    service.placement(0).weightCores[
+                            static_cast<std::size_t>(k) % tiles]));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kFailures);
+}
+BENCHMARK(BM_RecoveryServiceFailure);
+
+void
+BM_KvBorrow(benchmark::State &state)
+{
+    // The dry-pool path: every failure finds block 0's KV pool
+    // empty, borrows the nearest adjacent-block KV core (index
+    // rebuild included) and completes the chain into it.
+    const RecoveryFixture fix;
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    constexpr int kBorrows = 8;
+    for (auto _ : state) {
+        state.PauseTiming();
+        RecoveryService service(*fix.mapping, NocParams{},
+                                tile_bytes, nullptr);
+        // Drain block 0's pool so every timed failure must borrow.
+        while (!service.placement(0).scoreCores.empty() ||
+               !service.placement(0).contextCores.empty()) {
+            const auto &p = service.placement(0);
+            service.handleCoreFailure(p.scoreCores.empty()
+                                              ? p.contextCores.front()
+                                              : p.scoreCores.front());
+        }
+        const std::uint32_t tiles = fix.mapping->tilesPerBlock();
+        state.ResumeTiming();
+        for (int k = 0; k < kBorrows; ++k) {
+            benchmark::DoNotOptimize(service.handleCoreFailure(
+                    service.placement(0).weightCores[
+                            static_cast<std::size_t>(k) % tiles]));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBorrows);
+}
+BENCHMARK(BM_KvBorrow);
 
 } // namespace
 

@@ -8,6 +8,12 @@
  * The example also runs the yield model at several defect densities
  * to show how many cores a production wafer loses, and verifies the
  * mapper routes around them.
+ *
+ * Failures are driven through the wafer-level RecoveryService - the
+ * single runtime entry point that owns the recovery indices, the
+ * shared clean-route table and the defect state - including a
+ * drained-pool scenario where the service borrows KV capacity from
+ * the adjacent block instead of failing.
  */
 
 #include <iostream>
@@ -16,10 +22,10 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "hw/yield.hh"
-#include "mapping/remap.hh"
 #include "mapping/wafer_mapping.hh"
 #include "model/llm.hh"
 #include "noc/mesh.hh"
+#include "runtime/recovery_service.hh"
 
 int
 main()
@@ -63,53 +69,54 @@ main()
               << defects.numDefects() << " defective cores; "
               << mapping->totalKvCores() << " KV cores remain.\n";
 
-    // --- Runtime failures and replacement chains ---
+    // --- Runtime failures through the RecoveryService ---
     std::cout << "\nRuntime core failures (replacement chains, "
-                 "Section 4.3.3):\n";
-    Table chain_table({"failed core", "kind", "chain length",
+                 "Section 4.3.3), handled by the\nwafer-level "
+                 "RecoveryService:\n";
+    Table chain_table({"failed core", "kind", "block", "chain length",
                        "moved MB", "latency [us]"});
-    BlockPlacement placement = mapping->placement(0);
     const Bytes tile_bytes = CoreParams{}.sramBytes();
-    // Route-aware recovery: the mesh knows the fabrication defects,
-    // so every shift is priced over its actual (cached) detour
-    // route. The mesh starts from a shared clean-route table (the
-    // per-geometry table a sweep would reuse across many meshes) and
-    // the chain construction runs on the spatial recovery index -
-    // both bit-identical to the cold-mesh/scan oracles.
-    const auto routes =
-        std::make_shared<const CleanRouteTable>(geom, NocParams{});
-    const MeshNoc noc(geom, NocParams{}, &defects, routes);
-    RecoveryIndex index(placement);
+    // The service owns the whole fault path: one recovery index per
+    // replica-chain region, the shared clean-route table (the
+    // per-geometry table a sweep would reuse across many meshes),
+    // and the defect map - every chain shift is priced over its
+    // actual (cached) detour route, bit-identical to the
+    // cold-mesh/scan oracles.
+    RecoveryService service(*mapping, NocParams{}, tile_bytes,
+                            &defects);
 
     // Fail three weight cores and one KV core of block 0 in turn.
     for (int k = 0; k < 3; ++k) {
         const CoreCoord failed =
-            placement.weightCores[static_cast<std::size_t>(k * 7)];
-        const auto result = recoverCoreFailure(placement, failed,
-                                               noc, tile_bytes,
-                                               &index);
+            service.placement(0).weightCores[static_cast<std::size_t>(
+                    k * 7)];
+        const auto result = service.handleCoreFailure(failed);
         ouroAssert(result.has_value(), "recovery failed");
         chain_table.row()
             .cell("(" + std::to_string(failed.row) + "," +
                   std::to_string(failed.col) + ")")
             .cell("weights")
-            .cell(static_cast<std::uint64_t>(result->chainLength))
-            .cell(static_cast<double>(result->movedBytes) / 1e6, 1)
-            .cell(result->latencySeconds * 1e6, 1);
-        ouroAssert(result->latencySeconds < 1e-3,
+            .cell(result->block)
+            .cell(static_cast<std::uint64_t>(
+                    result->remap.chainLength))
+            .cell(static_cast<double>(result->remap.movedBytes) /
+                          1e6, 1)
+            .cell(result->remap.latencySeconds * 1e6, 1);
+        ouroAssert(result->remap.latencySeconds < 1e-3,
                    "recovery exceeded the paper's sub-ms bound");
     }
-    if (!placement.scoreCores.empty()) {
-        const CoreCoord failed = placement.scoreCores.front();
-        const auto result = recoverCoreFailure(placement, failed,
-                                               noc, tile_bytes,
-                                               &index);
+    if (!service.placement(0).scoreCores.empty()) {
+        const CoreCoord failed =
+            service.placement(0).scoreCores.front();
+        const auto result = service.handleCoreFailure(failed);
         ouroAssert(result.has_value(), "KV recovery failed");
         chain_table.row()
             .cell("(" + std::to_string(failed.row) + "," +
                   std::to_string(failed.col) + ")")
             .cell("kv-cache")
-            .cell(static_cast<std::uint64_t>(result->chainLength))
+            .cell(result->block)
+            .cell(static_cast<std::uint64_t>(
+                    result->remap.chainLength))
             .cell(0.0, 1)
             .cell(0.0, 1);
     }
@@ -118,8 +125,44 @@ main()
                  "sub-millisecond latency; KV-core\nfailures cost "
                  "only the resident sequences' recompute.\n"
               << "Shared clean-route table served "
-              << noc.sharedTableHits() << " routes ("
-              << noc.routeCacheMisses()
+              << service.noc().sharedTableHits() << " routes ("
+              << service.noc().routeCacheMisses()
               << " needed a local detour around the defects).\n";
+
+    // --- Cross-block KV borrowing ---
+    // Drain block 0's dedicated KV pool dry, then fail one more
+    // weight core: instead of giving up, the service borrows the
+    // nearest KV core from the adjacent block of the same chain and
+    // completes the chain into it.
+    std::uint64_t drained = 0;
+    while (!service.placement(0).scoreCores.empty() ||
+           !service.placement(0).contextCores.empty()) {
+        const auto &p = service.placement(0);
+        const CoreCoord kv = p.scoreCores.empty()
+                                 ? p.contextCores.front()
+                                 : p.scoreCores.front();
+        ouroAssert(service.handleCoreFailure(kv).has_value(),
+                   "KV drain failed");
+        ++drained;
+    }
+    const CoreCoord dry_failure = service.placement(0).weightCores[1];
+    const auto borrowed = service.handleCoreFailure(dry_failure);
+    ouroAssert(borrowed.has_value() && !borrowed->borrows.empty(),
+               "dry-pool recovery did not borrow");
+    const KvBorrow &loan = borrowed->borrows.front();
+    std::cout << "\nKV borrow: drained block 0's remaining "
+              << drained << " KV cores, then failed weight core ("
+              << dry_failure.row << "," << dry_failure.col
+              << ");\nthe service borrowed KV core (" << loan.core.row
+              << "," << loan.core.col << ") from block "
+              << loan.fromBlock
+              << " and completed the chain (length "
+              << borrowed->remap.chainLength << ", "
+              << formatDouble(borrowed->remap.latencySeconds * 1e6, 1)
+              << " us).\n"
+              << "Recoveries handled: " << service.recoveries()
+              << " (" << service.borrowCount()
+              << " cross-block borrows); block 0's inter-block "
+                 "flows re-priced each time.\n";
     return 0;
 }

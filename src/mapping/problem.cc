@@ -162,10 +162,10 @@ MappingProblem::congruentTranslate(
     // the translated instance carries no defect map - the same way
     // WaferMapping's per-block rebuild constructs its instances.
     translated.defects_ = nullptr;
-    translated.flowOffsets_ = flowOffsets_;
-    translated.flowUpper_ = flowUpper_;
-    translated.flowPartner_ = flowPartner_;
-    translated.flowBytes_ = flowBytes_;
+    // The flow CSR depends only on the tiling, which congruent
+    // regions share by definition - so the immutable CSR is shared
+    // behind its shared_ptr, making the translate O(1) in flow size.
+    translated.flow_ = flow_;
     if (precompute_distance_table &&
         translated.candidates_.size() <= kMaxDistanceTableCandidates)
         translated.buildDistanceTable();
@@ -221,8 +221,9 @@ void
 MappingProblem::buildFlowGraph()
 {
     const std::size_t n = tiles_.size();
-    flowOffsets_.assign(n + 1, 0);
-    flowUpper_.assign(n, 0);
+    FlowCsr csr;
+    csr.offsets.assign(n + 1, 0);
+    csr.upper.assign(n, 0);
 
     // Single triangle scan, two flowBetween() evaluations per pair.
     // Appending partner b to row a while the outer index ascends (and
@@ -249,22 +250,23 @@ MappingProblem::buildFlowGraph()
     }
 
     for (std::size_t t = 0; t < n; ++t)
-        flowOffsets_[t + 1] =
-            flowOffsets_[t] +
+        csr.offsets[t + 1] =
+            csr.offsets[t] +
             static_cast<std::uint32_t>(rows[t].size());
-    flowPartner_.resize(flowOffsets_[n]);
-    flowBytes_.resize(flowOffsets_[n]);
+    csr.partner.resize(csr.offsets[n]);
+    csr.bytes.resize(csr.offsets[n]);
     for (std::size_t t = 0; t < n; ++t) {
-        std::uint32_t k = flowOffsets_[t];
-        flowUpper_[t] = k;
+        std::uint32_t k = csr.offsets[t];
+        csr.upper[t] = k;
         for (const FlowEntry &entry : rows[t]) {
-            flowPartner_[k] = entry.partner;
-            flowBytes_[k] = entry.bytes;
+            csr.partner[k] = entry.partner;
+            csr.bytes[k] = entry.bytes;
             if (entry.partner < t)
-                flowUpper_[t] = k + 1;
+                csr.upper[t] = k + 1;
             ++k;
         }
     }
+    flow_ = std::make_shared<const FlowCsr>(std::move(csr));
 }
 
 void
@@ -371,12 +373,12 @@ MappingProblem::assignmentCost(
     // (a, b > a) in ascending order; skipped pairs contribute exactly
     // +0.0 there, so this sum is bit-identical.
     double total = 0.0;
-    const std::uint32_t *partner = flowPartner_.data();
-    const double *bytes = flowBytes_.data();
+    const std::uint32_t *partner = flow_->partner.data();
+    const double *bytes = flow_->bytes.data();
     for (std::size_t a = 0; a < tiles_.size(); ++a) {
         const std::uint32_t sa = assignment[a];
-        for (std::uint32_t k = flowUpper_[a]; k < flowOffsets_[a + 1];
-             ++k) {
+        for (std::uint32_t k = flow_->upper[a];
+             k < flow_->offsets[a + 1]; ++k) {
             const std::uint32_t sb = assignment[partner[k]];
             total += slotDist(sa, sb) * bytes[k] * slotPen(sa, sb);
         }
@@ -408,10 +410,10 @@ MappingProblem::moveDelta(const std::vector<std::uint32_t> &assignment,
     ouroAssert(t < tiles_.size(), "moveDelta: bad tile index");
     const std::uint32_t old_slot = assignment[t];
     double delta = 0.0;
-    const std::uint32_t *partner = flowPartner_.data();
-    const double *bytes = flowBytes_.data();
-    for (std::uint32_t k = flowOffsets_[t]; k < flowOffsets_[t + 1];
-         ++k) {
+    const std::uint32_t *partner = flow_->partner.data();
+    const double *bytes = flow_->bytes.data();
+    for (std::uint32_t k = flow_->offsets[t];
+         k < flow_->offsets[t + 1]; ++k) {
         const std::uint32_t sb = assignment[partner[k]];
         delta += slotDist(new_slot, sb) * bytes[k] *
                          slotPen(new_slot, sb) -
@@ -448,8 +450,8 @@ MappingProblem::swapDelta(const std::vector<std::uint32_t> &assignment,
                "swapDelta: bad tile pair");
     const std::uint32_t s1 = assignment[t1];
     const std::uint32_t s2 = assignment[t2];
-    const std::uint32_t *partner = flowPartner_.data();
-    const double *bytes = flowBytes_.data();
+    const std::uint32_t *partner = flow_->partner.data();
+    const double *bytes = flow_->bytes.data();
 
     // Merge the two adjacency rows in ascending partner order - the
     // same order the dense reference visits its nonzero terms in - and
@@ -458,10 +460,10 @@ MappingProblem::swapDelta(const std::vector<std::uint32_t> &assignment,
     // closing (t1,t2) correction term is exactly +0.0 (same distance
     // and penalty on both sides of the swap), so dropping it keeps the
     // result bit-identical.
-    std::uint32_t i = flowOffsets_[t1];
-    const std::uint32_t i_end = flowOffsets_[t1 + 1];
-    std::uint32_t j = flowOffsets_[t2];
-    const std::uint32_t j_end = flowOffsets_[t2 + 1];
+    std::uint32_t i = flow_->offsets[t1];
+    const std::uint32_t i_end = flow_->offsets[t1 + 1];
+    std::uint32_t j = flow_->offsets[t2];
+    const std::uint32_t j_end = flow_->offsets[t2 + 1];
     const std::uint32_t u1 = static_cast<std::uint32_t>(t1);
     const std::uint32_t u2 = static_cast<std::uint32_t>(t2);
 
@@ -536,9 +538,10 @@ MappingProblem::partialCost(
     // Partners below t in ascending order: the dense reference scans
     // b = 0..t-1 with tile t as pairCost's first argument.
     double add = 0.0;
-    const std::uint32_t *partner = flowPartner_.data();
-    const double *bytes = flowBytes_.data();
-    for (std::uint32_t k = flowOffsets_[t]; k < flowUpper_[t]; ++k) {
+    const std::uint32_t *partner = flow_->partner.data();
+    const double *bytes = flow_->bytes.data();
+    for (std::uint32_t k = flow_->offsets[t]; k < flow_->upper[t];
+         ++k) {
         const std::uint32_t sb = assignment[partner[k]];
         add += slotDist(slot, sb) * bytes[k] * slotPen(slot, sb);
     }

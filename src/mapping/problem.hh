@@ -40,6 +40,7 @@
 #define OURO_MAPPING_PROBLEM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -226,11 +227,18 @@ class MappingProblem
     /** Nonzero-flow partner count of tile @p t (sparse degree). */
     std::size_t flowDegree(std::size_t t) const
     {
-        return flowOffsets_[t + 1] - flowOffsets_[t];
+        return flow_->offsets[t + 1] - flow_->offsets[t];
     }
 
     /** Total directed nonzero-flow pairs (sum of degrees). */
-    std::size_t flowEdges() const { return flowPartner_.size(); }
+    std::size_t flowEdges() const { return flow_->partner.size(); }
+
+    /** True when both problems share one immutable flow CSR (the
+     *  congruentTranslate O(1) share, not merely equal contents). */
+    bool sharesFlowGraphWith(const MappingProblem &other) const
+    {
+        return flow_ == other.flow_;
+    }
 
     /** True when the candidate distance/penalty table is resident. */
     bool hasDistanceTable() const { return hasTable_; }
@@ -257,14 +265,21 @@ class MappingProblem
     const DefectMap *defects_ = nullptr;
 
     // Sparse flow graph (CSR): for tile t, partners are
-    // flowPartner_[flowOffsets_[t] .. flowOffsets_[t+1]) in ascending
-    // order (t itself never appears), flowBytes_ the directed volume
-    // F(t -> partner) as an exact double, and flowUpper_[t] the first
-    // entry whose partner index exceeds t.
-    std::vector<std::uint32_t> flowOffsets_;
-    std::vector<std::uint32_t> flowUpper_;
-    std::vector<std::uint32_t> flowPartner_;
-    std::vector<double> flowBytes_;
+    // partner[offsets[t] .. offsets[t+1]) in ascending order (t
+    // itself never appears), bytes the directed volume F(t ->
+    // partner) as an exact double, and upper[t] the first entry whose
+    // partner index exceeds t. The CSR depends only on the tiling,
+    // never on the candidate region, so it is immutable once built
+    // and shared (not copied) across congruent translations -
+    // congruentTranslate is O(1) in flow size.
+    struct FlowCsr
+    {
+        std::vector<std::uint32_t> offsets;
+        std::vector<std::uint32_t> upper;
+        std::vector<std::uint32_t> partner;
+        std::vector<double> bytes;
+    };
+    std::shared_ptr<const FlowCsr> flow_;
 
     // Candidate x candidate Manhattan distance and die penalty,
     // row-major (only when the region is small enough to afford C^2

@@ -8,19 +8,45 @@
 namespace ouro
 {
 
-namespace
-{
-
-/** Remove one coordinate from a vector; true if found. */
 bool
-removeCoord(std::vector<CoreCoord> &coords, CoreCoord target)
+removePoolCoord(std::vector<CoreCoord> &pool, CoreCoord target)
 {
-    const auto it = std::find(coords.begin(), coords.end(), target);
-    if (it == coords.end())
+    const auto it = std::find(pool.begin(), pool.end(), target);
+    if (it == pool.end())
         return false;
-    coords.erase(it);
+    pool.erase(it);
     return true;
 }
+
+std::optional<NearestKvScan>
+nearestKvScan(const BlockPlacement &placement, CoreCoord from,
+              const WaferGeometry &geom)
+{
+    // Ties resolve by visit order - score pool first, lower index
+    // first - which is exactly the rank RecoveryIndex's sequence
+    // numbers encode.
+    const std::vector<CoreCoord> *best_pool = nullptr;
+    std::size_t best_idx = 0;
+    std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+    for (const auto *candidates :
+         {&placement.scoreCores, &placement.contextCores}) {
+        for (std::size_t i = 0; i < candidates->size(); ++i) {
+            const auto d = geom.manhattan(from, (*candidates)[i]);
+            if (d < best) {
+                best = d;
+                best_pool = candidates;
+                best_idx = i;
+            }
+        }
+    }
+    if (!best_pool)
+        return std::nullopt;
+    return NearestKvScan{(*best_pool)[best_idx],
+                         best_pool == &placement.scoreCores};
+}
+
+namespace
+{
 
 std::uint32_t
 absDiff(std::uint32_t a, std::uint32_t b)
@@ -45,13 +71,13 @@ buildReplacementChain(BlockPlacement &placement, CoreCoord failed,
     // detects and removes in a single pass per pool.
     const bool kv_failure =
         index ? index->kvAt(failed)
-              : removeCoord(placement.scoreCores, failed) ||
-                    removeCoord(placement.contextCores, failed);
+              : removePoolCoord(placement.scoreCores, failed) ||
+                    removePoolCoord(placement.contextCores, failed);
     if (kv_failure) {
         if (index) {
             const bool removed =
-                removeCoord(placement.scoreCores, failed) ||
-                removeCoord(placement.contextCores, failed);
+                removePoolCoord(placement.scoreCores, failed) ||
+                removePoolCoord(placement.contextCores, failed);
             ouroAssert(removed, "remap: KV pool lost core (",
                        failed.row, ",", failed.col, ")");
             index->removeKv(failed);
@@ -89,24 +115,10 @@ buildReplacementChain(BlockPlacement &placement, CoreCoord failed,
             return std::nullopt; // no KV core left to absorb
         kv_core = hit->core;
     } else {
-        const std::vector<CoreCoord> *pool = nullptr;
-        std::size_t pool_idx = 0;
-        std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
-        for (const auto *candidates :
-             {&placement.scoreCores, &placement.contextCores}) {
-            for (std::size_t i = 0; i < candidates->size(); ++i) {
-                const auto d =
-                    geom.manhattan(failed, (*candidates)[i]);
-                if (d < best) {
-                    best = d;
-                    pool = candidates;
-                    pool_idx = i;
-                }
-            }
-        }
-        if (!pool)
+        const auto hit = nearestKvScan(placement, failed, geom);
+        if (!hit)
             return std::nullopt; // no KV core left to absorb
-        kv_core = (*pool)[pool_idx];
+        kv_core = hit->core;
     }
 
     // The chain: weight cores ordered by distance from the failed
@@ -173,8 +185,8 @@ buildReplacementChain(BlockPlacement &placement, CoreCoord failed,
         index->moveWeight(failed_tile, failed, vacated);
 
     // The KV core leaves the pool (it now holds weights).
-    if (!removeCoord(placement.scoreCores, kv_core))
-        removeCoord(placement.contextCores, kv_core);
+    if (!removePoolCoord(placement.scoreCores, kv_core))
+        removePoolCoord(placement.contextCores, kv_core);
     if (index)
         index->removeKv(kv_core);
 

@@ -139,6 +139,30 @@ class RecoveryIndex
     static const Entry *findEntry(const Rows &rows, CoreCoord c);
 };
 
+/** Result of the oracle nearest-KV scan: the core plus which pool
+ *  (duty) it came from. */
+struct NearestKvScan
+{
+    CoreCoord core;
+    bool scoreDuty = false;
+};
+
+/**
+ * THE oracle nearest-KV scan over @p placement's dedicated pools:
+ * score pool before context pool, lower index first, strict
+ * improvement only. This visit order is the tie-break
+ * RecoveryIndex::nearestKv reproduces bit for bit and the recovery
+ * service's cross-block borrowing must match - every nearest-KV
+ * consumer goes through this one definition so they can never
+ * drift. std::nullopt when both pools are empty.
+ */
+std::optional<NearestKvScan>
+nearestKvScan(const BlockPlacement &placement, CoreCoord from,
+              const WaferGeometry &geom);
+
+/** Remove one coordinate from a core pool vector; true if found. */
+bool removePoolCoord(std::vector<CoreCoord> &pool, CoreCoord target);
+
 /**
  * Recover from the failure of @p failed within @p placement.
  *

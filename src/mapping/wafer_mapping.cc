@@ -69,6 +69,43 @@ WaferMapping::totalKvCores() const
     return n;
 }
 
+const std::vector<CoreCoord> &
+WaferMapping::embeddingCores(std::uint32_t replica) const
+{
+    ouroAssert(replica < numReplicas_, "embeddingCores: replica ",
+               replica, " of ", numReplicas_, " not on this wafer");
+    return sharedEmbedding_ ? embeddingChains_.front()
+                            : embeddingChains_[replica];
+}
+
+std::uint64_t
+WaferMapping::chainKvCores(std::uint32_t replica) const
+{
+    ouroAssert(replica < numReplicas_, "chainKvCores: replica ",
+               replica, " of ", numReplicas_, " not on this wafer");
+    std::uint64_t n = 0;
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        const auto &p = placements_[replica * numBlocks_ + b];
+        n += p.scoreCores.size() + p.contextCores.size();
+    }
+    return n;
+}
+
+std::uint64_t
+WaferMapping::chainActiveCores(std::uint32_t replica) const
+{
+    ouroAssert(replica < numReplicas_, "chainActiveCores: replica ",
+               replica, " of ", numReplicas_, " not on this wafer");
+    std::uint64_t n =
+        sharedEmbedding_ ? 0 : embeddingChains_[replica].size();
+    for (std::uint64_t b = 0; b < numBlocks_; ++b) {
+        const auto &p = placements_[replica * numBlocks_ + b];
+        n += p.weightCores.size() + p.scoreCores.size() +
+             p.contextCores.size();
+    }
+    return n;
+}
+
 bool
 accumulateInterBlockFlows(const std::vector<LayerSpec> &specs,
                           std::uint32_t tiles_per_block,
@@ -131,22 +168,52 @@ WaferMapping::build(const ModelConfig &model,
     }
 
     // Reserve the embedding/LM-head cores only on the wafer hosting
-    // block 0 (the pipeline entry).
+    // block 0 (the pipeline entry). Under the default replicated-
+    // embedding layout EVERY replica chain carries its own
+    // reservation at the head of its core span; the legacy shared
+    // reservation (one prefix read by all chains) is kept behind
+    // opts.sharedEmbedding as the compatibility oracle. The two
+    // layouts are bit-identical at replicas == 1.
     std::uint64_t reserved = 0;
     if (first_block == 0)
         reserved = embeddingCoreCount(model, core_params);
-    if (order.size() <= reserved)
-        return std::nullopt;
-    mapping.embeddingCores_.assign(order.begin(),
-                                   order.begin() + reserved);
 
     const std::uint32_t replicas = std::max(1u, opts.replicas);
     mapping.numReplicas_ = replicas;
+    mapping.sharedEmbedding_ = opts.sharedEmbedding;
+    const std::uint64_t reserved_total =
+        opts.sharedEmbedding ? reserved : reserved * replicas;
+    if (order.size() <= reserved_total)
+        return std::nullopt;
     const std::uint64_t num_regions = num_blocks * replicas;
     const std::uint64_t per_region =
-        regionSize(num_regions, order.size(), reserved);
+        regionSize(num_regions, order.size(), reserved_total);
     if (per_region < mapping.tilesPerBlock_)
         return std::nullopt; // weights alone do not fit
+
+    // A chain's span: its embedding reservation followed by its
+    // blocks' regions. Under the shared layout the single
+    // reservation leads the whole order instead.
+    const std::uint64_t chain_span =
+        reserved + num_blocks * per_region;
+    if (opts.sharedEmbedding) {
+        mapping.embeddingChains_.emplace_back(
+                order.begin(), order.begin() + reserved);
+    } else {
+        for (std::uint32_t r = 0; r < replicas; ++r) {
+            const std::uint64_t lo = r * chain_span;
+            mapping.embeddingChains_.emplace_back(
+                    order.begin() + lo,
+                    order.begin() + lo + reserved);
+        }
+    }
+    const auto region_start = [&](std::uint64_t region) {
+        if (opts.sharedEmbedding)
+            return reserved + region * per_region;
+        const std::uint64_t rep = region / num_blocks;
+        const std::uint64_t block = region % num_blocks;
+        return rep * chain_span + reserved + block * per_region;
+    };
 
     // Region assignment plus per-region mapping. The annealed pattern
     // from the first region is replicated to all congruent regions
@@ -169,7 +236,7 @@ WaferMapping::build(const ModelConfig &model,
 
     mapping.placements_.reserve(num_regions);
     for (std::uint64_t region = 0; region < num_regions; ++region) {
-        const std::uint64_t lo = reserved + region * per_region;
+        const std::uint64_t lo = region_start(region);
         std::vector<CoreCoord> region_cores(
                 order.begin() + lo, order.begin() + lo + per_region);
 

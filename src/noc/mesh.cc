@@ -248,6 +248,16 @@ CleanRouteTable::size() const
     return clean_.routeCacheSize();
 }
 
+std::uint64_t
+CleanRouteTable::computedRoutes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Every miss of the backing mesh's per-instance cache is one
+    // route computation; the mutex makes the check-then-compute
+    // sequence atomic, so this equals size() by construction.
+    return clean_.routeCacheMisses();
+}
+
 std::vector<CoreCoord>
 MeshNoc::route(CoreCoord src, CoreCoord dst) const
 {

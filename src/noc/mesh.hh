@@ -222,7 +222,17 @@ class MeshNoc
  * can be served concurrently. Lookups are mutex-guarded, which makes
  * this the one NoC object that MAY be shared across sweep threads
  * (each thread still owns its MeshNoc instances, per the PR 3
- * contract).
+ * contract). The concurrent-fill guarantee is exact, not just
+ * data-race-free: the mutex serialises first computations, so each
+ * pair is computed exactly once and N threads hammering one pair set
+ * leave the table in the same state a serial fill would (tests pin
+ * this, and computedRoutes() exposes the fill count to assert it).
+ *
+ * Ownership: long-lived fault-handling state holds the table behind
+ * the wafer-level RecoveryService (runtime/recovery_service.hh),
+ * which constructs one per geometry and hands it to every mesh it
+ * builds; sweeps that bypass the service may still share a table
+ * directly.
  */
 class CleanRouteTable
 {
@@ -236,6 +246,11 @@ class CleanRouteTable
 
     /** Distinct (src, dst) pairs resident. */
     std::size_t size() const;
+
+    /** Routes actually computed (== size(): the mutex serialises
+     *  first computations, so no pair is ever computed twice, even
+     *  under concurrent fill). */
+    std::uint64_t computedRoutes() const;
 
     const WaferGeometry &geometry() const
     {

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Wafer-level fault-recovery service (paper Section 4.3.3 scaled to
+ * whole-wafer failure storms).
+ *
+ * Before this subsystem existed, recovery was a per-placement affair:
+ * every caller built its own RecoveryIndex, owned its own mesh/defect
+ * state, and a block whose KV pool ran dry simply failed. The
+ * RecoveryService makes the fault domain first-class: it owns
+ *
+ *  - one mutable BlockPlacement per (replica, block) region, copied
+ *    from the WaferMapping at construction (the mapping itself stays
+ *    immutable),
+ *  - one RecoveryIndex per region (the spatial fast path; the flat
+ *    scan oracle is retained behind
+ *    RecoveryServiceOptions::useSpatialIndex = false),
+ *  - the shared CleanRouteTable and the MeshNoc carrying the wafer's
+ *    defect map and failed-link state (failLink() is delegated here),
+ *  - a core -> region ownership map covering every weight and KV
+ *    core of every chain.
+ *
+ * handleCoreFailure(core) is the single entry point: it routes the
+ * failure to the owning region's index, runs the replacement-chain
+ * recovery there, and re-prices the affected inter-block activation
+ * flows of that chain through the cached mesh. When a weight-core
+ * failure finds the block's KV pool dry, the service borrows a KV
+ * core from an adjacent block of the SAME replica chain before
+ * retrying - chains never lend across replicas, preserving the
+ * fault-domain isolation the replicated-embedding layout establishes.
+ *
+ * Borrowing is deterministic: donor blocks are visited in
+ * nearest-block order (distance 1, 2, ... from the dry block; the
+ * lower-numbered block first on ties), the donor's lent core is its
+ * nearest KV core to the failed core (the same scan-order tie-break
+ * recoverCoreFailure uses), and the core keeps its score/context duty
+ * in the borrower's pool. The borrower's index is rebuilt after the
+ * graft (a placement gained a core the index was not built over -
+ * rebuild is the sanctioned resync), so index and scan stay
+ * bit-identical afterwards too.
+ *
+ * Bit-identity contract: as long as borrowing never triggers, the
+ * service's RemapResults are BIT-IDENTICAL to driving the retained
+ * per-placement recoverCoreFailure oracle over mirror state - with or
+ * without the spatial index - for whole failure sequences across
+ * replicas and defect maps. Tests fuzz this and bench_fault_tolerance
+ * asserts it on every run.
+ */
+
+#ifndef OURO_RUNTIME_RECOVERY_SERVICE_HH
+#define OURO_RUNTIME_RECOVERY_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/geometry.hh"
+#include "hw/params.hh"
+#include "hw/yield.hh"
+#include "mapping/remap.hh"
+#include "mapping/wafer_mapping.hh"
+#include "noc/mesh.hh"
+
+namespace ouro
+{
+
+struct RecoveryServiceOptions
+{
+    /** false runs every chain construction on the retained flat-scan
+     *  oracle instead of the per-region RecoveryIndex; results are
+     *  bit-identical either way (asserted by tests and the bench). */
+    bool useSpatialIndex = true;
+
+    /** false restores the pre-service behaviour: a weight-core
+     *  failure in a block whose KV pool is dry fails (nullopt)
+     *  instead of borrowing from adjacent blocks. */
+    bool allowKvBorrow = true;
+};
+
+/** One KV core lent across blocks of a replica chain. */
+struct KvBorrow
+{
+    std::uint32_t replica = 0;
+    std::uint64_t fromBlock = 0; ///< donor
+    std::uint64_t toBlock = 0;   ///< the dry block
+    CoreCoord core;
+    bool scoreDuty = false; ///< duty kept across the graft
+
+    bool operator==(const KvBorrow &other) const = default;
+};
+
+/** Everything one handled failure changed. */
+struct FailureOutcome
+{
+    std::uint32_t replica = 0;
+    std::uint64_t block = 0;
+    RemapResult remap;
+
+    /** KV cores grafted into the block before the chain could
+     *  complete (empty when the pool was healthy). */
+    std::vector<KvBorrow> borrows;
+
+    /** The affected inter-block activation flows (block-1 -> block,
+     *  block -> block+1 of this chain), re-priced over the cached
+     *  mesh after the recovery (effective byte-hops, die crossings
+     *  weighted by the inter-die penalty). 0 when no weight tile
+     *  moved (a KV drop leaves every flow endpoint in place, so
+     *  nothing is re-priced) and for single-block chains. */
+    double interBlockByteHops = 0.0;
+
+    /** False when a re-priced flow became unroutable (an endpoint
+     *  fenced in) - the chain needs remapping, not recovery. */
+    bool flowsRoutable = true;
+};
+
+class RecoveryService
+{
+  public:
+    /**
+     * Build the service over @p mapping. @p defects is copied (the
+     * service owns its fault state); @p clean_routes may be shared
+     * with other services/sweeps over the same geometry, or null to
+     * have the service create its own table. @p tile_bytes prices
+     * the replacement-chain moves (one weight tile per hop).
+     */
+    RecoveryService(const WaferMapping &mapping,
+                    const NocParams &noc_params, Bytes tile_bytes,
+                    const DefectMap *defects = nullptr,
+                    const RecoveryServiceOptions &opts = {},
+                    std::shared_ptr<const CleanRouteTable>
+                            clean_routes = nullptr);
+
+    /**
+     * Handle the failure of @p failed: route it to the owning
+     * region, recover (borrowing KV capacity from adjacent blocks of
+     * the same chain if the pool is dry), and re-price the affected
+     * inter-block flows. Returns std::nullopt when the core is not
+     * (or no longer) owned by any region, or when recovery is
+     * impossible (the whole chain's KV capacity is exhausted).
+     */
+    std::optional<FailureOutcome> handleCoreFailure(CoreCoord failed);
+
+    /** Mark a link failed; subsequent routes (and re-pricings)
+     *  detour. Delegates to the owned mesh. */
+    void failLink(CoreCoord from, LinkDir dir);
+
+    /** The owned mesh (defect map + failed links + route caches). */
+    const MeshNoc &noc() const { return *noc_; }
+
+    const std::shared_ptr<const CleanRouteTable> &cleanRoutes() const
+    {
+        return cleanRoutes_;
+    }
+
+    std::uint32_t numReplicas() const { return numReplicas_; }
+    std::uint64_t numBlocks() const { return numBlocks_; }
+    std::uint64_t firstBlock() const { return firstBlock_; }
+
+    /** Current (post-recovery) placement of a region. */
+    const BlockPlacement &placement(std::uint64_t block,
+                                    std::uint32_t replica = 0) const;
+
+    /** Dedicated KV cores currently left in one chain. */
+    std::uint64_t chainKvCores(std::uint32_t replica) const;
+
+    /**
+     * Re-price chain @p replica's full inter-block activation
+     * traffic over the current placements and fault state; returns
+     * the bottleneck-link time (the steady-state pipeline bound).
+     * std::nullopt when a flow is unroutable.
+     */
+    std::optional<double>
+    chainInterBlockSeconds(std::uint32_t replica) const;
+
+    /** Failures successfully handled (weight chains + KV drops). */
+    std::uint64_t recoveries() const { return recoveries_; }
+
+    /** KV cores borrowed across blocks so far. */
+    std::uint64_t borrowCount() const { return borrowCount_; }
+
+    const RecoveryServiceOptions &options() const { return opts_; }
+
+  private:
+    /** One replica-chain region's mutable recovery state. */
+    struct Region
+    {
+        std::uint32_t replica = 0;
+        std::uint64_t block = 0; ///< absolute block id
+        BlockPlacement placement;
+        /** Engaged iff opts_.useSpatialIndex. */
+        std::optional<RecoveryIndex> index;
+    };
+
+    Region &region(std::uint64_t block, std::uint32_t replica);
+    const Region &region(std::uint64_t block,
+                         std::uint32_t replica) const;
+
+    /** Graft one KV core from the nearest non-dry adjacent block of
+     *  @p dry's chain; returns false when the whole chain is dry. */
+    bool borrowKvCore(Region &dry, CoreCoord near,
+                      std::vector<KvBorrow> &borrows);
+
+    /** Donor's lent core: nearest KV core to @p near with the
+     *  scan-order tie-break (index and scan agree bit for bit). */
+    std::optional<std::pair<CoreCoord, bool>>
+    pickDonorCore(const Region &donor, CoreCoord near) const;
+
+    /** Accumulate chain flows around @p block (or all of the chain
+     *  when @p block is nullopt) onto traffic_. False = unroutable. */
+    bool accumulateChainFlows(std::uint32_t replica,
+                              std::optional<std::uint64_t> block) const;
+
+    WaferGeometry geom_;
+    std::vector<LayerSpec> specs_;
+    std::uint32_t tilesPerBlock_ = 0;
+    std::uint64_t firstBlock_ = 0;
+    std::uint64_t numBlocks_ = 0;
+    std::uint32_t numReplicas_ = 1;
+    Bytes tileBytes_ = 0;
+    RecoveryServiceOptions opts_;
+
+    /** The service owns its fault state: the defect map copy, the
+     *  shared clean-route table and the mesh overlaying both. */
+    std::optional<DefectMap> defects_;
+    std::shared_ptr<const CleanRouteTable> cleanRoutes_;
+    /** unique_ptr: MeshNoc is not movable-assignable and must be
+     *  constructed after defects_/cleanRoutes_. */
+    std::unique_ptr<MeshNoc> noc_;
+
+    /** Replica-major, like WaferMapping: regions_[rep * numBlocks_ +
+     *  (block - firstBlock_)]. */
+    std::vector<Region> regions_;
+
+    /** Core index -> region slot, covering every weight and KV core
+     *  of every chain; maintained across recoveries and borrows
+     *  (dead cores are erased, borrowed cores re-homed). */
+    std::unordered_map<std::uint64_t, std::size_t> owner_;
+
+    /** Reused per-failure accumulator (clear() is O(touched), so one
+     *  instance serves a whole failure storm without reallocating
+     *  the per-link arrays). */
+    mutable TrafficAccumulator traffic_;
+
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t borrowCount_ = 0;
+};
+
+} // namespace ouro
+
+#endif // OURO_RUNTIME_RECOVERY_SERVICE_HH

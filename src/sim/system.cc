@@ -23,6 +23,26 @@ OuroborosSystem::build(const ModelConfig &model,
 
     // Blocks are split contiguously across wafers (pipeline order).
     const std::uint32_t wafers = std::max(1u, opts.numWafers);
+
+    // Replica count is decided ONCE, from the most constrained wafer
+    // (wafer 0: it takes the largest block share AND hosts the
+    // embedding reservation), so every wafer builds the same number
+    // of chains - a chain with blocks on one wafer but not its
+    // upstream neighbour would be unservable. Small models replicate
+    // data-parallel across the wafer: each replica needs its weight
+    // tiles, its own embedding reservation (chains are independent
+    // fault domains) and a healthy KV share (8x tiles keeps
+    // 13B-class models at one replica).
+    const std::uint64_t count0 = (model.numBlocks + wafers - 1) / wafers;
+    const std::uint64_t tiles0 =
+        static_cast<std::uint64_t>(coresPerBlock(model, params.core)) *
+        count0;
+    const std::uint64_t reserved0 =
+        embeddingCoreCount(model, params.core);
+    sys.replicas_ = static_cast<std::uint32_t>(std::clamp<
+            std::uint64_t>(
+            sys.geom_.numCores() / (8 * tiles0 + reserved0), 1, 64));
+
     std::uint64_t first = 0;
     for (std::uint32_t w = 0; w < wafers; ++w) {
         const std::uint64_t count =
@@ -43,16 +63,6 @@ OuroborosSystem::build(const ModelConfig &model,
         mopts.annealIterations = opts.annealIterations;
         mopts.annealRestarts = opts.annealRestarts;
         mopts.seed = opts.seed + w;
-        // Small models replicate data-parallel across the wafer:
-        // each replica needs its weight tiles plus a healthy KV
-        // share (8x tiles keeps 13B-class models at one replica).
-        const std::uint64_t tiles_total =
-            static_cast<std::uint64_t>(
-                    coresPerBlock(model, params.core)) * count;
-        const auto geom_cores = sys.geom_.numCores();
-        sys.replicas_ = static_cast<std::uint32_t>(std::clamp<
-                std::uint64_t>(geom_cores / (8 * tiles_total), 1,
-                               64));
         mopts.replicas = sys.replicas_;
         auto mapping = WaferMapping::build(
                 model, params.core, sys.geom_,
@@ -60,8 +70,10 @@ OuroborosSystem::build(const ModelConfig &model,
         if (!mapping)
             return std::nullopt;
         sys.wafers_.push_back(std::move(*mapping));
+        sys.defectMaps_.push_back(std::move(defects));
         first += count;
     }
+    sys.services_.slots.resize(sys.wafers_.size());
     ouroAssert(first == model.numBlocks,
                "OuroborosSystem: block split mismatch");
 
@@ -117,22 +129,65 @@ OuroborosSystem::build(const ModelConfig &model,
     }
 
     // Active cores for leakage: all mapped cores across wafers,
-    // every replica chain included (replicas are laid out for real,
-    // so their cores burn leakage too).
+    // accounted per replica chain (each chain's weights, KV and -
+    // under the replicated-embedding layout - its own embedding
+    // reservation burn leakage; a shared reservation is counted
+    // once).
     for (const auto &wafer : sys.wafers_) {
-        sys.activeCores_ += wafer.embeddingCores().size();
+        if (wafer.sharedEmbedding())
+            sys.activeCores_ += wafer.embeddingCores().size();
         for (std::uint32_t rep = 0; rep < wafer.numReplicas();
              ++rep) {
-            for (std::uint64_t b = wafer.firstBlock();
-                 b < wafer.firstBlock() + wafer.numBlocks(); ++b) {
-                const auto &p = wafer.placement(b, rep);
-                sys.activeCores_ += p.weightCores.size() +
-                                    p.scoreCores.size() +
-                                    p.contextCores.size();
-            }
+            sys.activeCores_ += wafer.chainActiveCores(rep);
         }
     }
     return sys;
+}
+
+const DefectMap *
+OuroborosSystem::defectMap(std::uint32_t wafer) const
+{
+    ouroAssert(wafer < defectMaps_.size(),
+               "defectMap: bad wafer index");
+    return defectMaps_[wafer] ? &*defectMaps_[wafer] : nullptr;
+}
+
+std::uint64_t
+OuroborosSystem::chainKvCores(std::uint32_t replica,
+                              std::uint32_t wafer) const
+{
+    return mapping(wafer).chainKvCores(replica);
+}
+
+RecoveryService
+OuroborosSystem::makeRecoveryService(
+        std::uint32_t wafer, const RecoveryServiceOptions &opts,
+        std::shared_ptr<const CleanRouteTable> clean_routes) const
+{
+    return RecoveryService(mapping(wafer), params_.noc,
+                           params_.core.sramBytes(),
+                           defectMap(wafer), opts,
+                           std::move(clean_routes));
+}
+
+RecoveryService &
+OuroborosSystem::recovery(std::uint32_t wafer)
+{
+    ouroAssert(wafer < services_.slots.size(),
+               "recovery: bad wafer index");
+    if (!services_.slots[wafer]) {
+        services_.slots[wafer] = std::make_unique<RecoveryService>(
+                mapping(wafer), params_.noc,
+                params_.core.sramBytes(), defectMap(wafer));
+    }
+    return *services_.slots[wafer];
+}
+
+std::optional<FailureOutcome>
+OuroborosSystem::handleCoreFailure(CoreCoord failed,
+                                   std::uint32_t wafer)
+{
+    return recovery(wafer).handleCoreFailure(failed);
 }
 
 const WaferMapping &

@@ -31,6 +31,7 @@
 #include "hw/yield.hh"
 #include "mapping/wafer_mapping.hh"
 #include "pipeline/engine.hh"
+#include "runtime/recovery_service.hh"
 #include "sim/stage_model.hh"
 #include "workload/requests.hh"
 
@@ -95,6 +96,42 @@ class OuroborosSystem
 
     std::uint64_t numDefects() const { return defects_; }
 
+    /** The defect map injected on wafer @p w (nullptr when defect
+     *  injection is off). Retained so the recovery service can own
+     *  the wafer's full fault state. */
+    const DefectMap *defectMap(std::uint32_t wafer = 0) const;
+
+    /** Active (leakage-burning) cores across wafers, every replica
+     *  chain's weights, KV and embedding reservation included. */
+    std::uint64_t activeCores() const { return activeCores_; }
+
+    /** Dedicated KV cores of one replica chain on wafer @p w - the
+     *  per-fault-domain capacity the recovery service draws on. */
+    std::uint64_t chainKvCores(std::uint32_t replica,
+                               std::uint32_t wafer = 0) const;
+
+    /**
+     * The wafer-level recovery service of wafer @p w, created
+     * lazily over the wafer's mapping and retained defect map. This
+     * is THE runtime failure entry point: core failures go through
+     * the service (per-chain RecoveryIndex routing, cross-block KV
+     * borrowing, inter-block re-pricing), not through ad-hoc
+     * per-placement calls.
+     */
+    RecoveryService &recovery(std::uint32_t wafer = 0);
+
+    /** Delegate a core failure to wafer @p w's recovery service. */
+    std::optional<FailureOutcome>
+    handleCoreFailure(CoreCoord failed, std::uint32_t wafer = 0);
+
+    /** Build a standalone service over wafer @p w (callers that
+     *  want their own options or a shared clean-route table). */
+    RecoveryService
+    makeRecoveryService(std::uint32_t wafer = 0,
+                        const RecoveryServiceOptions &opts = {},
+                        std::shared_ptr<const CleanRouteTable>
+                                clean_routes = nullptr) const;
+
     /** Data-parallel pipeline replicas sharing the wafer. */
     std::uint32_t replicas() const { return replicas_; }
 
@@ -123,6 +160,35 @@ class OuroborosSystem
     OuroborosOptions opts_;
     WaferGeometry geom_;
     std::vector<WaferMapping> wafers_;
+    /** Aligned with wafers_; disengaged when injection is off. */
+    std::vector<std::optional<DefectMap>> defectMaps_;
+    /**
+     * Lazily built recovery services, aligned with wafers_. A
+     * service is MUTABLE fault state, not a pure cache, so a copied
+     * system must never alias the original's services: copying this
+     * wrapper resets the slots (they rebuild lazily from the copied
+     * mapping + defect map on the next recovery() call).
+     */
+    struct ServiceCache
+    {
+        std::vector<std::unique_ptr<RecoveryService>> slots;
+
+        ServiceCache() = default;
+        ServiceCache(const ServiceCache &other)
+            : slots(other.slots.size())
+        {
+        }
+        ServiceCache &operator=(const ServiceCache &other)
+        {
+            const std::size_t n = other.slots.size();
+            slots.clear();
+            slots.resize(n);
+            return *this;
+        }
+        ServiceCache(ServiceCache &&) = default;
+        ServiceCache &operator=(ServiceCache &&) = default;
+    };
+    ServiceCache services_;
     StageTiming timing_;
     PlacementDistances dist_;
     std::uint64_t defects_ = 0;

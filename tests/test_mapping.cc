@@ -863,10 +863,13 @@ TEST(WaferMappingTest, ReplicasAreLaidOut)
     EXPECT_EQ(mapping->numReplicas(), 2u);
 
     // Every (block, replica) placement exists, holds the full tile
-    // set, and no core is used twice anywhere on the wafer.
+    // set, and no core is used twice anywhere on the wafer - the
+    // per-chain embedding reservations included.
     std::set<std::uint64_t> used;
-    for (const auto &c : mapping->embeddingCores())
-        EXPECT_TRUE(used.insert(geom.coreIndex(c)).second);
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        for (const auto &c : mapping->embeddingCores(rep))
+            EXPECT_TRUE(used.insert(geom.coreIndex(c)).second);
+    }
     for (std::uint32_t rep = 0; rep < 2; ++rep) {
         for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
             const auto &p = mapping->placement(b, rep);
@@ -881,14 +884,23 @@ TEST(WaferMappingTest, ReplicasAreLaidOut)
 
     // Regression pin for the core accounting: every region's
     // leftover cores (region size minus tiles) serve KV duty, across
-    // all blocks AND replicas.
+    // all blocks AND replicas. Each of the two chains reserves its
+    // own embedding region under the default replicated-embedding
+    // layout.
     const std::uint64_t reserved =
         embeddingCoreCount(model, CoreParams{});
     const std::uint64_t per_region = regionSize(
-            model.numBlocks * 2, geom.numCores(), reserved);
+            model.numBlocks * 2, geom.numCores(), 2 * reserved);
     EXPECT_EQ(mapping->totalKvCores(),
               model.numBlocks * 2 *
                       (per_region - mapping->tilesPerBlock()));
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        EXPECT_EQ(mapping->chainKvCores(rep),
+                  model.numBlocks *
+                          (per_region - mapping->tilesPerBlock()));
+        EXPECT_EQ(mapping->chainActiveCores(rep),
+                  reserved + model.numBlocks * per_region);
+    }
 
     // The two-arg accessor's replica 0 is the legacy placement()
     // view, and every replica carries a priced (positive-cost)
@@ -898,6 +910,163 @@ TEST(WaferMappingTest, ReplicasAreLaidOut)
                   mapping->placement(b).weightCores);
         EXPECT_GT(mapping->placement(b, 1).mappingCost, 0.0);
     }
+}
+
+TEST(WaferMappingTest, SharedEmbeddingReproducesLegacyLayout)
+{
+    // sharedEmbedding = true is the compatibility oracle: ONE
+    // reservation at the head of the usable-core order, regions
+    // packed right behind it - exactly the pre-refactor layout.
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.replicas = 2;
+    opts.sharedEmbedding = true;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_TRUE(mapping->sharedEmbedding());
+
+    const auto order = geom.sShapedOrder();
+    const std::uint64_t reserved =
+        embeddingCoreCount(model, CoreParams{});
+    const std::uint64_t per_region = regionSize(
+            model.numBlocks * 2, geom.numCores(), reserved);
+
+    // The single reservation is the order's prefix, and every
+    // replica reads the same one.
+    ASSERT_EQ(mapping->embeddingCores().size(), reserved);
+    for (std::uint64_t i = 0; i < reserved; ++i)
+        EXPECT_EQ(mapping->embeddingCores()[i], order[i]);
+    EXPECT_EQ(mapping->embeddingCores(0), mapping->embeddingCores(1));
+
+    // Region r * num_blocks + b occupies the legacy slice
+    // [reserved + region * per_region, ...): its weight + KV cores
+    // are exactly that slice's set.
+    for (std::uint32_t rep = 0; rep < 2; ++rep) {
+        for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+            const std::uint64_t region = rep * model.numBlocks + b;
+            const std::uint64_t lo = reserved + region * per_region;
+            std::set<std::uint64_t> expect;
+            for (std::uint64_t i = lo; i < lo + per_region; ++i)
+                expect.insert(geom.coreIndex(order[i]));
+            std::set<std::uint64_t> got;
+            const auto &p = mapping->placement(b, rep);
+            for (const auto *pool :
+                 {&p.weightCores, &p.scoreCores, &p.contextCores}) {
+                for (const auto &c : *pool)
+                    got.insert(geom.coreIndex(c));
+            }
+            EXPECT_EQ(got, expect) << "region " << region;
+        }
+    }
+}
+
+TEST(WaferMappingTest, PerChainEmbeddingMakesChainsDisjoint)
+{
+    // The default layout: every replica chain owns a disjoint
+    // embedding reservation of the full size, and no core of one
+    // chain (embedding included) appears in another.
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.replicas = 3;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_FALSE(mapping->sharedEmbedding());
+
+    const std::uint64_t reserved =
+        embeddingCoreCount(model, CoreParams{});
+    std::vector<std::set<std::uint64_t>> chains(3);
+    for (std::uint32_t rep = 0; rep < 3; ++rep) {
+        EXPECT_EQ(mapping->embeddingCores(rep).size(), reserved);
+        for (const auto &c : mapping->embeddingCores(rep))
+            EXPECT_TRUE(chains[rep].insert(geom.coreIndex(c)).second);
+        for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+            const auto &p = mapping->placement(b, rep);
+            for (const auto *pool :
+                 {&p.weightCores, &p.scoreCores, &p.contextCores}) {
+                for (const auto &c : *pool) {
+                    EXPECT_TRUE(
+                            chains[rep].insert(geom.coreIndex(c))
+                                    .second);
+                }
+            }
+        }
+        EXPECT_EQ(chains[rep].size(), mapping->chainActiveCores(rep));
+    }
+    for (std::uint32_t a = 0; a < 3; ++a) {
+        for (std::uint32_t b = a + 1; b < 3; ++b) {
+            std::vector<std::uint64_t> common;
+            std::set_intersection(chains[a].begin(), chains[a].end(),
+                                  chains[b].begin(), chains[b].end(),
+                                  std::back_inserter(common));
+            EXPECT_TRUE(common.empty())
+                << "chains " << a << " and " << b << " share cores";
+        }
+    }
+}
+
+TEST(WaferMappingTest, EmbeddingLayoutsIdenticalAtOneReplica)
+{
+    // With a single chain the shared and per-chain layouts are the
+    // same layout - bit-identical placements, reservations and
+    // costs.
+    const WaferGeometry geom;
+    const ModelConfig model = tinyModel();
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.sharedEmbedding = false;
+    const auto per_chain = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    opts.sharedEmbedding = true;
+    const auto shared = WaferMapping::build(
+            model, CoreParams{}, geom, nullptr, 0, model.numBlocks,
+            opts);
+    ASSERT_TRUE(per_chain && shared);
+    EXPECT_EQ(per_chain->embeddingCores(), shared->embeddingCores());
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+        const auto &p = per_chain->placement(b);
+        const auto &s = shared->placement(b);
+        EXPECT_EQ(p.weightCores, s.weightCores);
+        EXPECT_EQ(p.scoreCores, s.scoreCores);
+        EXPECT_EQ(p.contextCores, s.contextCores);
+        EXPECT_EQ(p.mappingCost, s.mappingCost);
+    }
+    EXPECT_EQ(per_chain->totalByteHops(), shared->totalByteHops());
+}
+
+TEST(Congruence, TranslateSharesFlowCsr)
+{
+    // The satellite contract: congruentTranslate shares block 0's
+    // immutable flow CSR (O(1) in flow size), it does not copy it.
+    const WaferGeometry geom;
+    const auto order = geom.sShapedOrder();
+    const MappingProblem fresh(
+            tinyModel(), CoreParams{}, geom,
+            std::vector<CoreCoord>(order.begin(), order.begin() + 96));
+    const MappingProblem translated = fresh.congruentTranslate(
+            std::vector<CoreCoord>(order.begin() + 96,
+                                   order.begin() + 192));
+    EXPECT_TRUE(translated.sharesFlowGraphWith(fresh));
+    // Chained translations keep sharing the original CSR.
+    const MappingProblem chained = translated.congruentTranslate(
+            std::vector<CoreCoord>(order.begin() + 192,
+                                   order.begin() + 288));
+    EXPECT_TRUE(chained.sharesFlowGraphWith(fresh));
+    // An independently built problem has its own CSR even though the
+    // contents are equal.
+    const MappingProblem other(
+            tinyModel(), CoreParams{}, geom,
+            std::vector<CoreCoord>(order.begin(), order.begin() + 96));
+    EXPECT_FALSE(other.sharesFlowGraphWith(fresh));
+    EXPECT_EQ(other.flowEdges(), fresh.flowEdges());
 }
 
 TEST(WaferMappingTest, RegionSizeArithmetic)

@@ -8,7 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hh"
 #include "hw/geometry.hh"
@@ -483,6 +487,63 @@ TEST(SharedRouteTable, DefectiveDestinationServedFromTable)
     ASSERT_EQ(path.size(), 5u);
     EXPECT_EQ(shared.routeCacheMisses(), 0u);
     EXPECT_GE(shared.sharedTableHits(), 1u);
+}
+
+TEST(SharedRouteTable, ConcurrentFillMatchesSerialFill)
+{
+    // N threads hammering one pair set must leave the table in the
+    // state a serial fill produces: identical routes for every pair,
+    // each pair computed exactly once (the lookup mutex serialises
+    // first computations), and no extra entries.
+    const WaferGeometry geom(2, 2, 8, 8);
+    std::vector<std::pair<CoreCoord, CoreCoord>> pairs;
+    Rng rng(404);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    while (pairs.size() < 200) {
+        const CoreCoord src{static_cast<std::uint32_t>(
+                                    rng.uniformInt(0, geom.rows() - 1)),
+                            static_cast<std::uint32_t>(rng.uniformInt(
+                                    0, geom.cols() - 1))};
+        const CoreCoord dst{static_cast<std::uint32_t>(
+                                    rng.uniformInt(0, geom.rows() - 1)),
+                            static_cast<std::uint32_t>(rng.uniformInt(
+                                    0, geom.cols() - 1))};
+        if (seen.insert({geom.coreIndex(src), geom.coreIndex(dst)})
+                    .second)
+            pairs.emplace_back(src, dst);
+    }
+
+    const CleanRouteTable serial(geom, NocParams{});
+    std::vector<std::vector<CoreCoord>> want;
+    for (const auto &[src, dst] : pairs)
+        want.push_back(serial.route(src, dst));
+
+    const CleanRouteTable concurrent(geom, NocParams{});
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&concurrent, &pairs, t] {
+            // Every thread walks the whole set from a different
+            // offset, maximising same-pair contention.
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+                const auto &[src, dst] =
+                    pairs[(i + t * 31) % pairs.size()];
+                const auto &path = concurrent.route(src, dst);
+                if (src != dst && path.empty())
+                    std::abort(); // clean mesh: always routable
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(concurrent.size(), pairs.size());
+    EXPECT_EQ(concurrent.computedRoutes(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        EXPECT_EQ(concurrent.route(pairs[i].first, pairs[i].second),
+                  want[i])
+            << "pair " << i;
+    }
 }
 
 TEST(HTree, SingleGroupIsFree)

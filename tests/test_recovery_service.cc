@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Wafer-level RecoveryService tests: bit-identity against the
+ * retained per-placement recoverCoreFailure oracle (whole failure
+ * sequences, across replicas and defect maps, index and scan modes),
+ * deterministic cross-block KV borrowing, replica-chain fault-domain
+ * isolation, inter-block flow re-pricing, and the OuroborosSystem
+ * delegation of the failure entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "hw/yield.hh"
+#include "mapping/remap.hh"
+#include "mapping/wafer_mapping.hh"
+#include "model/llm.hh"
+#include "noc/mesh.hh"
+#include "runtime/recovery_service.hh"
+#include "sim/system.hh"
+
+namespace ouro
+{
+namespace
+{
+
+ModelConfig
+tinyModel(std::uint64_t blocks = 2)
+{
+    ModelConfig cfg;
+    cfg.name = "tiny";
+    cfg.numBlocks = blocks;
+    cfg.hiddenDim = 1024;
+    cfg.numHeads = 8;
+    cfg.numKvHeads = 8;
+    cfg.headDim = 128;
+    cfg.ffnDim = 4096;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 1000;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 2048;
+    return cfg;
+}
+
+WaferMapping
+buildMapping(const WaferGeometry &geom, const ModelConfig &model,
+             std::uint32_t replicas, const DefectMap *defects)
+{
+    WaferMappingOptions opts;
+    opts.mapper = MapperKind::Greedy;
+    opts.replicas = replicas;
+    const auto mapping = WaferMapping::build(
+            model, CoreParams{}, geom, defects, 0, model.numBlocks,
+            opts);
+    EXPECT_TRUE(mapping.has_value());
+    return *mapping;
+}
+
+bool
+sameResult(const RemapResult &a, const RemapResult &b)
+{
+    return a.moves == b.moves &&
+           a.absorbedKvCore == b.absorbedKvCore &&
+           a.movedBytes == b.movedBytes &&
+           a.latencySeconds == b.latencySeconds &&
+           a.chainLength == b.chainLength;
+}
+
+/** Pick the @p pick-th alive core of @p p (bench-style schedule). */
+CoreCoord
+resolveFailure(const BlockPlacement &p, std::size_t pick)
+{
+    if (pick < p.weightCores.size())
+        return p.weightCores[pick];
+    pick -= p.weightCores.size();
+    if (pick < p.scoreCores.size())
+        return p.scoreCores[pick];
+    return p.contextCores[pick - p.scoreCores.size()];
+}
+
+std::size_t
+aliveCores(const BlockPlacement &p)
+{
+    return p.weightCores.size() + p.scoreCores.size() +
+           p.contextCores.size();
+}
+
+bool
+samePlacement(const BlockPlacement &a, const BlockPlacement &b)
+{
+    return a.weightCores == b.weightCores &&
+           a.scoreCores == b.scoreCores &&
+           a.contextCores == b.contextCores;
+}
+
+TEST(RecoveryService, MatchesPerPlacementOracleFuzz)
+{
+    // Whole failure sequences across replicas and defect maps: the
+    // service (index or scan mode, borrowing off so the oracle can
+    // express every outcome) must reproduce the retained
+    // per-placement recoverCoreFailure oracle bit for bit - results
+    // AND final placements.
+    const WaferGeometry geom(3, 3, 8, 8);
+    const ModelConfig model = tinyModel();
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    for (const std::uint64_t defect_seed : {0ull, 5ull}) {
+        std::optional<DefectMap> defects;
+        if (defect_seed != 0) {
+            Rng rng(defect_seed);
+            defects.emplace(geom, YieldParams{}, rng);
+        }
+        const DefectMap *dmap = defects ? &*defects : nullptr;
+        const WaferMapping mapping =
+            buildMapping(geom, model, 2, dmap);
+
+        for (const bool use_index : {true, false}) {
+            RecoveryServiceOptions sopts;
+            sopts.useSpatialIndex = use_index;
+            sopts.allowKvBorrow = false;
+            RecoveryService service(mapping, NocParams{}, tile_bytes,
+                                    dmap, sopts);
+
+            // Mirror oracle: raw per-placement recoveries on a cold
+            // mesh (shared-table serves are pinned bit-identical to
+            // cold routing, so pricing agrees too).
+            const MeshNoc cold(geom, NocParams{}, dmap);
+            std::vector<BlockPlacement> mirror;
+            for (std::uint32_t rep = 0; rep < 2; ++rep) {
+                for (std::uint64_t b = 0; b < model.numBlocks; ++b)
+                    mirror.push_back(mapping.placement(b, rep));
+            }
+
+            Rng rng(91 + defect_seed);
+            for (int k = 0; k < 150; ++k) {
+                const std::size_t r = static_cast<std::size_t>(
+                        rng.uniformInt(0, mirror.size() - 1));
+                const std::size_t alive = aliveCores(mirror[r]);
+                if (alive == 0)
+                    continue;
+                const CoreCoord failed = resolveFailure(
+                        mirror[r],
+                        static_cast<std::size_t>(
+                                rng.uniformInt(0, alive - 1)));
+                const auto got = service.handleCoreFailure(failed);
+                const auto want = recoverCoreFailure(
+                        mirror[r], failed, cold, tile_bytes);
+                ASSERT_EQ(got.has_value(), want.has_value())
+                    << "failure " << k;
+                if (!got)
+                    continue;
+                EXPECT_TRUE(sameResult(got->remap, *want))
+                    << "failure " << k;
+                EXPECT_TRUE(got->borrows.empty());
+                EXPECT_EQ(got->replica, r / model.numBlocks);
+                EXPECT_EQ(got->block, r % model.numBlocks);
+            }
+            for (std::uint32_t rep = 0; rep < 2; ++rep) {
+                for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+                    EXPECT_TRUE(samePlacement(
+                            service.placement(b, rep),
+                            mirror[rep * model.numBlocks + b]));
+                }
+            }
+            EXPECT_EQ(service.chainKvCores(0) +
+                              service.chainKvCores(1),
+                      [&] {
+                          std::uint64_t n = 0;
+                          for (const auto &p : mirror)
+                              n += p.scoreCores.size() +
+                                   p.contextCores.size();
+                          return n;
+                      }());
+        }
+    }
+}
+
+TEST(RecoveryService, IndexAndScanModesIdenticalWithBorrowing)
+{
+    // Once pools run dry the oracle cannot follow, but the index and
+    // scan service modes must still agree bit for bit - on outcomes,
+    // borrow records and final placements.
+    const WaferGeometry geom(2, 2, 6, 6);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+
+    RecoveryServiceOptions with_index;
+    RecoveryServiceOptions with_scan;
+    with_scan.useSpatialIndex = false;
+    RecoveryService a(mapping, NocParams{}, tile_bytes, nullptr,
+                      with_index);
+    RecoveryService b(mapping, NocParams{}, tile_bytes, nullptr,
+                      with_scan);
+
+    // Drive enough failures to drain pools and force borrows; the
+    // schedule is resolved against service a's state (b tracks it
+    // while identical, which is the assertion).
+    Rng rng(17);
+    std::uint64_t handled = 0;
+    for (int k = 0; k < 200; ++k) {
+        const std::uint64_t block = rng.uniformInt(0, 1);
+        const auto &p = a.placement(block);
+        const std::size_t alive = aliveCores(p);
+        if (alive == 0)
+            continue;
+        const CoreCoord failed = resolveFailure(
+                p, static_cast<std::size_t>(
+                           rng.uniformInt(0, alive - 1)));
+        const auto ra = a.handleCoreFailure(failed);
+        const auto rb = b.handleCoreFailure(failed);
+        ASSERT_EQ(ra.has_value(), rb.has_value()) << "failure " << k;
+        if (!ra)
+            continue;
+        ++handled;
+        EXPECT_TRUE(sameResult(ra->remap, rb->remap));
+        EXPECT_EQ(ra->borrows, rb->borrows);
+        EXPECT_EQ(ra->interBlockByteHops, rb->interBlockByteHops);
+    }
+    EXPECT_GT(handled, 0u);
+    EXPECT_GT(a.borrowCount(), 0u)
+        << "schedule never triggered a borrow - grow it";
+    EXPECT_EQ(a.borrowCount(), b.borrowCount());
+    EXPECT_EQ(a.recoveries(), b.recoveries());
+    for (std::uint64_t blk = 0; blk < model.numBlocks; ++blk)
+        EXPECT_TRUE(samePlacement(a.placement(blk), b.placement(blk)));
+}
+
+/** Drain every dedicated KV core of one block through the service. */
+void
+drainPool(RecoveryService &service, std::uint64_t block,
+          std::uint32_t replica = 0)
+{
+    const auto score = service.placement(block, replica).scoreCores;
+    const auto context =
+        service.placement(block, replica).contextCores;
+    for (const auto *pool : {&score, &context}) {
+        for (const CoreCoord c : *pool) {
+            const auto out = service.handleCoreFailure(c);
+            ASSERT_TRUE(out.has_value());
+            EXPECT_EQ(out->remap.chainLength, 1u); // KV drop
+        }
+    }
+    EXPECT_TRUE(service.placement(block, replica).scoreCores.empty());
+    EXPECT_TRUE(
+            service.placement(block, replica).contextCores.empty());
+}
+
+TEST(RecoveryService, BorrowFollowsNearestBlockOrder)
+{
+    // 4-block chain; dry block 2 must borrow from block 1 first
+    // (distance 1, lower block wins the tie), and once 1 and 3 are
+    // dry too, from block 0 (distance 2).
+    const WaferGeometry geom(3, 3, 8, 8);
+    const ModelConfig model = tinyModel(4);
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+
+    drainPool(service, 2);
+    const CoreCoord failed1 = service.placement(2).weightCores[0];
+    const auto out1 = service.handleCoreFailure(failed1);
+    ASSERT_TRUE(out1.has_value());
+    ASSERT_EQ(out1->borrows.size(), 1u);
+    EXPECT_EQ(out1->borrows[0].fromBlock, 1u);
+    EXPECT_EQ(out1->borrows[0].toBlock, 2u);
+    EXPECT_EQ(out1->block, 2u);
+    // The chain absorbed the lent core: the pool is dry again and
+    // the lent core now holds weights in block 2.
+    EXPECT_EQ(out1->remap.absorbedKvCore, out1->borrows[0].core);
+    const auto &weights = service.placement(2).weightCores;
+    EXPECT_NE(std::find(weights.begin(), weights.end(),
+                        out1->borrows[0].core),
+              weights.end());
+
+    drainPool(service, 1);
+    drainPool(service, 3);
+    const CoreCoord failed2 = service.placement(2).weightCores[1];
+    const auto out2 = service.handleCoreFailure(failed2);
+    ASSERT_TRUE(out2.has_value());
+    ASSERT_EQ(out2->borrows.size(), 1u);
+    EXPECT_EQ(out2->borrows[0].fromBlock, 0u);
+    EXPECT_EQ(service.borrowCount(), 2u);
+}
+
+TEST(RecoveryService, BorrowLendsDonorsNearestKvCore)
+{
+    // The donor lends its nearest KV core to the failure site, with
+    // the oracle scan's tie-break (score pool first, lower index
+    // first), and the core keeps its duty in the borrower's pool.
+    const WaferGeometry geom(2, 2, 6, 6);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+
+    drainPool(service, 0);
+    const BlockPlacement donor_before = service.placement(1);
+    const CoreCoord failed = service.placement(0).weightCores[0];
+
+    // Expected lent core: the oracle scan over the donor's pools.
+    CoreCoord expect_core;
+    bool expect_score = false;
+    std::uint32_t best = UINT32_MAX;
+    for (const auto *pool :
+         {&donor_before.scoreCores, &donor_before.contextCores}) {
+        for (const CoreCoord c : *pool) {
+            const auto d = geom.manhattan(failed, c);
+            if (d < best) {
+                best = d;
+                expect_core = c;
+                expect_score = pool == &donor_before.scoreCores;
+            }
+        }
+    }
+
+    const auto out = service.handleCoreFailure(failed);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->borrows.size(), 1u);
+    EXPECT_EQ(out->borrows[0].core, expect_core);
+    EXPECT_EQ(out->borrows[0].scoreDuty, expect_score);
+    // Donor lost exactly that core.
+    const auto &donor_after = service.placement(1);
+    EXPECT_EQ(aliveCores(donor_after) + 1, aliveCores(donor_before));
+    const auto &pool = expect_score ? donor_after.scoreCores
+                                    : donor_after.contextCores;
+    EXPECT_EQ(std::find(pool.begin(), pool.end(), expect_core),
+              pool.end());
+}
+
+TEST(RecoveryService, ChainsNeverLendAcrossReplicas)
+{
+    // Replica chains are independent fault domains: exhausting chain
+    // 0's whole KV capacity fails its next weight recovery even
+    // though chain 1 has plenty - and chain 1 is left untouched.
+    const WaferGeometry geom(3, 3, 8, 8);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 2, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+    ASSERT_EQ(service.numReplicas(), 2u);
+
+    std::vector<BlockPlacement> chain1_before;
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b)
+        chain1_before.push_back(service.placement(b, 1));
+    const std::uint64_t chain1_kv = service.chainKvCores(1);
+    ASSERT_GT(chain1_kv, 0u);
+
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b)
+        drainPool(service, b, 0);
+    EXPECT_EQ(service.chainKvCores(0), 0u);
+
+    const CoreCoord failed = service.placement(0, 0).weightCores[0];
+    EXPECT_FALSE(service.handleCoreFailure(failed).has_value());
+
+    EXPECT_EQ(service.chainKvCores(1), chain1_kv);
+    for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+        EXPECT_TRUE(samePlacement(service.placement(b, 1),
+                                  chain1_before[b]));
+    }
+}
+
+TEST(RecoveryService, BorrowDisabledFailsDry)
+{
+    const WaferGeometry geom(2, 2, 6, 6);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryServiceOptions sopts;
+    sopts.allowKvBorrow = false;
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr,
+                            sopts);
+    drainPool(service, 0);
+    const CoreCoord failed = service.placement(0).weightCores[0];
+    EXPECT_FALSE(service.handleCoreFailure(failed).has_value());
+    EXPECT_EQ(service.borrowCount(), 0u);
+}
+
+TEST(RecoveryService, BorrowedCoreServesLaterFailures)
+{
+    // Ownership follows the graft: a borrowed core that later fails
+    // is handled by the borrowing block (it holds one of its weight
+    // tiles by then), triggering the next borrow.
+    const WaferGeometry geom(2, 2, 6, 6);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+    drainPool(service, 0);
+    const auto out1 = service.handleCoreFailure(
+            service.placement(0).weightCores[0]);
+    ASSERT_TRUE(out1.has_value());
+    ASSERT_EQ(out1->borrows.size(), 1u);
+
+    const auto out2 =
+        service.handleCoreFailure(out1->borrows[0].core);
+    ASSERT_TRUE(out2.has_value());
+    EXPECT_EQ(out2->block, 0u);
+    ASSERT_EQ(out2->borrows.size(), 1u);
+    EXPECT_EQ(service.borrowCount(), 2u);
+}
+
+TEST(RecoveryService, DeadAndForeignCoresReturnNullopt)
+{
+    const WaferGeometry geom(2, 2, 6, 6);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+
+    // An embedding core is outside every recovery fault domain.
+    ASSERT_FALSE(mapping.embeddingCores().empty());
+    EXPECT_FALSE(service
+                         .handleCoreFailure(
+                                 mapping.embeddingCores().front())
+                         .has_value());
+
+    // A recovered (dead) core fails over to nullopt on re-failure.
+    const CoreCoord failed = service.placement(0).weightCores[3];
+    ASSERT_TRUE(service.handleCoreFailure(failed).has_value());
+    EXPECT_FALSE(service.handleCoreFailure(failed).has_value());
+}
+
+TEST(RecoveryService, RepricesAffectedInterBlockFlows)
+{
+    const WaferGeometry geom(3, 3, 8, 8);
+    const ModelConfig model = tinyModel();
+    const WaferMapping mapping =
+        buildMapping(geom, model, 1, nullptr);
+    RecoveryService service(mapping, NocParams{},
+                            CoreParams{}.sramBytes(), nullptr);
+
+    const auto out = service.handleCoreFailure(
+            service.placement(0).weightCores[0]);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->flowsRoutable);
+    EXPECT_GT(out->interBlockByteHops, 0.0);
+
+    // The outcome's figure is exactly the product flow definition
+    // re-accumulated over the post-recovery placements.
+    TrafficAccumulator traffic(service.noc());
+    ASSERT_TRUE(accumulateInterBlockFlows(
+            mapping.layerSpecs(), mapping.tilesPerBlock(),
+            service.placement(0).weightCores,
+            service.placement(1).weightCores, service.noc(),
+            traffic));
+    EXPECT_EQ(out->interBlockByteHops,
+              traffic.totalEffectiveByteHops());
+
+    const auto seconds = service.chainInterBlockSeconds(0);
+    ASSERT_TRUE(seconds.has_value());
+    EXPECT_GT(*seconds, 0.0);
+}
+
+TEST(RecoveryService, SystemDelegatesFailureEntryPoint)
+{
+    OuroborosOptions opts;
+    opts.smartMapping = false;
+    auto sys = OuroborosSystem::build(llama13b(), {}, opts);
+    ASSERT_TRUE(sys.has_value());
+
+    // Per-chain accounting is exposed at system level and consistent
+    // with the mapping's totals.
+    std::uint64_t chain_kv = 0;
+    for (std::uint32_t r = 0; r < sys->replicas(); ++r)
+        chain_kv += sys->chainKvCores(r);
+    EXPECT_EQ(chain_kv, sys->mapping().totalKvCores());
+
+    std::uint64_t active = 0;
+    if (sys->mapping().sharedEmbedding())
+        active += sys->mapping().embeddingCores().size();
+    for (std::uint32_t r = 0; r < sys->replicas(); ++r)
+        active += sys->mapping().chainActiveCores(r);
+    EXPECT_EQ(sys->activeCores(), active);
+
+    // The failure entry point goes through the lazily-built service.
+    const CoreCoord failed =
+        sys->mapping().placement(0).weightCores[0];
+    const auto out = sys->handleCoreFailure(failed);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->block, 0u);
+    EXPECT_EQ(out->replica, 0u);
+    EXPECT_EQ(sys->recovery().recoveries(), 1u);
+    // The service (and its defect/failed-link state) persists across
+    // calls: the same core is dead on re-failure.
+    EXPECT_FALSE(sys->handleCoreFailure(failed).has_value());
+}
+
+} // namespace
+} // namespace ouro
