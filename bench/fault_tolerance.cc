@@ -28,8 +28,12 @@
  * per-placement recoverCoreFailure oracle for the whole no-borrow
  * prefix, and the index-mode service is asserted bit-identical to
  * the scan-mode service across the ENTIRE storm, borrows included.
- * BENCH_fault_tolerance.json records storm recoveries/sec and the
- * borrow rate.
+ * The recorded schedule is then replayed through an eager-re-pricing
+ * service and a deferred one (dirty-edge set, one flushRepricing()
+ * at quiescence); recoveries and re-priced totals are asserted
+ * bit-identical on every run. BENCH_fault_tolerance.json records
+ * storm recoveries/sec, the borrow rate, reprice_edges_per_storm,
+ * deferred_reprice_speedup and route_meta_hit_rate.
  *
  * The RecoveryIndex is additionally benchmarked on a wafer-sized
  * region (also against its scan oracle, also bit-identical): a
@@ -340,6 +344,17 @@ struct StormResult
     std::uint64_t failures = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t borrows = 0;
+
+    /** Eager-vs-deferred re-pricing replay over the recorded
+     *  schedule (totals asserted bit-identical on every run). */
+    double eagerSeconds = 0.0;
+    double deferredSeconds = 0.0;
+    std::uint64_t eagerRepricedEdges = 0;
+    std::uint64_t deferredRepricedEdges = 0;
+    /** Pricing lookups that found an already-built RouteMeta on the
+     *  deferred replay's mesh (cache + shared-table serves over all
+     *  lookups). */
+    double routeMetaHitRate = 0.0;
 };
 
 /**
@@ -464,6 +479,65 @@ runStorm(const WaferGeometry &geom, std::size_t weight_failures)
                        "between index and scan modes");
         }
     }
+
+    // Re-pricing replay: the recorded schedule through an eager
+    // service (flush inside every failure - the retained oracle) and
+    // a deferred one (marks accumulate, one flush at quiescence).
+    // Recoveries must be bit-identical throughout, and the deferred
+    // flush must price its distinct dirty edges to the exact total
+    // the eager service computes over the same edge list.
+    RecoveryService eager(*mapping, NocParams{}, tile_bytes,
+                          nullptr);
+    RecoveryServiceOptions defer_opts;
+    defer_opts.deferRepricing = true;
+    RecoveryService deferred(*mapping, NocParams{}, tile_bytes,
+                             nullptr, defer_opts);
+
+    const WallTimer eager_timer;
+    std::vector<RemapResult> eager_remaps;
+    eager_remaps.reserve(schedule.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto got = eager.handleCoreFailure(schedule[i]);
+        ouroAssert(got.has_value(),
+                   "fault_tolerance: eager replay failed at ", i);
+        eager_remaps.push_back(got->remap);
+    }
+    out.eagerSeconds = eager_timer.seconds();
+    out.eagerRepricedEdges = eager.repricedEdges();
+
+    const WallTimer deferred_timer;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        const auto got = deferred.handleCoreFailure(schedule[i]);
+        ouroAssert(got.has_value() &&
+                           sameResult(got->remap, eager_remaps[i]) &&
+                           got->interBlockByteHops == 0.0,
+                   "fault_tolerance: deferred replay diverged at ",
+                   i);
+    }
+    const auto dirty = deferred.dirtyEdges();
+    const RepriceResult flush = deferred.flushRepricing();
+    out.deferredSeconds = deferred_timer.seconds();
+    out.deferredRepricedEdges = flush.edges;
+
+    const RepriceResult want = eager.priceEdges(dirty);
+    ouroAssert(flush.interBlockByteHops == want.interBlockByteHops &&
+                       flush.flowsRoutable == want.flowsRoutable &&
+                       flush.edges == dirty.size(),
+               "fault_tolerance: deferred flush diverged from the "
+               "eager re-pricing of the same dirty edges");
+    ouroAssert(out.deferredRepricedEdges < out.eagerRepricedEdges,
+               "fault_tolerance: storm deduplicated nothing - the "
+               "deferred path has no batching win to measure");
+
+    const MeshNoc &dnoc = deferred.noc();
+    const std::uint64_t served =
+        dnoc.routeCacheHits() + dnoc.sharedTableHits();
+    out.routeMetaHitRate =
+        served + dnoc.routeCacheMisses() > 0
+            ? static_cast<double>(served) /
+                  static_cast<double>(served +
+                                      dnoc.routeCacheMisses())
+            : 0.0;
     return out;
 }
 
@@ -583,6 +657,20 @@ main(int argc, char **argv)
                  "oracle until the first borrow,\n  index and scan "
                  "modes bit-identical across the whole storm.\n";
 
+    const double reprice_speedup =
+        storm.eagerSeconds / storm.deferredSeconds;
+    std::cout << "  re-pricing replay: eager "
+              << formatDouble(storm.eagerSeconds * 1e3, 1)
+              << " ms (" << storm.eagerRepricedEdges
+              << " edge visits) vs deferred "
+              << formatDouble(storm.deferredSeconds * 1e3, 1)
+              << " ms (" << storm.deferredRepricedEdges
+              << " distinct edges, one flush) - "
+              << formatDouble(reprice_speedup, 2)
+              << "x, totals bit-identical; route-meta hit rate "
+              << formatDouble(storm.routeMetaHitRate * 100.0, 1)
+              << "%.\n";
+
     BenchReport("fault_tolerance")
         .metric("wall_seconds", fast.seconds)
         .metric("events_per_sec", fast_rate)
@@ -606,6 +694,11 @@ main(int argc, char **argv)
         .metric("storm_borrows", storm.borrows)
         .metric("borrow_rate", borrow_rate)
         .metric("storm_recoveries_per_sec", storm_rate)
+        .metric("reprice_edges_per_storm",
+                storm.deferredRepricedEdges)
+        .metric("eager_reprice_edges", storm.eagerRepricedEdges)
+        .metric("deferred_reprice_speedup", reprice_speedup)
+        .metric("route_meta_hit_rate", storm.routeMetaHitRate)
         .write();
     return 0;
 }

@@ -2,6 +2,7 @@
  * @file
  * google-benchmark microbenchmarks of the simulator's hot kernels:
  * crossbar GEMV pricing, NoC routing (clean, faulted and cached),
+ * route pricing (RouteMeta summary vs the retained path walk),
  * traffic accumulation (flat per-link loads), the intra-core DP, KV
  * admission/growth, the MIQP objective / moveDelta / swapDelta on
  * both the sparse flow-graph engine and the dense reference, the
@@ -119,6 +120,40 @@ BM_TrafficAccumulateReused(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TrafficAccumulateReused);
+
+void
+BM_TransferCostPriced(benchmark::State &state)
+{
+    // Pricing a cached route: Arg(0) walks the path per call (the
+    // retained oracle), Arg(1) prices from the RouteMeta summary.
+    // Both are bit-identical (tests pin it); this measures the win.
+    const WaferGeometry geom;
+    MeshNoc noc(geom, NocParams{});
+    noc.setPriceFromMeta(state.range(0) != 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                noc.transferCost({0, 0}, {100, 100}, 4096));
+    }
+}
+BENCHMARK(BM_TransferCostPriced)->Arg(0)->Arg(1);
+
+void
+BM_AddFlowPriced(benchmark::State &state)
+{
+    // Steady-state accumulation with Arg(0) the per-hop path walk
+    // and Arg(1) the streamed precomputed slot list.
+    const WaferGeometry geom;
+    MeshNoc noc(geom, NocParams{});
+    noc.setPriceFromMeta(state.range(0) != 0);
+    TrafficAccumulator traffic(noc);
+    for (auto _ : state) {
+        traffic.clear();
+        for (std::uint32_t i = 0; i < 64; ++i)
+            traffic.addFlow({i, 0}, {i, 16}, 4096);
+        benchmark::DoNotOptimize(traffic.bottleneckSeconds());
+    }
+}
+BENCHMARK(BM_AddFlowPriced)->Arg(0)->Arg(1);
 
 void
 BM_DpLeafAssignment(benchmark::State &state)
@@ -357,6 +392,39 @@ BM_KvBorrow(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kBorrows);
 }
 BENCHMARK(BM_KvBorrow);
+
+void
+BM_StormDeferredReprice(benchmark::State &state)
+{
+    // A weight-core failure storm across both blocks: Arg(0)
+    // re-prices eagerly inside every failure (the retained oracle),
+    // Arg(1) defers the marks and prices each distinct dirty edge
+    // once at quiescence. Totals are bit-identical (tests and
+    // bench_fault_tolerance pin it); this measures the batching win.
+    const RecoveryFixture fix;
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    constexpr int kFailures = 16;
+    RecoveryServiceOptions opts;
+    opts.deferRepricing = state.range(0) != 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        RecoveryService service(*fix.mapping, NocParams{},
+                                tile_bytes, nullptr, opts);
+        const std::uint32_t tiles = fix.mapping->tilesPerBlock();
+        state.ResumeTiming();
+        for (int k = 0; k < kFailures; ++k) {
+            const std::uint64_t block =
+                static_cast<std::uint64_t>(k) % 2;
+            benchmark::DoNotOptimize(service.handleCoreFailure(
+                    service.placement(block).weightCores[
+                            static_cast<std::size_t>(k / 2) %
+                            tiles]));
+        }
+        benchmark::DoNotOptimize(service.flushRepricing());
+    }
+    state.SetItemsProcessed(state.iterations() * kFailures);
+}
+BENCHMARK(BM_StormDeferredReprice)->Arg(0)->Arg(1);
 
 } // namespace
 

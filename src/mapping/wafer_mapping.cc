@@ -133,10 +133,12 @@ accumulateInterBlockFlows(const std::vector<LayerSpec> &specs,
             for (std::uint32_t o2 = 0; o2 < first.outSplits; ++o2) {
                 const CoreCoord dst = nxt[o2 * first.inSplits + i];
                 // An endpoint fenced in by defects has no route; let
-                // the caller decide (addFlow would abort).
-                if (noc.routeCached(src, dst).empty())
+                // the caller decide (addFlow would abort). One cache
+                // lookup serves both the check and the accumulation.
+                const PricedRoute &route = noc.pricedRoute(src, dst);
+                if (route.path.empty())
                     return false;
-                traffic.addFlow(src, dst, bytes);
+                traffic.addFlow(route, bytes);
             }
         }
     }

@@ -8,6 +8,24 @@
 namespace ouro
 {
 
+namespace
+{
+
+/** Table entries carry RouteMeta priced with the table's NocParams;
+ *  a mesh may only share a table whose pricing parameters agree. */
+bool
+samePricingParams(const NocParams &a, const NocParams &b)
+{
+    return a.linkBitsPerCycle == b.linkBitsPerCycle &&
+           a.clockHz == b.clockHz &&
+           a.routerLatency == b.routerLatency &&
+           a.hopEnergyPerBit == b.hopEnergyPerBit &&
+           a.interDiePenalty == b.interDiePenalty &&
+           a.dieCrossingEnergyPerBit == b.dieCrossingEnergyPerBit;
+}
+
+} // namespace
+
 MeshNoc::MeshNoc(const WaferGeometry &geom, const NocParams &params,
                  const DefectMap *defects,
                  std::shared_ptr<const CleanRouteTable> clean_routes)
@@ -21,6 +39,9 @@ MeshNoc::MeshNoc(const WaferGeometry &geom, const NocParams &params,
                    "MeshNoc: shared route table built for a ",
                    tg.rows(), "x", tg.cols(),
                    " mesh, not this geometry");
+        ouroAssert(samePricingParams(cleanRoutes_->params(), params_),
+                   "MeshNoc: shared route table priced with "
+                   "different NocParams than this mesh");
     }
 }
 
@@ -191,8 +212,45 @@ MeshNoc::cleanRouteValid(const std::vector<CoreCoord> &path) const
     return true;
 }
 
-const std::vector<CoreCoord> &
-MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
+RouteMeta
+MeshNoc::buildMeta(const std::vector<CoreCoord> &path) const
+{
+    // NOTE: every expression here must stay identical to the walk
+    // code (transferCost / addFlow oracle paths) - the summaries are
+    // the walks' results cached, and the bit-identity contract
+    // depends on computing them with the same arithmetic.
+    RouteMeta meta;
+    if (path.size() < 2)
+        return meta; // self-route or unroutable: nothing to price
+    meta.hops = static_cast<std::uint32_t>(path.size() - 1);
+    meta.slots.reserve(path.size() - 1);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const CoreCoord from = path[i - 1];
+        const CoreCoord to = path[i];
+        const bool crossing = !geom_.sameDie(from, to);
+        if (crossing)
+            ++meta.dieCrossings;
+        const std::uint64_t slot =
+            geom_.coreIndex(from) * 4 +
+            static_cast<unsigned>(stepDir(from, to));
+        meta.slots.push_back(slot << 1 |
+                             static_cast<std::uint64_t>(crossing));
+    }
+    meta.headSeconds = static_cast<double>(meta.hops) *
+            static_cast<double>(params_.routerLatency) /
+            params_.clockHz;
+    const double slowest_factor =
+        meta.dieCrossings > 0 ? params_.interDiePenalty : 1.0;
+    meta.serialBitsPerSecond =
+        params_.linkBitsPerCycle * params_.clockHz / slowest_factor;
+    meta.energyPerBit =
+        params_.hopEnergyPerBit * meta.hops +
+        params_.dieCrossingEnergyPerBit * meta.dieCrossings;
+    return meta;
+}
+
+const PricedRoute &
+MeshNoc::pricedRoute(CoreCoord src, CoreCoord dst) const
 {
     const std::uint64_t key =
         geom_.coreIndex(src) * geom_.numCores() + geom_.coreIndex(dst);
@@ -210,18 +268,27 @@ MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
         // A clean XY route that survives this mesh's defects and
         // failed links is exactly what the cold router would compute
         // (dimension-ordered steps, none blocked), so serving it is
-        // bit-identical to routing from scratch. The table entry is
-        // immutable and address-stable, so the pointer memo is safe.
-        const auto &clean = cleanRoutes_->route(src, dst);
-        if (cleanRouteValid(clean)) {
+        // bit-identical to routing from scratch. The table entry
+        // (route AND metadata) is immutable and address-stable, so
+        // the pointer memo is safe.
+        const PricedRoute &clean = cleanRoutes_->priced(src, dst);
+        if (cleanRouteValid(clean.path)) {
             sharedOk_.emplace(key, &clean);
             ++sharedHits_;
             return clean;
         }
     }
     ++cacheMisses_;
-    return routeCache_.emplace(key, routeUncached(src, dst))
-        .first->second;
+    PricedRoute fresh;
+    fresh.path = routeUncached(src, dst);
+    fresh.meta = buildMeta(fresh.path);
+    return routeCache_.emplace(key, std::move(fresh)).first->second;
+}
+
+const std::vector<CoreCoord> &
+MeshNoc::routeCached(CoreCoord src, CoreCoord dst) const
+{
+    return pricedRoute(src, dst).path;
 }
 
 CleanRouteTable::CleanRouteTable(const WaferGeometry &geom,
@@ -230,15 +297,21 @@ CleanRouteTable::CleanRouteTable(const WaferGeometry &geom,
 {
 }
 
-const std::vector<CoreCoord> &
-CleanRouteTable::route(CoreCoord src, CoreCoord dst) const
+const PricedRoute &
+CleanRouteTable::priced(CoreCoord src, CoreCoord dst) const
 {
     // The returned reference outlives the lock: entries are never
     // erased or overwritten (this class exposes no mutation and the
     // backing map is node-based), so only the lookup/insert races
     // need the mutex.
     std::lock_guard<std::mutex> lock(mutex_);
-    return clean_.routeCached(src, dst);
+    return clean_.pricedRoute(src, dst);
+}
+
+const std::vector<CoreCoord> &
+CleanRouteTable::route(CoreCoord src, CoreCoord dst) const
+{
+    return priced(src, dst).path;
 }
 
 std::size_t
@@ -270,10 +343,28 @@ MeshNoc::transferCost(CoreCoord src, CoreCoord dst, Bytes bytes) const
     TransferCost cost;
     if (src == dst)
         return cost;
-    const auto &path = routeCached(src, dst);
+    const PricedRoute &route = pricedRoute(src, dst);
+    const auto &path = route.path;
     ouroAssert(!path.empty(), "transferCost: unroutable (",
                src.row, ",", src.col, ") -> (", dst.row, ",", dst.col,
                ")");
+    if (priceFromMeta_) {
+        // Fast path: the summary already holds the walk's hop/
+        // crossing counts and pricing coefficients - a handful of
+        // multiplies, no O(hops) walk. Bit-identical to the oracle
+        // below because buildMeta() uses the identical expressions.
+        ++metaPriced_;
+        const RouteMeta &meta = route.meta;
+        cost.hops = meta.hops;
+        cost.dieCrossings = meta.dieCrossings;
+        const double bits = static_cast<double>(bytes) * 8.0;
+        cost.seconds = meta.headSeconds +
+                       bits / meta.serialBitsPerSecond;
+        cost.energyJ = bits * meta.energyPerBit;
+        return cost;
+    }
+    // Retained walk oracle (setPriceFromMeta(false)).
+    ++walkPriced_;
     cost.hops = static_cast<std::uint32_t>(path.size() - 1);
     for (std::size_t i = 1; i < path.size(); ++i) {
         if (!geom_.sameDie(path[i - 1], path[i]))
@@ -298,6 +389,25 @@ MeshNoc::transferCost(CoreCoord src, CoreCoord dst, Bytes bytes) const
 }
 
 double
+MeshNoc::transferSeconds(CoreCoord src, CoreCoord dst,
+                         Bytes bytes) const
+{
+    if (src == dst)
+        return 0.0;
+    if (priceFromMeta_) {
+        const PricedRoute &route = pricedRoute(src, dst);
+        ouroAssert(!route.path.empty(), "transferSeconds: unroutable (",
+                   src.row, ",", src.col, ") -> (", dst.row, ",",
+                   dst.col, ")");
+        ++metaPriced_;
+        return route.meta.headSeconds +
+               static_cast<double>(bytes) * 8.0 /
+                       route.meta.serialBitsPerSecond;
+    }
+    return transferCost(src, dst, bytes).seconds;
+}
+
+double
 MeshNoc::transferEnergy(CoreCoord src, CoreCoord dst, Bytes bytes) const
 {
     return transferCost(src, dst, bytes).energyJ;
@@ -313,11 +423,45 @@ TrafficAccumulator::addFlow(CoreCoord src, CoreCoord dst, Bytes bytes)
 {
     if (src == dst || bytes == 0)
         return;
-    const auto &path = noc_.routeCached(src, dst);
-    ouroAssert(!path.empty(), "addFlow: unroutable flow");
-    const auto &geom = noc_.geometry();
+    addFlow(noc_.pricedRoute(src, dst), bytes);
+}
+
+void
+TrafficAccumulator::addFlow(const PricedRoute &route, Bytes bytes)
+{
+    if (bytes == 0 || route.path.size() == 1)
+        return; // self-flow: nothing traverses a link
+    ouroAssert(!route.path.empty(), "addFlow: unroutable flow");
     const auto &params = noc_.params();
     const double b = static_cast<double>(bytes);
+    if (noc_.priceFromMeta_) {
+        // Fast path: stream the precomputed (slot, crossing) list -
+        // no sameDie/coreIndex/stepDir per hop. The per-slot
+        // arithmetic below is the walk's, op for op, so every
+        // accumulated double is bit-identical to the oracle.
+        ++noc_.metaPriced_;
+        for (const std::uint64_t packed : route.meta.slots) {
+            const bool crossing = (packed & 1) != 0;
+            const double effective =
+                b * (crossing ? params.interDiePenalty : 1.0);
+            double &bucket = linkBytes_[packed >> 1];
+            if (bucket == 0.0)
+                touched_.push_back(packed >> 1);
+            bucket += effective;
+            effectiveByteHops_ += effective;
+            maxLinkBytes_ = std::max(maxLinkBytes_, bucket);
+            energyJ_ += b * 8.0 *
+                    (params.hopEnergyPerBit +
+                     (crossing ? params.dieCrossingEnergyPerBit
+                               : 0.0));
+            byteHops_ += b;
+        }
+        return;
+    }
+    // Retained walk oracle (setPriceFromMeta(false)).
+    ++noc_.walkPriced_;
+    const auto &path = route.path;
+    const auto &geom = noc_.geometry();
     for (std::size_t i = 1; i < path.size(); ++i) {
         const CoreCoord from = path[i - 1];
         const CoreCoord to = path[i];

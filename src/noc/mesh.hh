@@ -73,6 +73,50 @@ struct TransferCost
     std::uint32_t dieCrossings = 0;
 };
 
+/**
+ * Immutable per-route pricing summary, computed ONCE when a route is
+ * first cached. Route consumers used to walk O(hops) on every call
+ * (re-deriving hop count, die crossings and link slots from the
+ * path); pricing from this record is a handful of multiplies instead.
+ *
+ * Every coefficient is computed with the exact arithmetic expression
+ * the walk-based pricing uses, so metadata-priced results are
+ * BIT-IDENTICAL to walking the path - that is the contract the tests
+ * pin, and it only holds if the expressions below never drift from
+ * the walk code in mesh.cc.
+ */
+struct RouteMeta
+{
+    std::uint32_t hops = 0;
+    std::uint32_t dieCrossings = 0;
+
+    /** hops * routerLatency / clockHz (the per-transfer head
+     *  latency; byte-count independent). */
+    double headSeconds = 0.0;
+
+    /** linkBitsPerCycle * clockHz / slowest_factor: the payload
+     *  serialisation denominator (slowest traversed link). */
+    double serialBitsPerSecond = 0.0;
+
+    /** hopEnergyPerBit * hops + dieCrossingEnergyPerBit *
+     *  dieCrossings: energy per transferred bit. */
+    double energyPerBit = 0.0;
+
+    /** Per-hop TrafficAccumulator slots in path order, packed as
+     *  (core index * 4 + direction) << 1 | die-crossing flag - the
+     *  flat list addFlow() streams instead of re-walking the path. */
+    std::vector<std::uint64_t> slots;
+};
+
+/** A memoized route and its pricing summary. The two live and die
+ *  together: every cache fill builds both, every invalidation drops
+ *  both (the metadata immutability rule). */
+struct PricedRoute
+{
+    std::vector<CoreCoord> path;
+    RouteMeta meta;
+};
+
 class CleanRouteTable;
 
 /**
@@ -82,9 +126,11 @@ class CleanRouteTable;
  *
  * Routes are memoised per (src, dst) pair: transferCost() and
  * TrafficAccumulator::addFlow() re-request the same routes millions
- * of times, so the first computation is cached and failLink() (or an
- * explicit invalidateRoutes() after mutating the external DefectMap)
- * flushes the cache. The cache mutates under const, so a MeshNoc
+ * of times, so the first computation is cached - together with an
+ * immutable RouteMeta pricing summary, so repeat pricing never
+ * re-walks the path - and failLink() (or an explicit
+ * invalidateRoutes() after mutating the external DefectMap) flushes
+ * the cache (route and summary together, always). The cache mutates under const, so a MeshNoc
  * instance must not be shared across threads without external
  * synchronisation (per-index sweep state, the PR 1 parallel
  * contract, already guarantees this everywhere in-tree).
@@ -133,6 +179,27 @@ class MeshNoc
                                               CoreCoord dst) const;
 
     /**
+     * The cached route together with its RouteMeta pricing summary
+     * (same memoization and stability rules as routeCached()). Route
+     * consumers price from the summary instead of re-walking the
+     * path.
+     */
+    const PricedRoute &pricedRoute(CoreCoord src, CoreCoord dst) const;
+
+    /**
+     * false retires the metadata fast path: transferCost() and
+     * TrafficAccumulator::addFlow() walk the path per call (the
+     * retained bit-identity oracle). Default true.
+     */
+    void setPriceFromMeta(bool enabled) { priceFromMeta_ = enabled; }
+    bool priceFromMeta() const { return priceFromMeta_; }
+
+    /** Pricing calls served from a RouteMeta summary / from the
+     *  retained path walk (transferCost + addFlow). */
+    std::uint64_t metaPricedCalls() const { return metaPriced_; }
+    std::uint64_t walkPricedCalls() const { return walkPriced_; }
+
+    /**
      * Drop all cached routes. failLink() calls this automatically;
      * call it manually after mutating the DefectMap the mesh was
      * constructed with (e.g. DefectMap::inject during fault
@@ -163,6 +230,12 @@ class MeshNoc
     TransferCost transferCost(CoreCoord src, CoreCoord dst,
                               Bytes bytes) const;
 
+    /** Latency only - the lean fast-path accessor for consumers that
+     *  discard the energy figure (e.g. replacement-chain pricing).
+     *  Bit-identical to transferCost().seconds on both paths. */
+    double transferSeconds(CoreCoord src, CoreCoord dst,
+                           Bytes bytes) const;
+
     /** Energy only (used when latency is hidden by pipelining). */
     double transferEnergy(CoreCoord src, CoreCoord dst,
                           Bytes bytes) const;
@@ -177,24 +250,33 @@ class MeshNoc
     std::unordered_set<LinkId, LinkIdHash> failedLinks_;
     std::shared_ptr<const CleanRouteTable> cleanRoutes_;
 
-    /** (src index * numCores + dst index) -> path. Mutable: filled
-     *  lazily from const routing calls. Holds only the pairs the
-     *  shared table cannot serve (all pairs when cold). */
-    mutable std::unordered_map<std::uint64_t, std::vector<CoreCoord>>
+    /** (src index * numCores + dst index) -> route + pricing
+     *  summary. Mutable: filled lazily from const routing calls.
+     *  Holds only the pairs the shared table cannot serve (all pairs
+     *  when cold). */
+    mutable std::unordered_map<std::uint64_t, PricedRoute>
             routeCache_;
     /** Pairs whose shared clean route has been validated against
      *  this mesh's defects/failed links, mapped to the table's
      *  (immutable, stable) entry so repeat lookups skip the table
      *  mutex and the O(path) re-check. Flushed with the overlay. */
-    mutable std::unordered_map<std::uint64_t,
-                               const std::vector<CoreCoord> *>
+    mutable std::unordered_map<std::uint64_t, const PricedRoute *>
             sharedOk_;
     mutable std::uint64_t cacheHits_ = 0;
     mutable std::uint64_t cacheMisses_ = 0;
     mutable std::uint64_t sharedHits_ = 0;
 
+    bool priceFromMeta_ = true;
+    mutable std::uint64_t metaPriced_ = 0;
+    mutable std::uint64_t walkPriced_ = 0;
+    friend class TrafficAccumulator; // bumps the pricing counters
+
     bool blocked(CoreCoord c) const;
     bool stepAllowed(CoreCoord from, CoreCoord to) const;
+
+    /** Build the pricing summary of @p path (mesh.cc keeps its
+     *  arithmetic expression-identical to the retained walks). */
+    RouteMeta buildMeta(const std::vector<CoreCoord> &path) const;
 
     /** True when a clean-geometry route survives this mesh's defect
      *  map and failed links (intermediate hops only; the destination
@@ -244,6 +326,15 @@ class CleanRouteTable
     const std::vector<CoreCoord> &route(CoreCoord src,
                                         CoreCoord dst) const;
 
+    /** The clean route plus its RouteMeta summary. Entries carry the
+     *  summary from first computation, so a mesh serving a table
+     *  route also reuses the table's metadata (the summary is priced
+     *  with this table's NocParams - the MeshNoc constructor asserts
+     *  pricing-parameter agreement). */
+    const PricedRoute &priced(CoreCoord src, CoreCoord dst) const;
+
+    const NocParams &params() const { return clean_.params(); }
+
     /** Distinct (src, dst) pairs resident. */
     std::size_t size() const;
 
@@ -281,6 +372,10 @@ class TrafficAccumulator
 
     /** Add a flow of @p bytes from @p src to @p dst. */
     void addFlow(CoreCoord src, CoreCoord dst, Bytes bytes);
+
+    /** Same, over an already-looked-up route record (callers that
+     *  must first check routability keep a single cache lookup). */
+    void addFlow(const PricedRoute &route, Bytes bytes);
 
     /** Bytes on the most-loaded link. */
     double bottleneckBytes() const { return maxLinkBytes_; }

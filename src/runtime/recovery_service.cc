@@ -178,35 +178,76 @@ RecoveryService::borrowKvCore(Region &dry, CoreCoord near,
 }
 
 bool
-RecoveryService::accumulateChainFlows(
-        std::uint32_t replica,
-        std::optional<std::uint64_t> block) const
+RecoveryService::priceEdge(std::uint32_t replica,
+                           std::uint64_t from_block) const
 {
-    const auto edge = [&](std::uint64_t b) {
-        // Flow b -> b + 1 of this chain.
-        const auto &cur =
-            regions_[replica * numBlocks_ + (b - firstBlock_)]
-                    .placement.weightCores;
-        const auto &nxt =
-            regions_[replica * numBlocks_ + (b + 1 - firstBlock_)]
-                    .placement.weightCores;
-        return accumulateInterBlockFlows(specs_, tilesPerBlock_, cur,
-                                         nxt, *noc_, traffic_);
-    };
-    if (!block) {
-        for (std::uint64_t b = firstBlock_;
-             b + 1 < firstBlock_ + numBlocks_; ++b) {
-            if (!edge(b))
-                return false;
-        }
-        return true;
+    // Flow from_block -> from_block + 1 of this chain.
+    const auto &cur =
+        regions_[replica * numBlocks_ + (from_block - firstBlock_)]
+                .placement.weightCores;
+    const auto &nxt = regions_[replica * numBlocks_ +
+                               (from_block + 1 - firstBlock_)]
+                              .placement.weightCores;
+    return accumulateInterBlockFlows(specs_, tilesPerBlock_, cur,
+                                     nxt, *noc_, traffic_);
+}
+
+bool
+RecoveryService::accumulateChainFlows(std::uint32_t replica) const
+{
+    for (std::uint64_t b = firstBlock_;
+         b + 1 < firstBlock_ + numBlocks_; ++b) {
+        if (!priceEdge(replica, b))
+            return false;
     }
-    bool ok = true;
-    if (*block > firstBlock_)
-        ok = edge(*block - 1) && ok;
-    if (*block + 1 < firstBlock_ + numBlocks_)
-        ok = edge(*block) && ok;
-    return ok;
+    return true;
+}
+
+void
+RecoveryService::markDirtyEdges(std::uint32_t replica,
+                                std::uint64_t block)
+{
+    if (block > firstBlock_)
+        dirty_.emplace(replica, block - 1);
+    if (block + 1 < firstBlock_ + numBlocks_)
+        dirty_.emplace(replica, block);
+}
+
+RepriceResult
+RecoveryService::priceEdges(
+        const std::vector<InterBlockEdge> &edges) const
+{
+    RepriceResult out;
+    out.edges = edges.size();
+    // One continuous accumulation over all edges - the same
+    // association the eager per-failure path uses, so deferred and
+    // eager totals are bit-identical over the same edge list.
+    traffic_.clear();
+    for (const auto &[replica, from_block] : edges)
+        out.flowsRoutable =
+            priceEdge(replica, from_block) && out.flowsRoutable;
+    out.interBlockByteHops = traffic_.totalEffectiveByteHops();
+    return out;
+}
+
+RepriceResult
+RecoveryService::flushRepricing()
+{
+    // std::set iterates ascending, so the edge order is the one the
+    // eager path uses within a single failure (predecessor edge
+    // first) extended deterministically across the storm.
+    const std::vector<InterBlockEdge> edges(dirty_.begin(),
+                                            dirty_.end());
+    dirty_.clear();
+    const RepriceResult out = priceEdges(edges);
+    repricedEdges_ += out.edges;
+    return out;
+}
+
+std::vector<InterBlockEdge>
+RecoveryService::dirtyEdges() const
+{
+    return {dirty_.begin(), dirty_.end()};
 }
 
 std::optional<FailureOutcome>
@@ -242,17 +283,21 @@ RecoveryService::handleCoreFailure(CoreCoord failed)
     owner_.erase(key); // the failed core is dead
     ++recoveries_;
 
-    // Re-price the inter-block activation flows this region feeds
-    // (its predecessor's flow in, its own flow out) over the cached
-    // mesh - but only when weight tiles actually moved. A KV drop
-    // (no moves) leaves every flow endpoint in place, and failure
-    // storms are dominated by KV drops, so skipping the unchanged
-    // re-pricing is the storm hot path.
+    // Mark the inter-block activation flows this region feeds (its
+    // predecessor's flow in, its own flow out) dirty - but only when
+    // weight tiles actually moved. A KV drop (no moves) leaves every
+    // flow endpoint in place, and failure storms are dominated by KV
+    // drops, so skipping the unchanged re-pricing is the storm hot
+    // path. Eager mode flushes immediately (bit-identical to the
+    // historical per-failure re-pricing); deferred mode leaves the
+    // marks for one flushRepricing() at storm quiescence.
     if (!out.remap.moves.empty()) {
-        traffic_.clear();
-        out.flowsRoutable =
-            accumulateChainFlows(reg.replica, reg.block);
-        out.interBlockByteHops = traffic_.totalEffectiveByteHops();
+        markDirtyEdges(reg.replica, reg.block);
+        if (!opts_.deferRepricing) {
+            const RepriceResult r = flushRepricing();
+            out.flowsRoutable = r.flowsRoutable;
+            out.interBlockByteHops = r.interBlockByteHops;
+        }
     }
     return out;
 }
@@ -270,7 +315,7 @@ RecoveryService::chainInterBlockSeconds(std::uint32_t replica) const
                "chainInterBlockSeconds: replica ", replica, " of ",
                numReplicas_, " not on this wafer");
     traffic_.clear();
-    if (!accumulateChainFlows(replica, std::nullopt))
+    if (!accumulateChainFlows(replica))
         return std::nullopt;
     return traffic_.bottleneckSeconds();
 }

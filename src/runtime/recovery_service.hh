@@ -21,8 +21,14 @@
  *
  * handleCoreFailure(core) is the single entry point: it routes the
  * failure to the owning region's index, runs the replacement-chain
- * recovery there, and re-prices the affected inter-block activation
- * flows of that chain through the cached mesh. When a weight-core
+ * recovery there, and marks the affected inter-block activation
+ * flows of that chain dirty. By default the dirty set is flushed
+ * (re-priced through the cached mesh) inside the same call - bit-
+ * identical to the historical eager behaviour. With
+ * RecoveryServiceOptions::deferRepricing the marks accumulate across
+ * a whole failure storm and flushRepricing() prices each distinct
+ * edge exactly once at quiescence, cutting storm re-pricing from
+ * O(failures x adjacent edges) to O(distinct dirty edges). When a weight-core
  * failure finds the block's KV pool dry, the service borrows a KV
  * core from an adjacent block of the SAME replica chain before
  * retrying - chains never lend across replicas, preserving the
@@ -52,7 +58,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hw/geometry.hh"
@@ -76,6 +84,33 @@ struct RecoveryServiceOptions
      *  failure in a block whose KV pool is dry fails (nullopt)
      *  instead of borrowing from adjacent blocks. */
     bool allowKvBorrow = true;
+
+    /** true batches inter-block re-pricing across a failure storm:
+     *  handleCoreFailure only marks the affected edges dirty (its
+     *  outcome reports interBlockByteHops = 0) and flushRepricing()
+     *  prices each distinct dirty edge exactly once at quiescence.
+     *  false (the eager oracle) flushes inside every failure -
+     *  bit-identical to the pre-dirty-set behaviour. */
+    bool deferRepricing = false;
+};
+
+/** One inter-block activation flow, named by its tail: edge
+ *  {replica, b} is chain replica's flow block b -> b + 1. */
+using InterBlockEdge = std::pair<std::uint32_t, std::uint64_t>;
+
+/** What one flushRepricing() (or priceEdges()) run priced. */
+struct RepriceResult
+{
+    /** Effective byte-hops over all edges priced in this run (one
+     *  continuous accumulation, same association as the eager
+     *  per-failure path). */
+    double interBlockByteHops = 0.0;
+
+    /** Distinct edges priced. */
+    std::uint64_t edges = 0;
+
+    /** False when any priced flow became unroutable. */
+    bool flowsRoutable = true;
 };
 
 /** One KV core lent across blocks of a replica chain. */
@@ -106,11 +141,15 @@ struct FailureOutcome
      *  mesh after the recovery (effective byte-hops, die crossings
      *  weighted by the inter-die penalty). 0 when no weight tile
      *  moved (a KV drop leaves every flow endpoint in place, so
-     *  nothing is re-priced) and for single-block chains. */
+     *  nothing is re-priced) and for single-block chains. Under
+     *  deferRepricing this stays 0 - the pricing happens at the
+     *  next flushRepricing() instead. */
     double interBlockByteHops = 0.0;
 
     /** False when a re-priced flow became unroutable (an endpoint
-     *  fenced in) - the chain needs remapping, not recovery. */
+     *  fenced in) - the chain needs remapping, not recovery. Always
+     *  true under deferRepricing (routability is reported by
+     *  flushRepricing()). */
     bool flowsRoutable = true;
 };
 
@@ -173,6 +212,30 @@ class RecoveryService
     std::optional<double>
     chainInterBlockSeconds(std::uint32_t replica) const;
 
+    /**
+     * Price every currently-dirty inter-block edge exactly once (in
+     * ascending (replica, block) order - the same order the eager
+     * path visits a single failure's edges) and clear the dirty
+     * set. Called internally per failure unless deferRepricing; call
+     * it at storm quiescence otherwise. No-op result when the dirty
+     * set is empty.
+     */
+    RepriceResult flushRepricing();
+
+    /** Price exactly @p edges (in the given order) over the current
+     *  placements and fault state, without touching the dirty set.
+     *  The eager-side comparator for deferred-vs-eager tests and
+     *  benches. */
+    RepriceResult
+    priceEdges(const std::vector<InterBlockEdge> &edges) const;
+
+    /** Edges currently awaiting flushRepricing(), in ascending
+     *  order. Always empty outside deferRepricing mode. */
+    std::vector<InterBlockEdge> dirtyEdges() const;
+
+    /** Total edges priced by flushRepricing() so far. */
+    std::uint64_t repricedEdges() const { return repricedEdges_; }
+
     /** Failures successfully handled (weight chains + KV drops). */
     std::uint64_t recoveries() const { return recoveries_; }
 
@@ -206,10 +269,18 @@ class RecoveryService
     std::optional<std::pair<CoreCoord, bool>>
     pickDonorCore(const Region &donor, CoreCoord near) const;
 
-    /** Accumulate chain flows around @p block (or all of the chain
-     *  when @p block is nullopt) onto traffic_. False = unroutable. */
-    bool accumulateChainFlows(std::uint32_t replica,
-                              std::optional<std::uint64_t> block) const;
+    /** Accumulate all of chain @p replica's inter-block flows onto
+     *  traffic_. False = unroutable. */
+    bool accumulateChainFlows(std::uint32_t replica) const;
+
+    /** Accumulate edge {replica, from_block} onto traffic_. False =
+     *  unroutable. */
+    bool priceEdge(std::uint32_t replica,
+                   std::uint64_t from_block) const;
+
+    /** Mark the inter-block edges block @p block feeds (predecessor
+     *  flow in, own flow out) dirty for the next flushRepricing(). */
+    void markDirtyEdges(std::uint32_t replica, std::uint64_t block);
 
     WaferGeometry geom_;
     std::vector<LayerSpec> specs_;
@@ -242,8 +313,14 @@ class RecoveryService
      *  the per-link arrays). */
     mutable TrafficAccumulator traffic_;
 
+    /** Inter-block edges awaiting re-pricing. std::set: ascending
+     *  iteration gives flushRepricing() a deterministic edge order,
+     *  and duplicate marks across a storm coalesce for free. */
+    std::set<InterBlockEdge> dirty_;
+
     std::uint64_t recoveries_ = 0;
     std::uint64_t borrowCount_ = 0;
+    std::uint64_t repricedEdges_ = 0;
 };
 
 } // namespace ouro

@@ -546,6 +546,185 @@ TEST(SharedRouteTable, ConcurrentFillMatchesSerialFill)
     }
 }
 
+TEST(RouteMeta, SummaryMatchesPathDerivation)
+{
+    // The cached RouteMeta must agree with a by-hand derivation from
+    // the path it summarises.
+    const WaferGeometry geom;
+    const NocParams params;
+    const MeshNoc noc(geom, params);
+    const CoreCoord src{10, 0};
+    const CoreCoord dst{14, 9};
+    const auto &priced = noc.pricedRoute(src, dst);
+    ASSERT_GE(priced.path.size(), 2u);
+
+    std::uint32_t crossings = 0;
+    std::vector<std::uint64_t> slots;
+    for (std::size_t i = 1; i < priced.path.size(); ++i) {
+        const CoreCoord from = priced.path[i - 1];
+        const CoreCoord to = priced.path[i];
+        const bool crossing = !geom.sameDie(from, to);
+        crossings += crossing ? 1u : 0u;
+        slots.push_back(
+                ((geom.coreIndex(from) * 4 +
+                  static_cast<unsigned>(MeshNoc::stepDir(from, to)))
+                 << 1) |
+                (crossing ? 1u : 0u));
+    }
+    const auto hops =
+        static_cast<std::uint32_t>(priced.path.size() - 1);
+    EXPECT_EQ(priced.meta.hops, hops);
+    EXPECT_EQ(priced.meta.dieCrossings, crossings);
+    EXPECT_EQ(priced.meta.slots, slots);
+    EXPECT_DOUBLE_EQ(priced.meta.headSeconds,
+                     static_cast<double>(hops) *
+                             static_cast<double>(
+                                     params.routerLatency) /
+                             params.clockHz);
+    EXPECT_DOUBLE_EQ(priced.meta.serialBitsPerSecond,
+                     params.linkBitsPerCycle * params.clockHz /
+                             (crossings > 0 ? params.interDiePenalty
+                                            : 1.0));
+    EXPECT_DOUBLE_EQ(priced.meta.energyPerBit,
+                     params.hopEnergyPerBit * hops +
+                             params.dieCrossingEnergyPerBit *
+                                     crossings);
+}
+
+TEST(RouteMeta, TransferCostMetaMatchesWalkFuzz)
+{
+    // Metadata-priced transferCost must be BIT-identical to the
+    // retained walk oracle: clean routes, defect detours, failed-link
+    // detours, and shared-table-served routes alike.
+    const WaferGeometry geom;
+    const NocParams params;
+    DefectMap defects(geom);
+    Rng seed_rng(311);
+    for (int d = 0; d < 25; ++d) {
+        defects.inject({static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40)),
+                        static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40))});
+    }
+    const auto table =
+        std::make_shared<const CleanRouteTable>(geom, params);
+
+    struct Scenario
+    {
+        const char *name;
+        const DefectMap *defects;
+        std::shared_ptr<const CleanRouteTable> table;
+        bool fail_link;
+    };
+    const Scenario scenarios[] = {
+        {"clean", nullptr, nullptr, false},
+        {"defected", &defects, nullptr, false},
+        {"defected+failLink", &defects, nullptr, true},
+        {"shared-table", &defects, table, false},
+        {"shared-table+failLink", &defects, table, true},
+    };
+
+    for (const auto &sc : scenarios) {
+        MeshNoc meta(geom, params, sc.defects, sc.table);
+        MeshNoc walk(geom, params, sc.defects, sc.table);
+        walk.setPriceFromMeta(false);
+        if (sc.fail_link) {
+            meta.failLink({12, 20}, LinkDir::East);
+            walk.failLink({12, 20}, LinkDir::East);
+        }
+        Rng rng(313);
+        for (int f = 0; f < 400; ++f) {
+            const CoreCoord src{
+                static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+                static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+            const CoreCoord dst{
+                static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+                static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+            const Bytes bytes = 1 + rng.uniformInt(0, 1 * MiB);
+            const auto fast = meta.transferCost(src, dst, bytes);
+            const auto slow = walk.transferCost(src, dst, bytes);
+            EXPECT_EQ(fast.seconds, slow.seconds) << sc.name;
+            EXPECT_EQ(fast.energyJ, slow.energyJ) << sc.name;
+            EXPECT_EQ(fast.hops, slow.hops) << sc.name;
+            EXPECT_EQ(fast.dieCrossings, slow.dieCrossings)
+                << sc.name;
+            // The lean latency-only accessor rides the same paths.
+            EXPECT_EQ(meta.transferSeconds(src, dst, bytes),
+                      slow.seconds)
+                << sc.name;
+        }
+        // Each mesh priced on its configured path only.
+        EXPECT_GT(meta.metaPricedCalls(), 0u) << sc.name;
+        EXPECT_EQ(walk.metaPricedCalls(), 0u) << sc.name;
+        EXPECT_GT(walk.walkPricedCalls(), 0u) << sc.name;
+        EXPECT_EQ(meta.walkPricedCalls(), 0u) << sc.name;
+    }
+}
+
+TEST(RouteMeta, AddFlowMetaMatchesWalkFuzz)
+{
+    // Slot-list-streamed addFlow must reproduce the walk-based
+    // accumulation bit for bit on every metric and every link - also
+    // across a mid-fuzz failLink() (both caches flush, both rebuild).
+    const WaferGeometry geom;
+    const NocParams params;
+    DefectMap defects(geom);
+    Rng seed_rng(317);
+    for (int d = 0; d < 20; ++d) {
+        defects.inject({static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40)),
+                        static_cast<std::uint32_t>(
+                                seed_rng.uniformInt(0, 40))});
+    }
+    MeshNoc meta_noc(geom, params, &defects);
+    MeshNoc walk_noc(geom, params, &defects);
+    walk_noc.setPriceFromMeta(false);
+    TrafficAccumulator meta_traffic(meta_noc);
+    TrafficAccumulator walk_traffic(walk_noc);
+
+    Rng rng(331);
+    std::vector<std::pair<CoreCoord, CoreCoord>> flows;
+    for (int f = 0; f < 400; ++f) {
+        if (f == 200) {
+            meta_noc.failLink({5, 8}, LinkDir::South);
+            walk_noc.failLink({5, 8}, LinkDir::South);
+        }
+        const CoreCoord src{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+        const CoreCoord dst{
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40)),
+            static_cast<std::uint32_t>(rng.uniformInt(0, 40))};
+        const Bytes bytes = 64 + rng.uniformInt(0, 64 * KiB);
+        meta_traffic.addFlow(src, dst, bytes);
+        walk_traffic.addFlow(src, dst, bytes);
+        flows.emplace_back(src, dst);
+    }
+
+    EXPECT_EQ(meta_traffic.bottleneckBytes(),
+              walk_traffic.bottleneckBytes());
+    EXPECT_EQ(meta_traffic.totalEnergyJ(),
+              walk_traffic.totalEnergyJ());
+    EXPECT_EQ(meta_traffic.totalByteHops(),
+              walk_traffic.totalByteHops());
+    EXPECT_EQ(meta_traffic.totalEffectiveByteHops(),
+              walk_traffic.totalEffectiveByteHops());
+    EXPECT_EQ(meta_traffic.loadedLinks(),
+              walk_traffic.loadedLinks());
+    for (const auto &[src, dst] : flows) {
+        const auto &path = meta_noc.routeCached(src, dst);
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            const auto dir = MeshNoc::stepDir(path[i - 1], path[i]);
+            EXPECT_EQ(meta_traffic.linkLoad(path[i - 1], dir),
+                      walk_traffic.linkLoad(path[i - 1], dir));
+        }
+    }
+    EXPECT_GT(meta_noc.metaPricedCalls(), 0u);
+    EXPECT_EQ(meta_noc.walkPricedCalls(), 0u);
+    EXPECT_GT(walk_noc.walkPricedCalls(), 0u);
+    EXPECT_EQ(walk_noc.metaPricedCalls(), 0u);
+}
+
 TEST(HTree, SingleGroupIsFree)
 {
     const HTree tree(8);

@@ -464,6 +464,108 @@ TEST(RecoveryService, RepricesAffectedInterBlockFlows)
     EXPECT_GT(*seconds, 0.0);
 }
 
+TEST(RecoveryService, DeferredRepricingMatchesEagerFuzz)
+{
+    // Whole failure sequences, eager vs deferred: recoveries and
+    // borrows must be bit-identical throughout (re-pricing never
+    // feeds back into recovery), deferred outcomes report no pricing,
+    // and one flushRepricing() at quiescence prices exactly the
+    // distinct dirty edges - bit-identical to the eager service
+    // pricing the same edge list.
+    const WaferGeometry geom(3, 3, 8, 8);
+    const ModelConfig model = tinyModel();
+    const Bytes tile_bytes = CoreParams{}.sramBytes();
+    for (const std::uint64_t defect_seed : {0ull, 5ull}) {
+        std::optional<DefectMap> defects;
+        if (defect_seed != 0) {
+            Rng rng(defect_seed);
+            defects.emplace(geom, YieldParams{}, rng);
+        }
+        const DefectMap *dmap = defects ? &*defects : nullptr;
+        const WaferMapping mapping =
+            buildMapping(geom, model, 2, dmap);
+
+        RecoveryServiceOptions eager_opts;
+        RecoveryServiceOptions deferred_opts;
+        deferred_opts.deferRepricing = true;
+        RecoveryService eager(mapping, NocParams{}, tile_bytes, dmap,
+                              eager_opts);
+        RecoveryService deferred(mapping, NocParams{}, tile_bytes,
+                                 dmap, deferred_opts);
+
+        Rng rng(131 + defect_seed);
+        std::uint64_t eager_edge_visits = 0;
+        std::uint64_t handled = 0;
+        for (int k = 0; k < 150; ++k) {
+            const std::uint32_t rep = rng.uniformInt(0, 1);
+            const std::uint64_t block =
+                rng.uniformInt(0, model.numBlocks - 1);
+            const auto &p = deferred.placement(block, rep);
+            const std::size_t alive = aliveCores(p);
+            if (alive == 0)
+                continue;
+            const CoreCoord failed = resolveFailure(
+                    p, static_cast<std::size_t>(
+                               rng.uniformInt(0, alive - 1)));
+            const auto de = deferred.handleCoreFailure(failed);
+            const auto ea = eager.handleCoreFailure(failed);
+            ASSERT_EQ(de.has_value(), ea.has_value())
+                << "failure " << k;
+            if (!de)
+                continue;
+            ++handled;
+            EXPECT_TRUE(sameResult(de->remap, ea->remap));
+            EXPECT_EQ(de->borrows, ea->borrows);
+            // Deferred outcomes carry no pricing...
+            EXPECT_EQ(de->interBlockByteHops, 0.0);
+            EXPECT_TRUE(de->flowsRoutable);
+            // ... and the eager service flushed inside the call.
+            EXPECT_TRUE(eager.dirtyEdges().empty());
+            if (!ea->remap.moves.empty())
+                eager_edge_visits +=
+                    (ea->block > eager.firstBlock() ? 1u : 0u) +
+                    (ea->block + 1 < eager.firstBlock() +
+                                             eager.numBlocks()
+                             ? 1u
+                             : 0u);
+        }
+        ASSERT_GT(handled, 0u);
+        EXPECT_EQ(deferred.repricedEdges(), 0u);
+
+        // Quiescence: one flush prices the distinct dirty edges,
+        // bit-identical to the eager service pricing that edge list
+        // over its (identical) placements and mesh.
+        const auto dirty = deferred.dirtyEdges();
+        ASSERT_FALSE(dirty.empty());
+        // Storms revisit chains, so deduplication must have won.
+        EXPECT_LT(dirty.size(), eager_edge_visits);
+        const RepriceResult flush = deferred.flushRepricing();
+        const RepriceResult want = eager.priceEdges(dirty);
+        EXPECT_EQ(flush.interBlockByteHops, want.interBlockByteHops);
+        EXPECT_EQ(flush.flowsRoutable, want.flowsRoutable);
+        EXPECT_EQ(flush.edges, dirty.size());
+        EXPECT_EQ(deferred.repricedEdges(), flush.edges);
+
+        // The dirty set drained: nothing left, a second flush is a
+        // no-op.
+        EXPECT_TRUE(deferred.dirtyEdges().empty());
+        const RepriceResult again = deferred.flushRepricing();
+        EXPECT_EQ(again.edges, 0u);
+        EXPECT_EQ(again.interBlockByteHops, 0.0);
+
+        // Final placements identical across modes.
+        for (std::uint32_t rep = 0; rep < 2; ++rep) {
+            for (std::uint64_t b = 0; b < model.numBlocks; ++b) {
+                EXPECT_TRUE(
+                        samePlacement(deferred.placement(b, rep),
+                                      eager.placement(b, rep)));
+            }
+        }
+        EXPECT_EQ(deferred.recoveries(), eager.recoveries());
+        EXPECT_EQ(deferred.borrowCount(), eager.borrowCount());
+    }
+}
+
 TEST(RecoveryService, SystemDelegatesFailureEntryPoint)
 {
     OuroborosOptions opts;
