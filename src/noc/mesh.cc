@@ -435,25 +435,35 @@ TrafficAccumulator::addFlow(const PricedRoute &route, Bytes bytes)
     const auto &params = noc_.params();
     const double b = static_cast<double>(bytes);
     if (noc_.priceFromMeta_) {
-        // Fast path: stream the precomputed (slot, crossing) list -
-        // no sameDie/coreIndex/stepDir per hop. The per-slot
-        // arithmetic below is the walk's, op for op, so every
-        // accumulated double is bit-identical to the oracle.
+        // Fast path: stream the precomputed (slot, crossing) list in
+        // one blocked run with the per-route constants hoisted out of
+        // the loop - no sameDie/coreIndex/stepDir and no per-hop
+        // re-derivation of the two possible effective loads and hop
+        // energies. The hoist changes no bits: b * 8.0 is exact
+        // (power-of-two scale), hopE + 0.0 == hopE bitwise and
+        // fl(b * 1.0) == b, so eff[c]/energy[c] equal the walk's
+        // per-hop expressions value for value, and the per-slot
+        // accumulation below runs the walk's ops in the walk's order.
         ++noc_.metaPriced_;
-        for (const std::uint64_t packed : route.meta.slots) {
-            const bool crossing = (packed & 1) != 0;
-            const double effective =
-                b * (crossing ? params.interDiePenalty : 1.0);
-            double &bucket = linkBytes_[packed >> 1];
+        const double b8 = b * 8.0;
+        const double eff[2] = {b, b * params.interDiePenalty};
+        const double energy[2] = {
+            b8 * params.hopEnergyPerBit,
+            b8 * (params.hopEnergyPerBit +
+                  params.dieCrossingEnergyPerBit)};
+        const std::uint64_t *packed = route.meta.slots.data();
+        const std::size_t hops = route.meta.slots.size();
+        for (std::size_t i = 0; i < hops; ++i) {
+            const std::size_t c =
+                static_cast<std::size_t>(packed[i] & 1);
+            const double effective = eff[c];
+            double &bucket = linkBytes_[packed[i] >> 1];
             if (bucket == 0.0)
-                touched_.push_back(packed >> 1);
+                touched_.push_back(packed[i] >> 1);
             bucket += effective;
             effectiveByteHops_ += effective;
             maxLinkBytes_ = std::max(maxLinkBytes_, bucket);
-            energyJ_ += b * 8.0 *
-                    (params.hopEnergyPerBit +
-                     (crossing ? params.dieCrossingEnergyPerBit
-                               : 0.0));
+            energyJ_ += energy[c];
             byteHops_ += b;
         }
         return;

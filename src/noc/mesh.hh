@@ -104,7 +104,9 @@ struct RouteMeta
 
     /** Per-hop TrafficAccumulator slots in path order, packed as
      *  (core index * 4 + direction) << 1 | die-crossing flag - the
-     *  flat list addFlow() streams instead of re-walking the path. */
+     *  flat list addFlow() streams in one blocked run (per-route
+     *  constants hoisted, bit-identical to the retained path walk)
+     *  instead of re-walking the path. */
     std::vector<std::uint64_t> slots;
 };
 

@@ -731,6 +731,319 @@ TEST(SparseEngine, MultiRestartPickEngineInvariant)
               AnnealingMapper(dense_opts).solve(problem));
 }
 
+TEST(SparseEngine, MoveDeltaBatchBitIdenticalFuzz)
+{
+    // The SoA batch kernel's contract: deltas[i] is BIT-identical to
+    // the scalar moveDelta for every candidate - repeated slots,
+    // occupied slots and the tile's current slot included - on both
+    // the table and on-the-fly paths.
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    MappingProblem with_table(tinyModel(), CoreParams{}, geom, region,
+                              2.0, nullptr, true);
+    MappingProblem without_table(tinyModel(), CoreParams{}, geom,
+                                 region, 2.0, nullptr, false);
+    Rng rng(41);
+    const std::size_t n = with_table.tiles().size();
+    MappingProblem::MoveScratch scratch;
+    for (int round = 0; round < 100; ++round) {
+        const Assignment a = randomAssignment(with_table, rng);
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        const std::size_t k = 1 + rng.uniformInt(0, 63);
+        std::vector<std::uint32_t> cand(k);
+        for (auto &slot : cand) {
+            slot = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, region.size() - 1));
+        }
+        cand[rng.uniformInt(0, k - 1)] = a[t]; // the no-op candidate
+        std::vector<double> deltas(k);
+        with_table.moveDeltaBatch(a, t, cand.data(), k, scratch,
+                                  deltas.data());
+        for (std::size_t i = 0; i < k; ++i)
+            EXPECT_EQ(deltas[i], with_table.moveDelta(a, t, cand[i]));
+        // Convenience overload + on-the-fly path, same contract.
+        const auto fly = without_table.moveDeltaBatch(a, t, cand);
+        for (std::size_t i = 0; i < k; ++i) {
+            EXPECT_EQ(fly[i], without_table.moveDelta(a, t, cand[i]));
+            EXPECT_EQ(fly[i], deltas[i]);
+        }
+    }
+}
+
+TEST(SparseEngine, MoveDeltaBatchBitIdenticalUnderDefects)
+{
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    DefectMap defects(geom);
+    Rng rng(43);
+    for (int d = 0; d < 12; ++d)
+        defects.inject(region[rng.uniformInt(0, region.size() - 1)]);
+    MappingProblem problem(tinyModel(), CoreParams{}, geom, region,
+                           2.0, &defects);
+    const std::size_t n = problem.tiles().size();
+    for (int round = 0; round < 50; ++round) {
+        const Assignment a = randomAssignment(problem, rng);
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        std::vector<std::uint32_t> cand(8);
+        for (auto &slot : cand) {
+            slot = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, region.size() - 1));
+        }
+        const auto deltas = problem.moveDeltaBatch(a, t, cand);
+        for (std::size_t i = 0; i < cand.size(); ++i)
+            EXPECT_EQ(deltas[i], problem.moveDelta(a, t, cand[i]));
+    }
+}
+
+/** Twin problems over one region: exact engine vs fused opt-in. */
+struct EngineTwins
+{
+    MappingProblem exact;
+    MappingProblem fused;
+
+    EngineTwins(const ModelConfig &model, const WaferGeometry &geom,
+                const std::vector<CoreCoord> &region,
+                double cost_inter, const DefectMap *defects,
+                bool tables)
+        : exact(model, CoreParams{}, geom, region, cost_inter,
+                defects,
+                MappingEngineOptions{tables, 1024, false}),
+          fused(model, CoreParams{}, geom, region, cost_inter,
+                defects, MappingEngineOptions{tables, 1024, true})
+    {
+    }
+};
+
+TEST(FusedEngine, ConformanceFuzzAgainstExactOracle)
+{
+    // The epsilon-exact contract: every fused kernel stays within
+    // kFusedRelBound * (1 + S) of the retained exact path, where S is
+    // the exact assignmentCost magnitude. costInter = 1.7 is NOT a
+    // power of two, so the fused reassociation genuinely rounds
+    // differently - this fuzz exercises the bound, not equality.
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    for (const bool tables : {true, false}) {
+        EngineTwins twins(tinyModel(), geom, region, 1.7, nullptr,
+                          tables);
+        ASSERT_EQ(twins.fused.hasDistanceTable(), tables);
+        ASSERT_TRUE(twins.fused.fusedCost());
+        Rng rng(47);
+        const std::size_t n = twins.exact.tiles().size();
+        for (int round = 0; round < 60; ++round) {
+            Assignment a = randomAssignment(twins.exact, rng);
+            const double se = twins.exact.assignmentCost(a);
+            const double sf = twins.fused.assignmentCost(a);
+            const double tol =
+                MappingProblem::kFusedRelBound * (1.0 + se);
+            EXPECT_NEAR(sf, se, tol);
+
+            const auto t = static_cast<std::size_t>(
+                    rng.uniformInt(0, n - 1));
+            const auto slot = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, region.size() - 1));
+            EXPECT_NEAR(twins.fused.moveDelta(a, t, slot),
+                        twins.exact.moveDelta(a, t, slot), tol);
+            auto t2 = static_cast<std::size_t>(
+                    rng.uniformInt(0, n - 2));
+            if (t2 >= t)
+                ++t2;
+            EXPECT_NEAR(twins.fused.swapDelta(a, t, t2),
+                        twins.exact.swapDelta(a, t, t2), tol);
+
+            // Batched fused pricing is bit-identical to the scalar
+            // fused kernel (the batch contract holds per engine).
+            std::vector<std::uint32_t> cand(8);
+            for (auto &s : cand) {
+                s = static_cast<std::uint32_t>(
+                        rng.uniformInt(0, region.size() - 1));
+            }
+            const auto batch = twins.fused.moveDeltaBatch(a, t, cand);
+            for (std::size_t i = 0; i < cand.size(); ++i) {
+                EXPECT_EQ(batch[i],
+                          twins.fused.moveDelta(a, t, cand[i]));
+            }
+        }
+    }
+}
+
+TEST(FusedEngine, TableAndOnTheFlyFusedPathsBitIdentical)
+{
+    // Within the fused tier, the product table and the on-the-fly
+    // manhattan*penalty expression are the SAME expression - the two
+    // fused paths must agree bit for bit (the epsilon tolerance is
+    // only between tiers, never within one).
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    MappingProblem with_table(
+            tinyModel(), CoreParams{}, geom, region, 1.7, nullptr,
+            MappingEngineOptions{true, 1024, true});
+    MappingProblem on_the_fly(
+            tinyModel(), CoreParams{}, geom, region, 1.7, nullptr,
+            MappingEngineOptions{false, 1024, true});
+    ASSERT_TRUE(with_table.hasDistanceTable());
+    ASSERT_FALSE(on_the_fly.hasDistanceTable());
+    Rng rng(53);
+    const std::size_t n = with_table.tiles().size();
+    for (int round = 0; round < 40; ++round) {
+        const Assignment a = randomAssignment(with_table, rng);
+        EXPECT_EQ(with_table.assignmentCost(a),
+                  on_the_fly.assignmentCost(a));
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, region.size() - 1));
+        EXPECT_EQ(with_table.moveDelta(a, t, slot),
+                  on_the_fly.moveDelta(a, t, slot));
+    }
+}
+
+TEST(FusedEngine, BitIdenticalWhenPenaltiesArePowersOfTwo)
+{
+    // With the default costInter = 2.0 every penalty is a power of
+    // two, multiplying by it is exact, and the fused reassociation
+    // rounds identically - the fused engine collapses to bit-identity
+    // with the exact one. A sharp sanity check on the contract: the
+    // epsilon slack exists ONLY for inexact penalty scaling.
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    EngineTwins twins(tinyModel(), geom, region, 2.0, nullptr, true);
+    Rng rng(59);
+    const std::size_t n = twins.exact.tiles().size();
+    for (int round = 0; round < 40; ++round) {
+        const Assignment a = randomAssignment(twins.exact, rng);
+        EXPECT_EQ(twins.fused.assignmentCost(a),
+                  twins.exact.assignmentCost(a));
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, region.size() - 1));
+        EXPECT_EQ(twins.fused.moveDelta(a, t, slot),
+                  twins.exact.moveDelta(a, t, slot));
+    }
+}
+
+TEST(FusedEngine, ConformanceUnderDefectMaps)
+{
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 96);
+    DefectMap defects(geom);
+    Rng rng(61);
+    for (int d = 0; d < 12; ++d)
+        defects.inject(region[rng.uniformInt(0, region.size() - 1)]);
+    EngineTwins twins(tinyModel(), geom, region, 1.7, &defects, true);
+    const std::size_t n = twins.exact.tiles().size();
+    for (int round = 0; round < 40; ++round) {
+        const Assignment a = randomAssignment(twins.exact, rng);
+        const double se = twins.exact.assignmentCost(a);
+        const double tol =
+            MappingProblem::kFusedRelBound * (1.0 + se);
+        EXPECT_NEAR(twins.fused.assignmentCost(a), se, tol);
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        auto t2 =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 2));
+        if (t2 >= t)
+            ++t2;
+        EXPECT_NEAR(twins.fused.swapDelta(a, t, t2),
+                    twins.exact.swapDelta(a, t, t2), tol);
+    }
+}
+
+TEST(SparseEngine, DistanceTableCutoffOption)
+{
+    // The 1024-candidate cutoff is a build option now. Above the old
+    // cutoff the default skips the O(C^2) table; raising the cutoff
+    // materialises it; and both paths price bit-identically.
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 1100);
+    MappingProblem fly(tinyModel(), CoreParams{}, geom, region, 2.0,
+                       nullptr, MappingEngineOptions{true, 1024,
+                                                     false});
+    MappingProblem table(tinyModel(), CoreParams{}, geom, region, 2.0,
+                         nullptr, MappingEngineOptions{true, 2048,
+                                                       false});
+    EXPECT_FALSE(fly.hasDistanceTable());  // 1100 > default cutoff
+    EXPECT_TRUE(table.hasDistanceTable()); // raised cutoff opts in
+    Rng rng(67);
+    const std::size_t n = fly.tiles().size();
+    for (int round = 0; round < 20; ++round) {
+        const Assignment a = randomAssignment(fly, rng);
+        EXPECT_EQ(table.assignmentCost(a), fly.assignmentCost(a));
+        const auto t =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 1));
+        const auto slot = static_cast<std::uint32_t>(
+                rng.uniformInt(0, region.size() - 1));
+        EXPECT_EQ(table.moveDelta(a, t, slot),
+                  fly.moveDelta(a, t, slot));
+        auto t2 =
+            static_cast<std::size_t>(rng.uniformInt(0, n - 2));
+        if (t2 >= t)
+            ++t2;
+        EXPECT_EQ(table.swapDelta(a, t, t2), fly.swapDelta(a, t, t2));
+    }
+}
+
+TEST(SparseEngine, AnnealingTrajectoryBatchedEngineInvariant)
+{
+    // The PR 3 engine-invariance guarantee must survive batched
+    // proposals: for ANY fixed moveBatch the sparse batched pricing
+    // and the dense scalar reference walk the exact same trajectory,
+    // because batched deltas are bit-identical to scalar moveDelta.
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 64));
+    for (const std::uint32_t batch : {1u, 8u, 64u}) {
+        AnnealingMapper::Options sparse_opts;
+        sparse_opts.iterations = 5000;
+        sparse_opts.seed = 77;
+        sparse_opts.moveBatch = batch;
+        AnnealingMapper::Options dense_opts = sparse_opts;
+        dense_opts.useDenseEngine = true;
+        EXPECT_EQ(AnnealingMapper(sparse_opts).solve(problem),
+                  AnnealingMapper(dense_opts).solve(problem))
+            << "moveBatch " << batch;
+    }
+}
+
+TEST(Mappers, BatchedAnnealingDeterministicAndImproves)
+{
+    const WaferGeometry geom;
+    MappingProblem problem(tinyModel(), CoreParams{}, geom,
+                           regionOf(geom, 48));
+    const double greedy_cost =
+        problem.assignmentCost(GreedyMapper{}.solve(problem));
+    AnnealingMapper::Options opts;
+    opts.iterations = 8000;
+    opts.seed = 5;
+    opts.moveBatch = 8;
+    const Assignment a = AnnealingMapper(opts).solve(problem);
+    const Assignment b = AnnealingMapper(opts).solve(problem);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(problem.assignmentCost(a), greedy_cost * 1.0001);
+}
+
+TEST(FusedEngine, AnnealingOnFusedProblemImprovesExactObjective)
+{
+    // The fused engine drives the search; quality is judged on the
+    // exact objective (fig18 pins the 5% production bound on the
+    // LLaMA-13B region; here we sanity-check the plumbing).
+    const WaferGeometry geom;
+    const auto region = regionOf(geom, 64);
+    EngineTwins twins(tinyModel(), geom, region, 1.7, nullptr, true);
+    const double greedy_cost = twins.exact.assignmentCost(
+            GreedyMapper{}.solve(twins.exact));
+    AnnealingMapper::Options opts;
+    opts.iterations = 8000;
+    opts.seed = 5;
+    opts.moveBatch = 8;
+    const Assignment a = AnnealingMapper(opts).solve(twins.fused);
+    ASSERT_TRUE(twins.exact.feasible(a));
+    EXPECT_LE(twins.exact.assignmentCost(a), greedy_cost * 1.0001);
+}
+
 TEST(Congruence, TranslateBitIdenticalToFreshProblem)
 {
     // congruentTranslate must reproduce a from-scratch MappingProblem
