@@ -27,6 +27,7 @@
 #include "baselines/device_params.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "sim/system.hh"
 #include "workload/requests.hh"
@@ -83,6 +84,22 @@ class BenchReport
         metric("timing_cache_misses", misses);
         metric("timing_cache_hit_rate",
                total > 0.0 ? static_cast<double>(hits) / total : 0.0);
+        return *this;
+    }
+
+    /**
+     * Record p50/p99 of a sample vector as <key>_p50 / <key>_p99
+     * (plus <key>_samples with the count). No-op fields are still
+     * written for empty vectors (both percentiles 0) so JSON
+     * consumers see a stable schema.
+     */
+    BenchReport &percentiles(const std::string &key,
+                             const std::vector<double> &samples)
+    {
+        metric(key + "_p50", percentileOf(samples, 50.0));
+        metric(key + "_p99", percentileOf(samples, 99.0));
+        metric(key + "_samples",
+               static_cast<std::uint64_t>(samples.size()));
         return *this;
     }
 

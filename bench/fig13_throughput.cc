@@ -36,7 +36,9 @@ assertBitIdentical(const PipelineStats &a, const PipelineStats &b)
                a.recomputedTokens == b.recomputedTokens &&
                a.skippedRequests == b.skippedRequests &&
                a.peakConcurrency == b.peakConcurrency &&
-               a.avgContext == b.avgContext,
+               a.avgContext == b.avgContext &&
+               a.ttftSamples == b.ttftSamples &&
+               a.interTokenSamples == b.interTokenSamples,
                "fig13: cohort fast path diverged from slow path");
 }
 
@@ -174,6 +176,9 @@ main(int argc, char **argv)
         .metric("serving_events", fast_stats.tokensProcessed)
         .metric("serving_peak_concurrency",
                 fast_stats.peakConcurrency)
+        .percentiles("serving_ttft_seconds", fast_stats.ttftSamples)
+        .percentiles("serving_inter_token_seconds",
+                     fast_stats.interTokenSamples)
         .timingCache(cache_hits, cache_misses)
         .text("determinism", "cohort == slow path (asserted)")
         .write();

@@ -7,7 +7,8 @@
  * admission/growth, the MIQP objective / moveDelta / swapDelta on
  * both the sparse flow-graph engine and the dense reference, the
  * wafer-level recovery service's failure handling and dry-pool KV
- * borrowing, and the RNG. These guard the simulator's own
+ * borrowing, day-trace window materialization, the sampled-window
+ * simulator, and the RNG. These guard the simulator's own
  * performance (the figure harnesses run millions of these calls).
  */
 
@@ -24,6 +25,8 @@
 #include "model/llm.hh"
 #include "noc/mesh.hh"
 #include "runtime/recovery_service.hh"
+#include "sim/sampled_run.hh"
+#include "workload/trace.hh"
 
 namespace
 {
@@ -524,6 +527,100 @@ BM_StormDeferredReprice(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kFailures);
 }
 BENCHMARK(BM_StormDeferredReprice)->Arg(0)->Arg(1);
+
+void
+BM_TraceWindowMaterialize(benchmark::State &state)
+{
+    // Materializing one 15-minute window of a 100k-request day:
+    // Arg(0) scans every request of the day and keeps those whose
+    // arrival quantile falls in the window (the oracle the window
+    // bit-identity tests compare against), Arg(1) binary-searches
+    // the index range and materializes only the members.
+    DayTraceParams params;
+    params.requests = 100000;
+    const DayTrace trace(params);
+    const double t0 = 9.0 * 3600.0; // morning peak
+    const double t1 = t0 + 900.0;
+    const bool fast = state.range(0) != 0;
+    std::int64_t produced = 0;
+    for (auto _ : state) {
+        if (fast) {
+            const Workload w = trace.window(t0, t1);
+            benchmark::DoNotOptimize(w.requests.data());
+            produced += static_cast<std::int64_t>(w.requests.size());
+        } else {
+            const double q0 = trace.quantileTarget(t0);
+            const double q1 = trace.quantileTarget(t1);
+            Workload w;
+            for (std::uint64_t k = 0; k < trace.size(); ++k) {
+                const double q = trace.arrivalQuantile(k);
+                if (q >= q0 && q < q1)
+                    w.requests.push_back(trace.request(k));
+            }
+            benchmark::DoNotOptimize(w.requests.data());
+            produced += static_cast<std::int64_t>(w.requests.size());
+        }
+    }
+    state.SetItemsProcessed(produced);
+}
+BENCHMARK(BM_TraceWindowMaterialize)->Arg(0)->Arg(1);
+
+/** Small day-trace deployment shared by the sampled-run kernels. */
+struct SampledFixture
+{
+    ModelConfig model = llama13b();
+    StageTiming timing;
+    std::vector<KvCoreInfo> score, context;
+
+    SampledFixture()
+    {
+        for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+            timing.fixedSeconds[s] = 1e-6;
+            timing.perContextSeconds[s] = 1e-9;
+        }
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            score.push_back({{0, i}, 32, 8});
+            context.push_back({{1, i}, 32, 8});
+        }
+    }
+
+    SampledSimulator simulator(SampledSimOptions opts) const
+    {
+        DayTraceParams params;
+        params.requests = 600;
+        return SampledSimulator(DayTrace(params), model, timing,
+                                score, context, opts);
+    }
+};
+
+void
+BM_SampledVsFullSmallTrace(benchmark::State &state)
+{
+    // Arg(0) event-steps every window of a small day trace (the
+    // full-run oracle), Arg(1) runs the sampled estimator (1 of 4
+    // windows measured per stratum, no warmup: 3 of 12 windows, a
+    // 4x event-count reduction). Serial on both sides so the ratio
+    // is that reduction, not thread scaling.
+    const SampledFixture fx;
+    SampledSimOptions opts;
+    opts.numWindows = 12;
+    opts.strata = 3;
+    opts.fraction = 0.25; // 1 of 4 windows per stratum
+    opts.warmupWindows = 0;
+    opts.serialExecution = true;
+    const SampledSimulator sim = fx.simulator(opts);
+    const bool sampled = state.range(0) != 0;
+    for (auto _ : state) {
+        if (sampled) {
+            const SampledEstimate est = sim.run();
+            benchmark::DoNotOptimize(est.estTokensPerSecond);
+        } else {
+            const PipelineStats full = sim.fullRun();
+            benchmark::DoNotOptimize(full.outputTokens);
+        }
+    }
+}
+BENCHMARK(BM_SampledVsFullSmallTrace)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -104,6 +104,23 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+double
+percentileOf(std::vector<double> samples, double pct)
+{
+    if (samples.empty())
+        return 0.0;
+    ouroAssert(pct >= 0.0 && pct <= 100.0,
+               "percentileOf: pct out of [0, 100]");
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        pct / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + (samples[lo + 1] - samples[lo]) * frac;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0)
 {

@@ -91,6 +91,16 @@ class RunningStat
 };
 
 /**
+ * Percentile of a sample vector (pct in [0, 100]), computed on a
+ * sorted copy with linear interpolation between order statistics
+ * (the common "inclusive" definition: pct 0 = min, 100 = max, 50 =
+ * median). Returns 0.0 for an empty vector. Deterministic: the same
+ * samples in any order give the same value bit for bit (std::sort on
+ * doubles is a total order here; callers never feed NaNs).
+ */
+double percentileOf(std::vector<double> samples, double pct);
+
+/**
  * Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
  * edge bins so nothing is silently dropped.
  */

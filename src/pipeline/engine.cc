@@ -26,6 +26,9 @@ struct ActiveSeq
     /** When this sequence's own KV-ring cores free up: attention
      *  stages are per-sequence resources, not shared servers. */
     double attnFree = 0.0;
+    /** Completion time of this residency's first decode token (the
+     *  TTFT sample if the residency completes). */
+    double firstTokenDone = 0.0;
     std::uint64_t generation = 0; ///< invalidates stale heap entries
     KvHandle kv;                  ///< slot ticket into the KV manager
 };
@@ -89,6 +92,45 @@ ringBefore(double a_ready, std::uint64_t a_seq, double b_ready,
 }
 
 } // namespace
+
+PipelineStats &
+PipelineStats::merge(const PipelineStats &other)
+{
+    makespanSeconds += other.makespanSeconds;
+    tokensProcessed += other.tokensProcessed;
+    outputTokens += other.outputTokens;
+    bottleneckBusySeconds += other.bottleneckBusySeconds;
+    evictions += other.evictions;
+    recomputedTokens += other.recomputedTokens;
+    skippedRequests += other.skippedRequests;
+    peakConcurrency = std::max(peakConcurrency,
+                               other.peakConcurrency);
+    timingCacheHits += other.timingCacheHits;
+    timingCacheMisses += other.timingCacheMisses;
+    itemsProcessed += other.itemsProcessed;
+    contextTokensSum += other.contextTokensSum;
+    stageBusySumSeconds += other.stageBusySumSeconds;
+    // Derived means: recomputed from the merged raw aggregates with
+    // the engine's own formulas, so a merge of runs reports exactly
+    // what one run over the concatenated busy intervals would.
+    utilization =
+        makespanSeconds > 0.0
+            ? std::min(stageBusySumSeconds /
+                           (kStagesPerBlock * makespanSeconds),
+                       1.0)
+            : 0.0;
+    bubbleFraction = 1.0 - utilization;
+    avgContext = itemsProcessed
+                     ? contextTokensSum /
+                           static_cast<double>(itemsProcessed)
+                     : 0.0;
+    ttftSamples.insert(ttftSamples.end(), other.ttftSamples.begin(),
+                       other.ttftSamples.end());
+    interTokenSamples.insert(interTokenSamples.end(),
+                             other.interTokenSamples.begin(),
+                             other.interTokenSamples.end());
+    return *this;
+}
 
 PipelineStats
 runPipeline(const Workload &workload, const ModelConfig &model,
@@ -300,6 +342,22 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         return advance_item(seq.nextReady, seq.attnFree, item);
     };
 
+    // Serving-latency samples, pushed when a request COMPLETES (all
+    // three decode paths - slow, single-stream batch, cohort ring -
+    // process completions in the same deterministic event order, so
+    // the sample vectors are part of their bit-identity contract).
+    auto record_completion = [&](double first_done, double last_done,
+                                 std::uint64_t decoded) {
+        if (decoded == 0)
+            return; // prefill-only request: no decode latencies
+        stats.ttftSamples.push_back(first_done);
+        if (decoded >= 2) {
+            stats.interTokenSamples.push_back(
+                    (last_done - first_done) /
+                    static_cast<double>(decoded - 1));
+        }
+    };
+
     // Cohort decode fast path: with every resident sequence in steady
     // decode and nothing waiting to be admitted, the heap's pop order
     // is a pure (ready, seq) merge of autoregressive chains. Replay
@@ -411,12 +469,16 @@ runPipeline(const Workload &workload, const ModelConfig &model,
             const double completion =
                 advance_item(m.ready, m.attnFree, item);
 
+            if (m.position == m.as->prefillLen)
+                m.as->firstTokenDone = completion; // first decode
             m.position += 1;
             m.decodeRemaining -= 1;
             stats.outputTokens += 1;
             m.ready = completion; // autoregressive gating
 
             if (m.decodeRemaining == 0) {
+                record_completion(m.as->firstTokenDone, completion,
+                                  m.position - m.as->prefillLen);
                 if (!static_kv && m.consumed > 0)
                     kv.growFast(m.as->kv, m.consumed);
                 kv.release(m.as->kv);
@@ -531,6 +593,8 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                     const ItemTiming item =
                         freshTokenItem(timing, pos + 1);
                     const double completion = traverse(seq, item);
+                    if (seq.decoded == 0)
+                        seq.firstTokenDone = completion;
                     seq.decoded += 1;
                     seq.decodeRemaining -= 1;
                     stats.outputTokens += 1;
@@ -538,6 +602,8 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                 }
                 if (seq.decodeRemaining == 0) {
                     const double finished = seq.nextReady;
+                    record_completion(seq.firstTokenDone, finished,
+                                      seq.decoded);
                     kv.release(seq.kv);
                     active.erase(it); // invalidates seq
                     admissions_suspended = false;
@@ -635,11 +701,15 @@ runPipeline(const Workload &workload, const ModelConfig &model,
             seq.generation += 1;
             heap_push({seq.nextReady, seq.id, seq.generation});
         } else {
+            if (seq.decoded == 0)
+                seq.firstTokenDone = completion;
             seq.decoded += 1;
             seq.decodeRemaining -= 1;
             stats.outputTokens += 1;
             if (seq.decodeRemaining == 0) {
                 // Finished: release KV when the token drains.
+                record_completion(seq.firstTokenDone, completion,
+                                  seq.decoded);
                 kv.release(seq.kv);
                 active.erase(it);
                 admissions_suspended = false; // a request completed
@@ -668,6 +738,11 @@ runPipeline(const Workload &workload, const ModelConfig &model,
     stats.bubbleFraction = 1.0 - stats.utilization;
     stats.avgContext =
         ctx_samples ? ctx_sum / static_cast<double>(ctx_samples) : 0.0;
+    // Raw aggregates behind the derived means: what merge() needs to
+    // recompute utilization/avgContext exactly after folding runs.
+    stats.itemsProcessed = ctx_samples;
+    stats.contextTokensSum = ctx_sum;
+    stats.stageBusySumSeconds = busy_sum;
     // Deltas, not lifetime counters: a shared cache accumulates
     // across runs but each run reports only its own traffic.
     stats.timingCacheHits = cache.hits() - cache_hits0;

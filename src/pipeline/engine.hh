@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "kvcache/manager.hh"
 #include "model/llm.hh"
@@ -82,6 +83,26 @@ struct PipelineStats
     std::uint64_t timingCacheHits = 0;   ///< memoized item reuses
     std::uint64_t timingCacheMisses = 0; ///< items built fresh
 
+    /** Raw aggregates behind the derived means above, kept so that
+     *  merge() can recompute the derived fields exactly. */
+    std::uint64_t itemsProcessed = 0;    ///< pipeline items traversed
+    double contextTokensSum = 0.0;       ///< sum of attended contexts
+    double stageBusySumSeconds = 0.0;    ///< busy time over all stages
+
+    /**
+     * Per-completed-request serving latencies (seconds), pushed in
+     * completion-processing order - identical on the cohort fast
+     * path and the per-event slow path (part of their bit-identity
+     * contract). TTFT is the completion time of the request's first
+     * decode token in its final (completing) residency, measured
+     * from run start (queueing delay included); the inter-token
+     * sample is the request's mean decode-token spacing (recorded
+     * only for requests with >= 2 decode tokens). Evicted
+     * residencies contribute nothing until the request completes.
+     */
+    std::vector<double> ttftSamples;
+    std::vector<double> interTokenSamples;
+
     double outputTokensPerSecond() const
     {
         return makespanSeconds > 0.0
@@ -89,6 +110,17 @@ struct PipelineStats
                          makespanSeconds
                    : 0.0;
     }
+
+    /**
+     * Fold another run's stats into this one as if the two ran
+     * back to back with an idle (fully drained) boundary between
+     * them: durations and counters add, peaks take the max, derived
+     * means are recomputed from the merged raw aggregates, latency
+     * samples concatenate. This is the aggregation primitive of the
+     * sampled-window simulator; merging window runs in ascending
+     * window order is its full-run oracle (see sim/sampled_run.hh).
+     */
+    PipelineStats &merge(const PipelineStats &other);
 };
 
 /** Engine options. */

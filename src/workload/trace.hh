@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Streaming day-long arrival traces (ROADMAP "Sampled simulation for
+ * day-long traces").
+ *
+ * A production day of fleet traffic is far too many requests to hold
+ * in memory, let alone event-step; the sampled-simulation workflow
+ * (src/sim/sampled_run.hh) instead materializes *windows* of the day
+ * on demand. DayTrace makes that exact: every request is a PURE
+ * FUNCTION of (params, index) - counter-based per-request seeding,
+ * no sequential RNG state - so materializing any [t0, t1) window is
+ * bit-identical to generating the whole day and slicing it, and two
+ * windows can be generated independently on different threads.
+ *
+ * Arrival model: a seeded diurnal rate curve given as 24 piecewise-
+ * constant hourly weights (trough at night, morning/evening peaks by
+ * default). Request k sits at the arrival *quantile*
+ *
+ *     q_k = k + u_k            (u_k in [0, 1), counter-seeded)
+ *
+ * which is STRICTLY increasing in k, and its arrival time is the
+ * inverse cumulative rate curve evaluated at q_k. Window membership
+ * is decided in quantile space (q_k compared against the window
+ * boundaries' exact cumulative targets), so the index range of a
+ * window is found by binary search on a strictly monotone integer-
+ * anchored sequence - no floating-point boundary ambiguity. The
+ * whole-day request count equals params.requests EXACTLY, and any
+ * window's count matches the rate integral over the window to within
+ * rounding (|count - expected| <= 2; property-tested).
+ *
+ * Lengths: heavy-tail clipped-lognormal prompts and continuations
+ * with the same floors and context-window clamp as wikiText2Like
+ * (prefill >= 16, decode >= 16, prefill + decode <= maxLen).
+ */
+
+#ifndef OURO_WORKLOAD_TRACE_HH
+#define OURO_WORKLOAD_TRACE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "workload/requests.hh"
+
+namespace ouro
+{
+
+/** Parameters of one synthetic day of traffic. */
+struct DayTraceParams
+{
+    /** Total requests over the whole day (exact). */
+    std::uint64_t requests = 10000;
+
+    /** Trace horizon in seconds (a "day" of 24 equal segments). */
+    double daySeconds = 86400.0;
+
+    /** Counter-based master seed: request k derives its private
+     *  stream from (seed, k) only. */
+    std::uint64_t seed = 20260808;
+
+    /**
+     * Relative arrival rate of each of the 24 equal day segments
+     * (all must be > 0; normalised internally). The default is a
+     * two-peak diurnal curve: overnight trough around 04:00, ramp
+     * into a late-morning peak, afternoon plateau, evening peak.
+     */
+    std::array<double, 24> hourlyWeight = {
+        0.35, 0.28, 0.22, 0.18, 0.16, 0.18, // 00:00 - 06:00 trough
+        0.25, 0.42, 0.62, 0.85, 1.00, 0.98, // ramp to morning peak
+        0.92, 0.90, 0.88, 0.85, 0.82, 0.85, // afternoon plateau
+        0.92, 1.00, 0.95, 0.80, 0.60, 0.45, // evening peak + fall-off
+    };
+
+    /** Clipped-lognormal prompt lengths: median tokens, log-sigma. */
+    double promptMedianTokens = 180.0;
+    double promptSigma = 0.9;
+
+    /** Clipped-lognormal continuation lengths. */
+    double decodeMedianTokens = 130.0;
+    double decodeSigma = 1.0;
+
+    /** Context window: prefill + decode <= maxLen (>= 32). */
+    std::uint64_t maxLen = 2048;
+};
+
+/** Contiguous request-index range of one trace window. */
+struct TraceWindowRange
+{
+    std::uint64_t first = 0; ///< first request index in the window
+    std::uint64_t last = 0;  ///< one past the last index
+
+    std::uint64_t count() const { return last - first; }
+};
+
+/**
+ * A day of traffic, materializable window by window. The object
+ * holds only the parameters and the 24-entry cumulative rate table -
+ * O(1) in the request count.
+ */
+class DayTrace
+{
+  public:
+    explicit DayTrace(const DayTraceParams &params);
+
+    const DayTraceParams &params() const { return params_; }
+    std::uint64_t size() const { return params_.requests; }
+    double daySeconds() const { return params_.daySeconds; }
+
+    /**
+     * Request k (id = k): lengths drawn from the request's private
+     * counter-seeded stream. Pure in (params, k); requires
+     * k < size().
+     */
+    Request request(std::uint64_t k) const;
+
+    /** Arrival timestamp of request k in [0, daySeconds); strictly
+     *  increasing in k up to floating-point rounding of the inverse
+     *  rate map (window membership never depends on it). */
+    double arrivalTime(std::uint64_t k) const;
+
+    /** Arrival quantile q_k = k + u_k (strictly increasing in k);
+     *  exposed for property tests. */
+    double arrivalQuantile(std::uint64_t k) const;
+
+    /**
+     * Cumulative arrival quantile target of time t: the expected
+     * number of arrivals in [0, t). Piecewise-linear, exactly 0 at
+     * t <= 0 and exactly size() at t >= daySeconds.
+     */
+    double quantileTarget(double t) const;
+
+    /** First request index with arrivalQuantile >= quantileTarget(t)
+     *  (== size() when every request arrives before t). */
+    std::uint64_t indexAt(double t) const;
+
+    /** Index range of window [t0, t1); requires t0 <= t1. */
+    TraceWindowRange windowRange(double t0, double t1) const;
+
+    /** Materialize the requests of window [t0, t1) - bit-identical
+     *  to slicing wholeDay() at the same boundaries. */
+    Workload window(double t0, double t1) const;
+
+    /** The full day as one workload (small traces / oracles only). */
+    Workload wholeDay() const;
+
+  private:
+    DayTraceParams params_;
+    /** prefix_[h] = sum of hourlyWeight[0..h); prefix_[24] = total. */
+    std::array<double, 25> prefix_{};
+};
+
+} // namespace ouro
+
+#endif // OURO_WORKLOAD_TRACE_HH

@@ -444,6 +444,14 @@ expectStatsIdentical(const PipelineStats &a, const PipelineStats &b)
     EXPECT_DOUBLE_EQ(a.avgContext, b.avgContext);
     EXPECT_EQ(a.timingCacheHits, b.timingCacheHits);
     EXPECT_EQ(a.timingCacheMisses, b.timingCacheMisses);
+    EXPECT_EQ(a.itemsProcessed, b.itemsProcessed);
+    EXPECT_DOUBLE_EQ(a.contextTokensSum, b.contextTokensSum);
+    EXPECT_DOUBLE_EQ(a.stageBusySumSeconds, b.stageBusySumSeconds);
+    // Latency samples must agree element for element, ORDER
+    // included: completion-processing order is part of the
+    // fast-path/slow-path bit-identity contract.
+    EXPECT_EQ(a.ttftSamples, b.ttftSamples);
+    EXPECT_EQ(a.interTokenSamples, b.interTokenSamples);
 }
 
 /** Run a workload with the cohort fast path force-disabled and
@@ -617,6 +625,154 @@ TEST(WorkloadGen, PaperWorkloadsComplete)
     EXPECT_EQ(all[1].name, "LP=128,LD=2048");
     EXPECT_EQ(all[2].name, "LP=2048,LD=128");
     EXPECT_EQ(all[3].name, "LP=2048,LD=2048");
+}
+
+TEST(LatencySamples, OnePerCompletedRequest)
+{
+    // Every completed request with >= 1 decode token contributes one
+    // TTFT sample; inter-token spacing needs >= 2 decode tokens.
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const Workload w = fixedWorkload(64, 16, 10);
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv);
+    ASSERT_EQ(stats.ttftSamples.size(), 10u);
+    ASSERT_EQ(stats.interTokenSamples.size(), 10u);
+    for (const double t : stats.ttftSamples) {
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, stats.makespanSeconds);
+    }
+    for (const double t : stats.interTokenSamples) {
+        EXPECT_GT(t, 0.0);
+        // Mean decode spacing cannot beat the bottleneck interval
+        // of a context-free token.
+        EXPECT_GE(t, uniformTiming().bottleneckTime(0));
+    }
+}
+
+TEST(LatencySamples, SingleTokenDecodeHasNoSpacingSample)
+{
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const Workload w = fixedWorkload(64, 1, 8);
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_EQ(stats.ttftSamples.size(), 8u);
+    EXPECT_TRUE(stats.interTokenSamples.empty());
+}
+
+TEST(LatencySamples, QueuedRequestsSeeHigherTtft)
+{
+    // A pool too small for the batch staggers admission: requests
+    // admitted (or re-admitted after eviction) late in the run see
+    // their first decode token far later than the first admitted
+    // cohort. TTFT measures from RUN start, so the largest sample
+    // must clearly exceed the smallest.
+    const ModelConfig cfg = pipeModel();
+    BlockKvManager kv(cfg, bigPool(2, 0), bigPool(2, 1));
+    const Workload w = fixedWorkload(512, 1024, 16);
+    const PipelineStats stats =
+        runPipeline(w, cfg, uniformTiming(), kv);
+    EXPECT_GT(stats.evictions, 0u); // contention must be real
+    ASSERT_EQ(stats.ttftSamples.size(), 16u);
+    const auto [lo, hi] = std::minmax_element(
+        stats.ttftSamples.begin(), stats.ttftSamples.end());
+    EXPECT_GT(*hi, 2.0 * *lo);
+}
+
+TEST(StatsMerge, IdleBoundaryEqualsSequentialRuns)
+{
+    // merge() is DEFINED as back-to-back runs with a drained
+    // boundary: running two workloads through fresh managers and
+    // merging must reproduce each counter exactly, and the derived
+    // means must be the recomputed pooled values.
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+    const Workload wa = wikiText2Like(30, 512, 4);
+    const Workload wb = fixedWorkload(128, 48, 20);
+
+    auto kv_a = bigKv(cfg);
+    const PipelineStats a = runPipeline(wa, cfg, timing, kv_a);
+    auto kv_b = bigKv(cfg);
+    const PipelineStats b = runPipeline(wb, cfg, timing, kv_b);
+
+    PipelineStats merged = a;
+    merged.merge(b);
+
+    EXPECT_DOUBLE_EQ(merged.makespanSeconds,
+                     a.makespanSeconds + b.makespanSeconds);
+    EXPECT_EQ(merged.tokensProcessed,
+              a.tokensProcessed + b.tokensProcessed);
+    EXPECT_EQ(merged.outputTokens, a.outputTokens + b.outputTokens);
+    EXPECT_DOUBLE_EQ(merged.bottleneckBusySeconds,
+                     a.bottleneckBusySeconds +
+                         b.bottleneckBusySeconds);
+    EXPECT_EQ(merged.evictions, a.evictions + b.evictions);
+    EXPECT_EQ(merged.recomputedTokens,
+              a.recomputedTokens + b.recomputedTokens);
+    EXPECT_EQ(merged.skippedRequests,
+              a.skippedRequests + b.skippedRequests);
+    EXPECT_EQ(merged.itemsProcessed,
+              a.itemsProcessed + b.itemsProcessed);
+    EXPECT_DOUBLE_EQ(merged.contextTokensSum,
+                     a.contextTokensSum + b.contextTokensSum);
+    EXPECT_DOUBLE_EQ(merged.stageBusySumSeconds,
+                     a.stageBusySumSeconds + b.stageBusySumSeconds);
+    EXPECT_DOUBLE_EQ(merged.peakConcurrency,
+                     std::max(a.peakConcurrency,
+                              b.peakConcurrency));
+    EXPECT_EQ(merged.timingCacheHits,
+              a.timingCacheHits + b.timingCacheHits);
+    EXPECT_EQ(merged.timingCacheMisses,
+              a.timingCacheMisses + b.timingCacheMisses);
+
+    // Derived means are recomputed from the pooled raw aggregates,
+    // not averaged: avgContext weights each run by its item count.
+    EXPECT_DOUBLE_EQ(merged.avgContext,
+                     merged.contextTokensSum /
+                         static_cast<double>(merged.itemsProcessed));
+    EXPECT_DOUBLE_EQ(merged.utilization,
+                     std::min(merged.stageBusySumSeconds /
+                                  (kStagesPerBlock *
+                                   merged.makespanSeconds),
+                              1.0));
+    EXPECT_DOUBLE_EQ(merged.bubbleFraction,
+                     1.0 - merged.utilization);
+
+    // Sample vectors concatenate in order.
+    ASSERT_EQ(merged.ttftSamples.size(),
+              a.ttftSamples.size() + b.ttftSamples.size());
+    EXPECT_EQ(merged.ttftSamples.front(), a.ttftSamples.front());
+    EXPECT_EQ(merged.ttftSamples.back(), b.ttftSamples.back());
+
+    // Token-conservation fields agree with a single monolithic run
+    // of the concatenated workload in this no-eviction regime (the
+    // engine would overlap the two windows in time, so time-derived
+    // fields legitimately differ - merge() models the DRAINED
+    // boundary, which is how the sampled simulator runs windows).
+    Workload both = wa;
+    for (Request r : wb.requests) {
+        r.id += 1000; // keep ids unique across the two batches
+        both.requests.push_back(r);
+    }
+    auto kv_c = bigKv(cfg);
+    const PipelineStats mono =
+        runPipeline(both, cfg, timing, kv_c);
+    EXPECT_EQ(mono.outputTokens, merged.outputTokens);
+    EXPECT_EQ(mono.skippedRequests, merged.skippedRequests);
+    EXPECT_EQ(mono.ttftSamples.size(), merged.ttftSamples.size());
+}
+
+TEST(StatsMerge, MergeWithEmptyRunIsIdentityOnCounters)
+{
+    const ModelConfig cfg = pipeModel();
+    auto kv = bigKv(cfg);
+    const PipelineStats a =
+        runPipeline(fixedWorkload(64, 16, 10), cfg, uniformTiming(),
+                    kv);
+    PipelineStats merged = a;
+    merged.merge(PipelineStats{});
+    expectStatsIdentical(merged, a);
 }
 
 } // namespace
