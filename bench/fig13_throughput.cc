@@ -34,7 +34,10 @@ assertBitIdentical(const PipelineStats &a, const PipelineStats &b)
                a.utilization == b.utilization &&
                a.evictions == b.evictions &&
                a.recomputedTokens == b.recomputedTokens &&
+               a.stormEvictions == b.stormEvictions &&
+               a.stormReprefilledTokens == b.stormReprefilledTokens &&
                a.skippedRequests == b.skippedRequests &&
+               a.outputTokenBins == b.outputTokenBins &&
                a.peakConcurrency == b.peakConcurrency &&
                a.avgContext == b.avgContext &&
                a.ttftSamples == b.ttftSamples &&
@@ -176,6 +179,16 @@ main(int argc, char **argv)
         .metric("serving_events", fast_stats.tokensProcessed)
         .metric("serving_peak_concurrency",
                 fast_stats.peakConcurrency)
+        // Dropped or redone work is never silent: the serving run
+        // asserts all three are zero today, and the record pins that
+        // so any future nonzero shows up as a trajectory change (the
+        // storm-serving bench records the nonzero counterparts).
+        .metric("serving_skipped_requests",
+                fast_stats.skippedRequests)
+        .metric("serving_storm_evicted_requests",
+                fast_stats.stormEvictions)
+        .metric("serving_storm_reprefilled_tokens",
+                fast_stats.stormReprefilledTokens)
         .percentiles("serving_ttft_seconds", fast_stats.ttftSamples)
         .percentiles("serving_inter_token_seconds",
                      fast_stats.interTokenSamples)

@@ -406,6 +406,67 @@ BM_KvGrow(benchmark::State &state)
 }
 BENCHMARK(BM_KvGrow);
 
+void
+BM_MidRunPoolShrink(benchmark::State &state)
+{
+    // Mid-run KV pool shrink (the PR 9 storm-eviction path). Arg(1)
+    // is the in-place dropCore fast path: release the residents on
+    // the dead core, fence it, leave everyone else's handles alive.
+    // Arg(0) is the rebuild oracle: scan every resident's head
+    // placements for the dead coordinate, construct a fresh manager
+    // over the surviving cores and re-admit every survivor - the
+    // cost a serving engine would pay without mid-run pool mutation.
+    const bool fast = state.range(0) == 1;
+    const ModelConfig cfg = llama13b();
+    const CoreCoord dead{0, 0};
+    auto make_pools = [] {
+        std::pair<std::vector<KvCoreInfo>, std::vector<KvCoreInfo>>
+                p;
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            p.first.push_back({{0, i}, 32, 8});
+            p.second.push_back({{1, i}, 32, 8});
+        }
+        return p;
+    };
+    constexpr std::uint64_t kResidents = 64;
+    const auto heads = static_cast<std::uint32_t>(cfg.numKvHeads);
+    std::uint64_t shrinks = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto [score, context] = make_pools();
+        BlockKvManager mgr(cfg, score, context);
+        for (std::uint64_t id = 0; id < kResidents; ++id)
+            mgr.admit(id, 256);
+        state.ResumeTiming();
+        if (fast) {
+            benchmark::DoNotOptimize(mgr.dropCore(dead));
+        } else {
+            std::vector<std::uint64_t> survivors;
+            for (std::uint64_t id = 0; id < kResidents; ++id) {
+                if (!mgr.resident(id))
+                    continue;
+                bool hit = false;
+                for (std::uint32_t h = 0; h < heads && !hit; ++h) {
+                    const auto hp = mgr.headPlacement(id, h);
+                    hit = mgr.scoreCoord(hp.scoreCore) == dead ||
+                          mgr.contextCoord(hp.contextCore) == dead;
+                }
+                if (!hit)
+                    survivors.push_back(id);
+            }
+            auto [s2, c2] = make_pools();
+            s2.erase(s2.begin()); // {0,0} is score ring slot 0
+            BlockKvManager rebuilt(cfg, s2, c2);
+            for (const auto id : survivors)
+                rebuilt.admit(id, 256);
+            benchmark::DoNotOptimize(rebuilt.numResident());
+        }
+        ++shrinks;
+    }
+    state.SetItemsProcessed(shrinks);
+}
+BENCHMARK(BM_MidRunPoolShrink)->Arg(0)->Arg(1);
+
 /** Shared fixture for the wafer-level recovery-service kernels: a
  *  small wafer keeps per-iteration service rebuilds cheap while the
  *  handled failures still exercise the full path (ownership lookup,

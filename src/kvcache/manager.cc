@@ -600,4 +600,30 @@ BlockKvManager::dropCore(CoreCoord coord)
     return lost;
 }
 
+std::uint32_t
+BlockKvManager::adoptCore(const KvCoreInfo &info, bool score_duty)
+{
+    // A dropCore()d entry (fenced: zero free, markedFull) with the
+    // same coordinate is inert and may be shadowed; anything still
+    // holding capacity is a double-adopt.
+    for (const auto *ring : {&score_, &context_}) {
+        for (const auto &core : *ring) {
+            ouroAssert(!(core.info.coord == info.coord) ||
+                               (core.totalFree() == 0 &&
+                                core.markedFull),
+                       "adoptCore: core (", info.coord.row, ",",
+                       info.coord.col, ") is already live in the "
+                       "pool");
+        }
+    }
+    auto &ring = score_duty ? score_ : context_;
+    CoreState state;
+    state.info = info;
+    state.freePerXbar.assign(info.crossbars, info.blocksPerCrossbar);
+    totalBlocks_ += static_cast<std::uint64_t>(info.crossbars) *
+                    info.blocksPerCrossbar;
+    ring.push_back(std::move(state));
+    return static_cast<std::uint32_t>(ring.size() - 1);
+}
+
 } // namespace ouro

@@ -212,8 +212,25 @@ class BlockKvManager
     std::uint64_t vSpills() const { return vSpills_; }
 
     /** Remove a failed KV core from the pool (Section 4.3.3);
-     *  returns the sequences that lost data and were released. */
+     *  returns the sequences that lost data and were released. This
+     *  IS the mid-run shrinkCapacity path: residents on the core are
+     *  released (their handles go stale - using one afterwards is a
+     *  checked error), the core's free blocks leave totalBlocks(),
+     *  and the fenced entry never takes another allocation. */
     std::vector<std::uint64_t> dropCore(CoreCoord coord);
+
+    /**
+     * Graft a core into the pool mid-run (PR 9: KV capacity borrowed
+     * from an adjacent block after a failure). The core joins the
+     * score or context ring per @p score_duty - the duty it kept
+     * across the recovery service's graft - empty, behind the ring
+     * cursor (the cursor reaches it on its next wrap; existing
+     * allocations and handles are untouched). Adopting a coordinate
+     * that still holds live capacity in either ring is a checked
+     * error; re-adopting a previously dropCore()d coordinate is fine
+     * (the fenced entry stays inert). Returns the new ring index.
+     */
+    std::uint32_t adoptCore(const KvCoreInfo &info, bool score_duty);
 
   private:
     /** Free-block accounting for one ring core. */

@@ -102,6 +102,8 @@ PipelineStats::merge(const PipelineStats &other)
     bottleneckBusySeconds += other.bottleneckBusySeconds;
     evictions += other.evictions;
     recomputedTokens += other.recomputedTokens;
+    stormEvictions += other.stormEvictions;
+    stormReprefilledTokens += other.stormReprefilledTokens;
     skippedRequests += other.skippedRequests;
     peakConcurrency = std::max(peakConcurrency,
                                other.peakConcurrency);
@@ -129,6 +131,11 @@ PipelineStats::merge(const PipelineStats &other)
     interTokenSamples.insert(interTokenSamples.end(),
                              other.interTokenSamples.begin(),
                              other.interTokenSamples.end());
+    // Back-to-back semantics: the other run's clock starts where this
+    // one's makespan ended, so its bins append after ours.
+    outputTokenBins.insert(outputTokenBins.end(),
+                           other.outputTokenBins.begin(),
+                           other.outputTokenBins.end());
     return *this;
 }
 
@@ -358,6 +365,82 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         }
     };
 
+    // A decode token left the pipeline at `completion`: count it and,
+    // when binning is on, histogram it (all three decode paths call
+    // this, so the curve shares their bit-identity contract).
+    const double bin_w = opts.throughputBinSeconds;
+    auto note_output = [&](double completion) {
+        stats.outputTokens += 1;
+        if (bin_w <= 0.0)
+            return;
+        const auto b =
+            static_cast<std::size_t>(completion / bin_w);
+        if (stats.outputTokenBins.size() <= b)
+            stats.outputTokenBins.resize(b + 1, 0);
+        stats.outputTokenBins[b] += 1;
+    };
+
+    // --- Failure-storm schedule (PR 9) ---
+    // Null/empty leaves every code path below bit-identical to a
+    // plain run: storm_pending() is constant-false, so neither fast
+    // path gains a new bail-out and no event ever applies.
+    const std::vector<KvPoolEvent> *storm =
+        (opts.stormSchedule && !opts.stormSchedule->empty())
+            ? opts.stormSchedule
+            : nullptr;
+    std::size_t storm_next = 0;
+    if (storm) {
+        for (std::size_t i = 1; i < storm->size(); ++i) {
+            ouroAssert((*storm)[i - 1].time <= (*storm)[i].time,
+                       "pipeline: storm schedule not sorted by time");
+        }
+    }
+    auto storm_pending = [&]() {
+        return storm != nullptr && storm_next < storm->size();
+    };
+
+    // Storm eviction: the victims' KV was already destroyed by
+    // dropCore (released, blocks returned, handles invalidated), so
+    // unlike handle_evictions there is no pool state to unwind -
+    // only the scheduler side: back to the FRONT of the wait queue
+    // with everything decoded so far folded into the re-prefill, a
+    // fresh generation so the stale heap entry can never resurrect
+    // the dead residency, and admissions suspended (the Section
+    // 4.4.4 backpressure rule applies to storm losses too).
+    auto storm_evict = [&](const std::vector<std::uint64_t> &lost) {
+        for (const auto id : lost) {
+            const auto it = active.find(id);
+            if (it == active.end())
+                continue;
+            ActiveSeq &seq = it->second;
+            Pending back;
+            back.id = id;
+            back.prefillLen = seq.prefillLen + seq.decoded;
+            back.decodeRemaining = seq.decodeRemaining;
+            back.generation = seq.generation + 1;
+            queue.push_front(back);
+            stats.stormEvictions += 1;
+            stats.recomputedTokens += back.prefillLen;
+            stats.stormReprefilledTokens += back.prefillLen;
+            if (seq.prefillEntered < seq.prefillLen)
+                --prefill_count;
+            ++stale_entries; // victim's heap entry is still enqueued
+            active.erase(it);
+            admissions_suspended = true;
+        }
+    };
+
+    auto apply_storm_event = [&](const KvPoolEvent &ev) {
+        for (const CoreCoord &c : ev.dropCores)
+            storm_evict(kv.dropCore(c));
+        for (const auto &a : ev.adopts)
+            kv.adoptCore(a.info, a.scoreDuty);
+        compact_heap();
+        // Adopted capacity may rescue waiting (or just-evicted)
+        // requests immediately - subject to the suspension rule.
+        pump_admissions(ev.time);
+    };
+
     // Cohort decode fast path: with every resident sequence in steady
     // decode and nothing waiting to be admitted, the heap's pop order
     // is a pure (ready, seq) merge of autoregressive chains. Replay
@@ -473,7 +556,7 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                 m.as->firstTokenDone = completion; // first decode
             m.position += 1;
             m.decodeRemaining -= 1;
-            stats.outputTokens += 1;
+            note_output(completion);
             m.ready = completion; // autoregressive gating
 
             if (m.decodeRemaining == 0) {
@@ -529,6 +612,24 @@ runPipeline(const Workload &workload, const ModelConfig &model,
     pump_admissions(0.0);
 
     while (!ready_heap.empty() || !queue.empty()) {
+        // Storm events interleave with heap events on the run clock:
+        // pop order is nondecreasing in `ready`, so applying an event
+        // once its time is <= the heap front means no item whose
+        // ready time FOLLOWS the event can have been processed before
+        // it (stale fronts only delay application, never reorder it).
+        // With the heap empty the event is the only state change left
+        // - apply it before the skip path so adopted capacity can
+        // still rescue the queue head.
+        if (storm_pending()) {
+            const KvPoolEvent &ev = (*storm)[storm_next];
+            if (ready_heap.empty() ||
+                ev.time <= ready_heap.front().ready) {
+                ++storm_next;
+                apply_storm_event(ev);
+                continue;
+            }
+        }
+
         if (ready_heap.empty()) {
             // Nothing runnable but requests remain: every resident
             // sequence finished yet the queue head still does not
@@ -545,9 +646,12 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         // Cohort fast path entry: every resident sequence decoding,
         // nobody waiting for admission, and >1 resident (a cohort of
         // one is the single-stream batch below). O(1) eligibility
-        // thanks to the running prefill_count.
+        // thanks to the running prefill_count. A pending storm event
+        // bails out BEFORE entry: the ring advances members past the
+        // event time with no event check in its token loop.
         if (opts.cohortFastPath && prefill_count == 0 &&
-            queue.empty() && active.size() > 1) {
+            queue.empty() && active.size() > 1 &&
+            !storm_pending()) {
             cohort_pass();
             continue;
         }
@@ -574,7 +678,11 @@ runPipeline(const Workload &workload, const ModelConfig &model,
         // the in-block fast path (no allocation, no eviction), so
         // the batch is bounded by the room left in the newest KV
         // blocks.
-        if (!is_prefill && active.size() == 1 && queue.empty()) {
+        // (Bails out while a storm event is pending for the same
+        // reason as the cohort ring: the batch would decode past the
+        // event against KV the storm is about to destroy.)
+        if (!is_prefill && active.size() == 1 && queue.empty() &&
+            !storm_pending()) {
             const std::uint64_t room =
                 opts.staticKvAllocation ? seq.decodeRemaining
                                         : kv.growRoom(seq.kv);
@@ -597,7 +705,7 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                         seq.firstTokenDone = completion;
                     seq.decoded += 1;
                     seq.decodeRemaining -= 1;
-                    stats.outputTokens += 1;
+                    note_output(completion);
                     seq.nextReady = completion; // autoregressive
                 }
                 if (seq.decodeRemaining == 0) {
@@ -705,7 +813,7 @@ runPipeline(const Workload &workload, const ModelConfig &model,
                 seq.firstTokenDone = completion;
             seq.decoded += 1;
             seq.decodeRemaining -= 1;
-            stats.outputTokens += 1;
+            note_output(completion);
             if (seq.decodeRemaining == 0) {
                 // Finished: release KV when the token drains.
                 record_completion(seq.firstTokenDone, completion,

@@ -63,6 +63,29 @@ enum class PipelineKind
                      ///< automatically (Fig. 5c)
 };
 
+/**
+ * One mid-run KV pool mutation (PR 9: serving through a failure
+ * storm). At `time` on the run clock, `dropCores` are removed from
+ * the representative block's pool via BlockKvManager::dropCore -
+ * residents whose KV lived there are storm-evicted and re-enter the
+ * wait queue with their full re-prefill as real pipeline work - and
+ * `adopts` are grafted in via adoptCore (KV capacity borrowed from
+ * adjacent blocks by the recovery service). Schedules must be sorted
+ * by nondecreasing time (asserted).
+ */
+struct KvPoolEvent
+{
+    double time = 0.0;
+    std::vector<CoreCoord> dropCores;
+
+    struct Adopt
+    {
+        KvCoreInfo info;
+        bool scoreDuty = false;
+    };
+    std::vector<Adopt> adopts;
+};
+
 /** Aggregate results of one pipeline run. */
 struct PipelineStats
 {
@@ -74,6 +97,13 @@ struct PipelineStats
     double bubbleFraction = 0.0;         ///< 1 - utilization
     std::uint64_t evictions = 0;
     std::uint64_t recomputedTokens = 0;  ///< re-prefilled after evict
+    /** Residents evicted because a storm event dropped the KV core
+     *  their cache lived on (disjoint from `evictions`, which counts
+     *  capacity-pressure MRU evictions only). */
+    std::uint64_t stormEvictions = 0;
+    /** Tokens those storm victims must re-prefill on re-admission
+     *  (also folded into recomputedTokens, the all-causes total). */
+    std::uint64_t stormReprefilledTokens = 0;
     /** Requests dropped because they exceed KV pool capacity even
      *  with the pool otherwise empty: work the run did NOT do.
      *  Serving studies must report this or silently under-count. */
@@ -102,6 +132,16 @@ struct PipelineStats
      */
     std::vector<double> ttftSamples;
     std::vector<double> interTokenSamples;
+
+    /**
+     * Decode-completion histogram: bin b counts output tokens whose
+     * completion time fell in [b, b+1) * throughputBinSeconds.
+     * Empty unless PipelineOptions::throughputBinSeconds > 0. The
+     * storm bench reads degradation depth and time-to-recover off
+     * this curve. merge() concatenates (back-to-back run semantics,
+     * matching how makespans add).
+     */
+    std::vector<std::uint64_t> outputTokenBins;
 
     double outputTokensPerSecond() const
     {
@@ -171,6 +211,22 @@ struct PipelineOptions
      * disable only to measure the slow path or to bisect.
      */
     bool cohortFastPath = true;
+
+    /**
+     * Failure-storm schedule (PR 9), sorted by nondecreasing time;
+     * null or empty leaves the engine BIT-IDENTICAL to today. While
+     * any event is still pending the engine stays on the per-event
+     * slow path (the cohort ring and the single-stream decode batch
+     * both bail out): batched paths can jump the run clock past a
+     * pending event, which would let tokens decode against KV the
+     * storm already destroyed. Once the schedule drains, the fast
+     * paths resume - that resumption is the measured recovery.
+     */
+    const std::vector<KvPoolEvent> *stormSchedule = nullptr;
+
+    /** Width of the outputTokenBins histogram; 0 disables binning
+     *  (no other stat is affected either way). */
+    double throughputBinSeconds = 0.0;
 };
 
 /**

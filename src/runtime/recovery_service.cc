@@ -299,6 +299,8 @@ RecoveryService::handleCoreFailure(CoreCoord failed)
             out.interBlockByteHops = r.interBlockByteHops;
         }
     }
+    if (observer_)
+        observer_(failed, out);
     return out;
 }
 

@@ -56,6 +56,7 @@
 #define OURO_RUNTIME_RECOVERY_SERVICE_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
@@ -244,6 +245,24 @@ class RecoveryService
 
     const RecoveryServiceOptions &options() const { return opts_; }
 
+    /**
+     * Serving callback surface (PR 9): the observer fires at the end
+     * of every SUCCESSFUL handleCoreFailure, after the service's own
+     * state (placements, ownership, borrows, dirty edges) is fully
+     * updated, with the failed core and the outcome. A serving layer
+     * hooks this to mirror placement changes into the live KV pool
+     * (drop the dead/absorbed KV cores, adopt the borrowed ones).
+     * Failures the service rejects (unowned core, exhausted chain)
+     * never fire it. Null disables (the default - pure pre-PR-9
+     * behaviour).
+     */
+    using FailureObserver =
+        std::function<void(CoreCoord, const FailureOutcome &)>;
+    void setFailureObserver(FailureObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
   private:
     /** One replica-chain region's mutable recovery state. */
     struct Region
@@ -321,6 +340,8 @@ class RecoveryService
     std::uint64_t recoveries_ = 0;
     std::uint64_t borrowCount_ = 0;
     std::uint64_t repricedEdges_ = 0;
+
+    FailureObserver observer_;
 };
 
 } // namespace ouro

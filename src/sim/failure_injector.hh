@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic failure-storm schedule (PR 9: serving through a
+ * failure storm).
+ *
+ * The FailureInjector follows the same counter-seeded purity
+ * contract as DayTrace (workload/trace.cc): failure k's randomness
+ * lives in a private RNG stream seeded from (seed, k) by two mixing
+ * rounds, so every accessor is a pure function of (params, k) - no
+ * sequential generator state, nothing to replay in order. Replaying
+ * the same schedule therefore yields bit-identical draws, which is
+ * the foundation of the storm run's whole-run determinism contract:
+ * same (trace seed, schedule seed, options) -> bit-identical stats.
+ *
+ * The schedule spreads `failures` failure instants strictly
+ * monotonically across [stormStart, stormStart + stormDuration):
+ * failure k lands at stormStart + stormDuration * (k + u_k) /
+ * failures with u_k in [0,1), so k + u_k is strictly increasing in
+ * k. Each failure also carries a duty coin (weight core vs KV core)
+ * and a victim pick, drawn from the same private stream in a fixed
+ * order (time jitter, duty, pick) so the three accessors can be
+ * called independently.
+ */
+
+#ifndef OURO_SIM_FAILURE_INJECTOR_HH
+#define OURO_SIM_FAILURE_INJECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ouro
+{
+
+struct FailureInjectorParams
+{
+    /** Core failures in the storm window. */
+    std::uint64_t failures = 0;
+
+    /** Storm window on the pipeline run clock (seconds). */
+    double stormStart = 0.0;
+    double stormDuration = 1.0;
+
+    /** Schedule seed - independent of the workload's trace seed. */
+    std::uint64_t seed = 1;
+
+    /** Probability a failure targets a weight core (replacement
+     *  chain) instead of a KV core (pool shrink). */
+    double weightFailureFraction = 0.25;
+};
+
+class FailureInjector
+{
+  public:
+    explicit FailureInjector(const FailureInjectorParams &params);
+
+    std::uint64_t numFailures() const { return params_.failures; }
+    const FailureInjectorParams &params() const { return params_; }
+
+    /** Failure k's instant on the run clock; strictly increasing
+     *  in k. */
+    double failureTime(std::uint64_t k) const;
+
+    /** True when failure k targets a weight core. */
+    bool weightDuty(std::uint64_t k) const;
+
+    /** Victim index of failure k over a pool of @p n candidates,
+     *  in [0, n). @p n must be > 0. */
+    std::size_t pick(std::uint64_t k, std::size_t n) const;
+
+  private:
+    FailureInjectorParams params_;
+};
+
+} // namespace ouro
+
+#endif // OURO_SIM_FAILURE_INJECTOR_HH

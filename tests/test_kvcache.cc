@@ -359,6 +359,89 @@ TEST(KvManager, MruOrderTracksReleases)
     EXPECT_EQ(r.evicted[1], 1u);
 }
 
+TEST(KvManager, DropCoreInvalidatesHandles)
+{
+    // Mid-run pool shrink (PR 9): a resident whose KV lived on the
+    // dropped core is released, and its handle goes stale - using it
+    // afterwards is a checked error, not silent corruption. Handles
+    // of surviving residents stay live.
+    BlockKvManager mgr(kvModel(), pool(8), pool(8, 4, 8, 1));
+    const KvHandle victim = mgr.admitNoEvictHandle(1, 64);
+    const KvHandle survivor = mgr.admitNoEvictHandle(2, 64);
+    ASSERT_TRUE(victim.valid() && survivor.valid());
+    // 8 cores, 4 heads: seq 1 occupies score cores 0-3, seq 2 cores
+    // 4-7, so dropping seq 1's head-0 core only evicts seq 1.
+    const auto hp = mgr.headPlacement(1, 0);
+    const auto lost = mgr.dropCore(mgr.scoreCoord(hp.scoreCore));
+    ASSERT_EQ(lost.size(), 1u);
+    EXPECT_EQ(lost[0], 1u);
+    EXPECT_TRUE(mgr.resident(2));
+    EXPECT_EQ(mgr.growRoom(survivor), 64u);
+    EXPECT_DEATH({ mgr.growRoom(victim); },
+                 "stale or invalid KvHandle");
+    EXPECT_DEATH({ mgr.grow(victim); }, "stale or invalid KvHandle");
+    EXPECT_DEATH({ mgr.release(victim); },
+                 "stale or invalid KvHandle");
+}
+
+TEST(KvManager, AdoptCoreGrowsCapacity)
+{
+    // adoptCore grafts an empty core behind the ring cursor: the
+    // capacity is immediately visible in totalBlocks() and becomes
+    // allocatable once the cursor wraps to it.
+    BlockKvManager mgr(kvModel(), pool(4, 1, 2), pool(4, 4, 8, 1),
+                       128, 0.0);
+    // Score side: 4 cores x 1 xbar x 2 blocks. One 128-token seq
+    // takes 1 block per head on each of the 4 cores.
+    ASSERT_TRUE(mgr.admit(1, 128).ok);
+    ASSERT_TRUE(mgr.admit(2, 128).ok);
+    const auto total_before = mgr.totalBlocks();
+    // Score ring is now full: a third admission would evict. Graft
+    // one core per head (head placement probes at most one head per
+    // ring pass onto a given core, so a single graft cannot host a
+    // whole sequence while the rest of the ring is full).
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        const std::uint32_t idx =
+            mgr.adoptCore({{0, 100 + i}, 4, 8}, true);
+        EXPECT_EQ(idx, 4u + i);
+        EXPECT_EQ(mgr.scoreCoord(idx), (CoreCoord{0, 100 + i}));
+    }
+    EXPECT_EQ(mgr.totalBlocks(), total_before + 4u * 4u * 8u);
+    // The grafted cores absorb the next admission without eviction.
+    const KvResult r = mgr.admit(3, 128);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.evicted.empty());
+    EXPECT_TRUE(mgr.resident(1) && mgr.resident(2));
+}
+
+TEST(KvManager, AdoptCoreReAdoptsFencedCoord)
+{
+    // Drop then re-adopt the same coordinate: the fenced entry stays
+    // inert and the fresh entry carries the capacity.
+    BlockKvManager mgr(kvModel(), pool(8), pool(8, 4, 8, 1));
+    ASSERT_TRUE(mgr.admit(1, 64).ok);
+    const CoreCoord coord =
+        mgr.scoreCoord(mgr.headPlacement(1, 0).scoreCore);
+    const auto total_before = mgr.totalBlocks();
+    mgr.dropCore(coord);
+    EXPECT_LT(mgr.totalBlocks(), total_before);
+    mgr.adoptCore({coord, 4, 8}, true);
+    EXPECT_EQ(mgr.totalBlocks(), total_before);
+    // Pool still serves admissions with the re-grafted core present.
+    EXPECT_TRUE(mgr.admit(2, 64).ok);
+}
+
+TEST(KvManager, AdoptCoreRejectsLiveDuplicate)
+{
+    // Grafting a coordinate that still holds live capacity in the
+    // pool is a checked error (it would double-count blocks).
+    BlockKvManager mgr(kvModel(), pool(4), pool(4, 4, 8, 1));
+    EXPECT_DEATH({ mgr.adoptCore({{0, 0}, 4, 8}, true); },
+                 "already live in the pool");
+    EXPECT_DEATH({ mgr.adoptCore({{1, 2}, 4, 8}, false); },
+                 "already live in the pool");
+}
+
 /** Property: admit/release round-trips leave zero residue. */
 class KvRoundTripTest
     : public ::testing::TestWithParam<std::uint64_t>

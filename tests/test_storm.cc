@@ -1,0 +1,443 @@
+/**
+ * @file
+ * PR 9 serving-through-failures tests: FailureInjector purity and
+ * monotonicity, engine-level KvPoolEvent handling (storm evictions,
+ * mid-run adopts, the throughput histogram), the zero-failure
+ * bit-identity oracle (cohort fast path on AND off), and whole-run
+ * storm replay determinism through runStormServing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/engine.hh"
+#include "sim/failure_injector.hh"
+#include "sim/storm_run.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+
+namespace ouro
+{
+namespace
+{
+
+/** Mirrors the test_pipeline.cc fixtures (anonymous there). */
+ModelConfig
+pipeModel()
+{
+    ModelConfig cfg;
+    cfg.name = "storm-test";
+    cfg.numBlocks = 8;
+    cfg.hiddenDim = 512;
+    cfg.numHeads = 4;
+    cfg.numKvHeads = 4;
+    cfg.headDim = 128;
+    cfg.ffnDim = 1024;
+    cfg.ffnMatrices = 2;
+    cfg.vocabSize = 100;
+    cfg.bytesPerParam = 1;
+    cfg.attention = AttentionKind::Causal;
+    cfg.maxContext = 4096;
+    return cfg;
+}
+
+StageTiming
+uniformTiming(double fixed = 1e-6, double per_ctx = 1e-9)
+{
+    StageTiming timing;
+    for (unsigned s = 0; s < kStagesPerBlock; ++s) {
+        timing.fixedSeconds[s] = fixed;
+        const auto kind = static_cast<StageKind>(s);
+        timing.perContextSeconds[s] =
+            stageIsAttention(kind) ? per_ctx : 0.0;
+    }
+    return timing;
+}
+
+std::vector<KvCoreInfo>
+bigPool(std::uint32_t cores = 64, std::uint32_t base = 0)
+{
+    std::vector<KvCoreInfo> infos;
+    for (std::uint32_t i = 0; i < cores; ++i)
+        infos.push_back({{base, i}, 32, 8});
+    return infos;
+}
+
+BlockKvManager
+bigKv(const ModelConfig &cfg)
+{
+    return BlockKvManager(cfg, bigPool(64, 0), bigPool(64, 1));
+}
+
+/** Every field of two PipelineStats must agree exactly. */
+bool
+sameStats(const PipelineStats &a, const PipelineStats &b)
+{
+    return a.makespanSeconds == b.makespanSeconds &&
+           a.tokensProcessed == b.tokensProcessed &&
+           a.outputTokens == b.outputTokens &&
+           a.bottleneckBusySeconds == b.bottleneckBusySeconds &&
+           a.utilization == b.utilization &&
+           a.bubbleFraction == b.bubbleFraction &&
+           a.evictions == b.evictions &&
+           a.recomputedTokens == b.recomputedTokens &&
+           a.stormEvictions == b.stormEvictions &&
+           a.stormReprefilledTokens == b.stormReprefilledTokens &&
+           a.skippedRequests == b.skippedRequests &&
+           a.peakConcurrency == b.peakConcurrency &&
+           a.avgContext == b.avgContext &&
+           a.itemsProcessed == b.itemsProcessed &&
+           a.contextTokensSum == b.contextTokensSum &&
+           a.stageBusySumSeconds == b.stageBusySumSeconds &&
+           a.ttftSamples == b.ttftSamples &&
+           a.interTokenSamples == b.interTokenSamples &&
+           a.outputTokenBins == b.outputTokenBins;
+}
+
+bool
+sameEvents(const std::vector<KvPoolEvent> &a,
+           const std::vector<KvPoolEvent> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].time != b[i].time ||
+            a[i].dropCores.size() != b[i].dropCores.size() ||
+            a[i].adopts.size() != b[i].adopts.size())
+            return false;
+        for (std::size_t j = 0; j < a[i].dropCores.size(); ++j) {
+            if (!(a[i].dropCores[j] == b[i].dropCores[j]))
+                return false;
+        }
+        for (std::size_t j = 0; j < a[i].adopts.size(); ++j) {
+            const auto &x = a[i].adopts[j];
+            const auto &y = b[i].adopts[j];
+            if (!(x.info.coord == y.info.coord) ||
+                x.info.crossbars != y.info.crossbars ||
+                x.info.blocksPerCrossbar !=
+                        y.info.blocksPerCrossbar ||
+                x.scoreDuty != y.scoreDuty)
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST(FailureInjector, TimesStrictlyIncreasingWithinWindow)
+{
+    FailureInjectorParams p;
+    p.failures = 200;
+    p.stormStart = 3.5;
+    p.stormDuration = 2.0;
+    p.seed = 77;
+    const FailureInjector inj(p);
+    double prev = -1.0;
+    for (std::uint64_t k = 0; k < p.failures; ++k) {
+        const double t = inj.failureTime(k);
+        EXPECT_GT(t, prev);
+        EXPECT_GE(t, p.stormStart);
+        EXPECT_LT(t, p.stormStart + p.stormDuration);
+        prev = t;
+    }
+}
+
+TEST(FailureInjector, AccessorsArePureAndOrderIndependent)
+{
+    // Counter-seeded purity: two injectors with identical params
+    // yield identical draws no matter which accessor is called
+    // first, how often, or in what k order.
+    FailureInjectorParams p;
+    p.failures = 64;
+    p.stormDuration = 5.0;
+    p.seed = 12345;
+    const FailureInjector a(p);
+    const FailureInjector b(p);
+    // Warm b in a scrambled order first.
+    for (std::uint64_t k = p.failures; k-- > 0;) {
+        (void)b.pick(k, 17);
+        (void)b.weightDuty(k);
+        (void)b.failureTime(k);
+    }
+    for (std::uint64_t k = 0; k < p.failures; ++k) {
+        EXPECT_EQ(a.failureTime(k), b.failureTime(k));
+        EXPECT_EQ(a.weightDuty(k), b.weightDuty(k));
+        EXPECT_EQ(a.pick(k, 17), b.pick(k, 17));
+        EXPECT_LT(a.pick(k, 17), 17u);
+        // Repeated calls are stable too (no hidden stream state).
+        EXPECT_EQ(a.failureTime(k), a.failureTime(k));
+    }
+}
+
+TEST(FailureInjector, DutyCoinFollowsFraction)
+{
+    FailureInjectorParams p;
+    p.failures = 400;
+    p.seed = 9;
+    p.weightFailureFraction = 0.0;
+    const FailureInjector never(p);
+    p.weightFailureFraction = 1.0;
+    const FailureInjector always(p);
+    std::uint64_t mixed_hits = 0;
+    p.weightFailureFraction = 0.5;
+    const FailureInjector mixed(p);
+    for (std::uint64_t k = 0; k < p.failures; ++k) {
+        EXPECT_FALSE(never.weightDuty(k));
+        EXPECT_TRUE(always.weightDuty(k));
+        mixed_hits += mixed.weightDuty(k) ? 1 : 0;
+    }
+    // Law of large numbers, loose bounds.
+    EXPECT_GT(mixed_hits, 120u);
+    EXPECT_LT(mixed_hits, 280u);
+}
+
+TEST(FailureInjector, SeedChangesSchedule)
+{
+    FailureInjectorParams p;
+    p.failures = 32;
+    p.seed = 1;
+    const FailureInjector a(p);
+    p.seed = 2;
+    const FailureInjector b(p);
+    bool any_diff = false;
+    for (std::uint64_t k = 0; k < p.failures; ++k)
+        any_diff = any_diff || a.failureTime(k) != b.failureTime(k);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(StormEngine, NullAndEmptyScheduleBitIdentical)
+{
+    // The zero-failure oracle at the engine level: a null schedule,
+    // an empty schedule, and the pre-PR-9 default must all produce
+    // bit-identical stats - with the cohort fast path on and off.
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(64, 48, 40);
+    const std::vector<KvPoolEvent> empty_schedule;
+    for (const bool cohort : {true, false}) {
+        PipelineOptions base;
+        base.cohortFastPath = cohort;
+        auto kv_a = bigKv(cfg);
+        const auto plain =
+            runPipeline(w, cfg, uniformTiming(), kv_a, base);
+
+        PipelineOptions with_null = base;
+        with_null.stormSchedule = nullptr;
+        auto kv_b = bigKv(cfg);
+        const auto null_run =
+            runPipeline(w, cfg, uniformTiming(), kv_b, with_null);
+
+        PipelineOptions with_empty = base;
+        with_empty.stormSchedule = &empty_schedule;
+        auto kv_c = bigKv(cfg);
+        const auto empty_run =
+            runPipeline(w, cfg, uniformTiming(), kv_c, with_empty);
+
+        EXPECT_TRUE(sameStats(plain, null_run));
+        EXPECT_TRUE(sameStats(plain, empty_run));
+        EXPECT_EQ(plain.stormEvictions, 0u);
+        EXPECT_EQ(plain.stormReprefilledTokens, 0u);
+    }
+}
+
+TEST(StormEngine, DropEvictsAndWorkStillCompletes)
+{
+    // A mid-run drop storm-evicts the residents on the dropped
+    // cores; they re-enter the queue, re-prefill, and the run still
+    // finishes every request (nothing silently lost).
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(64, 48, 40);
+    auto kv_plain = bigKv(cfg);
+    const auto plain =
+        runPipeline(w, cfg, uniformTiming(), kv_plain, {});
+    ASSERT_EQ(plain.outputTokens, w.totalOutputTokens());
+
+    std::vector<KvPoolEvent> schedule(1);
+    schedule[0].time = plain.makespanSeconds * 0.5;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        schedule[0].dropCores.push_back({0, i});
+    PipelineOptions opts;
+    opts.stormSchedule = &schedule;
+    auto kv = bigKv(cfg);
+    const auto storm = runPipeline(w, cfg, uniformTiming(), kv, opts);
+
+    EXPECT_GT(storm.stormEvictions, 0u);
+    EXPECT_GT(storm.stormReprefilledTokens, 0u);
+    EXPECT_GE(storm.recomputedTokens, storm.stormReprefilledTokens);
+    // Every request still completes; re-prefill inflates the token
+    // count and the makespan, never deflates output.
+    EXPECT_EQ(storm.outputTokens, w.totalOutputTokens());
+    EXPECT_EQ(storm.skippedRequests, 0u);
+    EXPECT_GT(storm.makespanSeconds, plain.makespanSeconds);
+    EXPECT_EQ(kv.numResident(), 0u);
+    EXPECT_EQ(kv.usedBlocks(), 0u);
+}
+
+TEST(StormEngine, AdoptGrowsPoolMidRun)
+{
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(64, 32, 24);
+    auto kv_plain = bigKv(cfg);
+    const auto plain =
+        runPipeline(w, cfg, uniformTiming(), kv_plain, {});
+
+    std::vector<KvPoolEvent> schedule(1);
+    schedule[0].time = plain.makespanSeconds * 0.5;
+    schedule[0].adopts.push_back({{{7, 0}, 32, 8}, true});
+    schedule[0].adopts.push_back({{{7, 1}, 32, 8}, false});
+    PipelineOptions opts;
+    opts.stormSchedule = &schedule;
+    auto kv = bigKv(cfg);
+    const auto total_before = kv.totalBlocks();
+    const auto storm = runPipeline(w, cfg, uniformTiming(), kv, opts);
+
+    EXPECT_EQ(storm.outputTokens, w.totalOutputTokens());
+    EXPECT_EQ(storm.stormEvictions, 0u);
+    EXPECT_EQ(kv.totalBlocks(), total_before + 2u * 32u * 8u);
+}
+
+TEST(StormEngine, CohortAndSlowPathAgreeUnderStorm)
+{
+    // The storm path itself must keep the fast-path bit-identity
+    // contract: same schedule, cohort on vs off, identical stats.
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(32, 64, 48);
+    auto kv_plain = bigKv(cfg);
+    const auto plain =
+        runPipeline(w, cfg, uniformTiming(), kv_plain, {});
+
+    std::vector<KvPoolEvent> schedule(2);
+    schedule[0].time = plain.makespanSeconds * 0.4;
+    for (std::uint32_t i = 0; i < 6; ++i)
+        schedule[0].dropCores.push_back({1, i});
+    schedule[1].time = plain.makespanSeconds * 0.6;
+    schedule[1].adopts.push_back({{{7, 0}, 32, 8}, false});
+
+    PipelineStats runs[2];
+    for (const bool cohort : {false, true}) {
+        PipelineOptions opts;
+        opts.cohortFastPath = cohort;
+        opts.stormSchedule = &schedule;
+        auto kv = bigKv(cfg);
+        runs[cohort ? 1 : 0] =
+            runPipeline(w, cfg, uniformTiming(), kv, opts);
+    }
+    EXPECT_TRUE(sameStats(runs[0], runs[1]));
+    EXPECT_GT(runs[0].stormEvictions, 0u);
+}
+
+TEST(StormEngine, OutputTokenBinsSumToOutput)
+{
+    const ModelConfig cfg = pipeModel();
+    const Workload w = fixedWorkload(64, 48, 40);
+    auto kv_off = bigKv(cfg);
+    const auto unbinned =
+        runPipeline(w, cfg, uniformTiming(), kv_off, {});
+    EXPECT_TRUE(unbinned.outputTokenBins.empty());
+
+    PipelineOptions opts;
+    opts.throughputBinSeconds = unbinned.makespanSeconds / 16.0;
+    auto kv_on = bigKv(cfg);
+    const auto binned =
+        runPipeline(w, cfg, uniformTiming(), kv_on, opts);
+    std::uint64_t sum = 0;
+    for (const auto b : binned.outputTokenBins)
+        sum += b;
+    EXPECT_EQ(sum, binned.outputTokens);
+    EXPECT_GE(binned.outputTokenBins.size(), 16u);
+    // Binning must not perturb the simulation itself.
+    PipelineStats stripped = binned;
+    stripped.outputTokenBins.clear();
+    EXPECT_TRUE(sameStats(stripped, unbinned));
+}
+
+TEST(StormEngine, MergeAccumulatesStormFields)
+{
+    PipelineStats a;
+    a.stormEvictions = 3;
+    a.stormReprefilledTokens = 700;
+    a.outputTokenBins = {1, 2};
+    PipelineStats b;
+    b.stormEvictions = 4;
+    b.stormReprefilledTokens = 50;
+    b.outputTokenBins = {9};
+    a.merge(b);
+    EXPECT_EQ(a.stormEvictions, 7u);
+    EXPECT_EQ(a.stormReprefilledTokens, 750u);
+    EXPECT_EQ(a.outputTokenBins,
+              (std::vector<std::uint64_t>{1, 2, 9}));
+}
+
+/** System-level fixtures (mirrors test_integration.cc). */
+OuroborosOptions
+fastOpts(std::uint64_t seed = 11)
+{
+    OuroborosOptions opts;
+    opts.smartMapping = false;
+    opts.seed = seed;
+    return opts;
+}
+
+TEST(StormRun, ZeroFailureBitIdenticalToPlainServing)
+{
+    // Acceptance oracle (a): a storm run with zero failures is
+    // bit-identical to the plain serving path - cohort on AND off.
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = fixedWorkload(16, 48, 96);
+
+    for (const bool cohort : {true, false}) {
+        BlockKvManager kv(model, sys->scorePool(),
+                          sys->contextPool(), 128,
+                          sys->options().kvThreshold);
+        PipelineOptions popts;
+        popts.kind = PipelineKind::TokenGrained;
+        popts.attentionParallelism = 16.0;
+        popts.cohortFastPath = cohort;
+        const auto plain = runPipeline(w, model, sys->stageTiming(),
+                                       kv, popts);
+
+        StormServingOptions sopts;
+        sopts.cohortFastPath = cohort;
+        const auto storm = runStormServing(*sys, w, sopts);
+        EXPECT_TRUE(sameStats(plain, storm.stats));
+        EXPECT_TRUE(storm.events.empty());
+        EXPECT_EQ(storm.failuresInjected, 0u);
+    }
+}
+
+TEST(StormRun, ReplayIsBitwiseDeterministic)
+{
+    // Acceptance oracle (b): same (workload, schedule seed, options)
+    // -> bit-identical stats AND bit-identical resolved events.
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = fixedWorkload(16, 48, 96);
+
+    // Pin the storm window inside the run with a zero-failure probe.
+    const auto probe = runStormServing(*sys, w, {});
+    StormServingOptions sopts;
+    sopts.injector.failures = 6;
+    sopts.injector.stormStart = probe.stats.makespanSeconds * 0.3;
+    sopts.injector.stormDuration = probe.stats.makespanSeconds * 0.2;
+    sopts.injector.seed = 42;
+
+    const auto first = runStormServing(*sys, w, sopts);
+    const auto second = runStormServing(*sys, w, sopts);
+    EXPECT_EQ(first.failuresInjected, 6u);
+    EXPECT_EQ(first.failuresInjected, second.failuresInjected);
+    EXPECT_EQ(first.failuresHandled, second.failuresHandled);
+    EXPECT_EQ(first.failuresSkipped, second.failuresSkipped);
+    EXPECT_EQ(first.kvCoresLost, second.kvCoresLost);
+    EXPECT_EQ(first.kvCoresAdopted, second.kvCoresAdopted);
+    EXPECT_EQ(first.borrows, second.borrows);
+    EXPECT_TRUE(sameEvents(first.events, second.events));
+    EXPECT_TRUE(sameStats(first.stats, second.stats));
+    // The schedule actually resolved into pool events on the clock.
+    EXPECT_GT(first.failuresHandled, 0u);
+    EXPECT_FALSE(first.events.empty());
+    // All admitted work still completes through the storm.
+    EXPECT_EQ(first.stats.outputTokens, w.totalOutputTokens());
+}
+
+} // namespace
+} // namespace ouro
