@@ -136,6 +136,76 @@ PipelineStats::merge(const PipelineStats &other)
     outputTokenBins.insert(outputTokenBins.end(),
                            other.outputTokenBins.begin(),
                            other.outputTokenBins.end());
+    if (throughputBinSeconds == 0.0)
+        throughputBinSeconds = other.throughputBinSeconds;
+    return *this;
+}
+
+PipelineStats &
+PipelineStats::mergeConcurrent(const PipelineStats &other)
+{
+    // Aligned bins: side-by-side runs share one clock, so bin b of
+    // each run covers the same interval and the fleet curve is the
+    // elementwise sum. A sum across different widths is meaningless.
+    if (throughputBinSeconds > 0.0 &&
+        other.throughputBinSeconds > 0.0) {
+        ouroAssert(throughputBinSeconds == other.throughputBinSeconds,
+                   "PipelineStats::mergeConcurrent: aligned bin "
+                   "merge requires equal throughputBinSeconds (",
+                   throughputBinSeconds, " vs ",
+                   other.throughputBinSeconds, ")");
+    }
+    if (throughputBinSeconds == 0.0) {
+        ouroAssert(outputTokenBins.empty(),
+                   "PipelineStats::mergeConcurrent: bins without a "
+                   "bin width");
+        throughputBinSeconds = other.throughputBinSeconds;
+    }
+    if (outputTokenBins.size() < other.outputTokenBins.size())
+        outputTokenBins.resize(other.outputTokenBins.size(), 0);
+    for (std::size_t b = 0; b < other.outputTokenBins.size(); ++b)
+        outputTokenBins[b] += other.outputTokenBins[b];
+
+    // The fleet is done when its slowest member drains.
+    makespanSeconds = std::max(makespanSeconds,
+                               other.makespanSeconds);
+    tokensProcessed += other.tokensProcessed;
+    outputTokens += other.outputTokens;
+    // Separate conveyors: the fleet's bottleneck occupancy is its
+    // busiest member's, not a sum across independent pipelines.
+    bottleneckBusySeconds = std::max(bottleneckBusySeconds,
+                                     other.bottleneckBusySeconds);
+    evictions += other.evictions;
+    recomputedTokens += other.recomputedTokens;
+    stormEvictions += other.stormEvictions;
+    stormReprefilledTokens += other.stormReprefilledTokens;
+    skippedRequests += other.skippedRequests;
+    // Concurrent residents: every member holds its peak cohort at
+    // the same wall time in the worst case.
+    peakConcurrency += other.peakConcurrency;
+    timingCacheHits += other.timingCacheHits;
+    timingCacheMisses += other.timingCacheMisses;
+    itemsProcessed += other.itemsProcessed;
+    contextTokensSum += other.contextTokensSum;
+    stageBusySumSeconds += other.stageBusySumSeconds;
+    // Same derived-mean expressions as merge(); fleet utilization
+    // saturates at 1.0 by construction (documented in the header).
+    utilization =
+        makespanSeconds > 0.0
+            ? std::min(stageBusySumSeconds /
+                           (kStagesPerBlock * makespanSeconds),
+                       1.0)
+            : 0.0;
+    bubbleFraction = 1.0 - utilization;
+    avgContext = itemsProcessed
+                     ? contextTokensSum /
+                           static_cast<double>(itemsProcessed)
+                     : 0.0;
+    ttftSamples.insert(ttftSamples.end(), other.ttftSamples.begin(),
+                       other.ttftSamples.end());
+    interTokenSamples.insert(interTokenSamples.end(),
+                             other.interTokenSamples.begin(),
+                             other.interTokenSamples.end());
     return *this;
 }
 
@@ -832,6 +902,10 @@ runPipeline(const Workload &workload, const ModelConfig &model,
     }
 
     stats.makespanSeconds = makespan;
+    // Stamp the bin width so mergeConcurrent can check alignment.
+    stats.throughputBinSeconds =
+        opts.throughputBinSeconds > 0.0 ? opts.throughputBinSeconds
+                                        : 0.0;
     double busy_sum = 0.0;
     for (const double b : stage_busy) {
         busy_sum += b;

@@ -139,9 +139,17 @@ struct PipelineStats
      * Empty unless PipelineOptions::throughputBinSeconds > 0. The
      * storm bench reads degradation depth and time-to-recover off
      * this curve. merge() concatenates (back-to-back run semantics,
-     * matching how makespans add).
+     * matching how makespans add); mergeConcurrent() sums bins
+     * elementwise (side-by-side semantics - fleet wafers share one
+     * clock, so bin b means the same interval on every wafer).
      */
     std::vector<std::uint64_t> outputTokenBins;
+
+    /** Bin width behind outputTokenBins, stamped from
+     *  PipelineOptions::throughputBinSeconds by every run (0 when
+     *  binning is off). mergeConcurrent() asserts the widths agree -
+     *  an elementwise bin sum is meaningless across widths. */
+    double throughputBinSeconds = 0.0;
 
     double outputTokensPerSecond() const
     {
@@ -161,6 +169,27 @@ struct PipelineStats
      * window order is its full-run oracle (see sim/sampled_run.hh).
      */
     PipelineStats &merge(const PipelineStats &other);
+
+    /**
+     * Fold another run's stats into this one as if the two ran SIDE
+     * BY SIDE on one shared clock (fleet wafers all starting at
+     * t = 0): the makespan takes the max (the fleet is done when its
+     * slowest wafer drains), counters add, derived means are
+     * recomputed from the merged raw aggregates, latency samples
+     * concatenate, and outputTokenBins are summed ELEMENTWISE - both
+     * sides must carry the same throughputBinSeconds (asserted
+     * whenever both are binned), so the fleet-wide throughput curve
+     * is well-defined and `sum(bins) == outputTokens` is preserved.
+     * peakConcurrency adds (each wafer holds its residents
+     * simultaneously; the sum of per-wafer peaks is the tight upper
+     * bound on the instantaneous fleet peak). bottleneckBusySeconds
+     * takes the max (wafers are separate conveyors). Fleet-level
+     * utilization saturates at 1.0 by construction (N wafers' stage
+     * busy against one makespan) - read per-wafer utilization for
+     * per-wafer health. This is the aggregation primitive of the
+     * fleet simulation layer (see sim/fleet.hh).
+     */
+    PipelineStats &mergeConcurrent(const PipelineStats &other);
 };
 
 /** Engine options. */

@@ -1,0 +1,286 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace ouro
+{
+
+namespace
+{
+
+/**
+ * Shared dispatch state: committed-work counters and the weight
+ * table, with the ONE key expression both dispatch paths use. The
+ * key is committed / weight computed identically in the scan and the
+ * set path, so every comparison sees the same double and the two
+ * paths route bit-identically (fuzzed by tests).
+ */
+struct DispatchState
+{
+    std::vector<std::uint64_t> committed;
+    std::vector<double> weight;
+
+    explicit DispatchState(const FleetDispatchConfig &config)
+        : committed(config.numWafers, 0)
+    {
+        ouroAssert(config.numWafers > 0,
+                   "fleetDispatch: zero wafers");
+        if (config.capacityWeight.empty()) {
+            weight.assign(config.numWafers, 1.0);
+        } else {
+            ouroAssert(config.capacityWeight.size() ==
+                               config.numWafers,
+                       "fleetDispatch: ",
+                       config.capacityWeight.size(),
+                       " capacity weights for ", config.numWafers,
+                       " wafers");
+            weight = config.capacityWeight;
+            for (const double w : weight)
+                ouroAssert(w > 0.0,
+                           "fleetDispatch: capacity weights must be "
+                           "positive, got ", w);
+        }
+    }
+
+    /** The policy's ordering key for wafer w. Outstanding work
+     *  normalised by capacity: a half-weight wafer looks twice as
+     *  loaded. weight 1.0 divides exactly, so the unweighted policy
+     *  compares integer-valued doubles. */
+    double key(std::uint32_t w) const
+    {
+        return static_cast<double>(committed[w]) / weight[w];
+    }
+
+    /** Affinity pin of request r, or -1. */
+    static std::int64_t pinOf(const FleetDispatchConfig &config,
+                              const Request &r)
+    {
+        if (!config.affinity)
+            return -1;
+        const std::int64_t pin = config.affinity(r);
+        if (pin < 0)
+            return -1;
+        ouroAssert(static_cast<std::uint64_t>(pin) <
+                           config.numWafers,
+                   "fleetDispatch: affinity hook returned wafer ",
+                   pin, " of ", config.numWafers);
+        return pin;
+    }
+};
+
+} // namespace
+
+std::vector<std::uint32_t>
+fleetDispatchScan(const Workload &workload,
+                  const FleetDispatchConfig &config)
+{
+    DispatchState state(config);
+    std::vector<std::uint32_t> assignment;
+    assignment.reserve(workload.requests.size());
+    for (const Request &r : workload.requests) {
+        const std::int64_t pin = DispatchState::pinOf(config, r);
+        std::uint32_t best = 0;
+        if (pin >= 0) {
+            best = static_cast<std::uint32_t>(pin);
+        } else {
+            // Strict < keeps the lowest-index tie-break: a later
+            // wafer replaces the incumbent only when strictly less
+            // loaded.
+            double best_key = state.key(0);
+            for (std::uint32_t w = 1; w < config.numWafers; ++w) {
+                const double k = state.key(w);
+                if (k < best_key) {
+                    best_key = k;
+                    best = w;
+                }
+            }
+        }
+        assignment.push_back(best);
+        state.committed[best] += r.totalTokens();
+    }
+    return assignment;
+}
+
+std::vector<std::uint32_t>
+fleetDispatch(const Workload &workload,
+              const FleetDispatchConfig &config)
+{
+    DispatchState state(config);
+    // Ordered-set argmin keyed (key, wafer): begin() is the least-
+    // loaded wafer with the lowest index on key ties - exactly the
+    // scan oracle's pick, because both paths compare the identical
+    // key doubles. Only the assigned wafer's key changes per
+    // request, so one erase+insert maintains the order.
+    std::set<std::pair<double, std::uint32_t>> order;
+    for (std::uint32_t w = 0; w < config.numWafers; ++w)
+        order.emplace(state.key(w), w);
+    std::vector<std::uint32_t> assignment;
+    assignment.reserve(workload.requests.size());
+    for (const Request &r : workload.requests) {
+        const std::int64_t pin = DispatchState::pinOf(config, r);
+        const std::uint32_t best =
+            pin >= 0 ? static_cast<std::uint32_t>(pin)
+                     : order.begin()->second;
+        assignment.push_back(best);
+        order.erase({state.key(best), best});
+        state.committed[best] += r.totalTokens();
+        order.emplace(state.key(best), best);
+    }
+    return assignment;
+}
+
+namespace
+{
+
+/**
+ * Fraction of the representative-block KV pool the resolved storm
+ * leaves standing: |pool after all events| / |pool before|. Pure in
+ * (system pools, events). Drives the storm wafer's derated dispatch
+ * weight, so the router offers a degraded wafer less work.
+ */
+double
+stormCapacityFraction(const OuroborosSystem &sys,
+                      const std::vector<KvPoolEvent> &events)
+{
+    const WaferGeometry geom = sys.mapping(0).geometry();
+    std::unordered_set<std::uint64_t> pool;
+    for (const KvCoreInfo &info : sys.scorePool())
+        pool.insert(geom.coreIndex(info.coord));
+    for (const KvCoreInfo &info : sys.contextPool())
+        pool.insert(geom.coreIndex(info.coord));
+    const double initial = static_cast<double>(pool.size());
+    if (initial == 0.0)
+        return 1.0;
+    for (const KvPoolEvent &ev : events) {
+        for (const CoreCoord &c : ev.dropCores)
+            pool.erase(geom.coreIndex(c));
+        for (const KvPoolEvent::Adopt &a : ev.adopts)
+            pool.insert(geom.coreIndex(a.info.coord));
+    }
+    return static_cast<double>(pool.size()) / initial;
+}
+
+} // namespace
+
+FleetResult
+runFleetServing(const OuroborosSystem &sys, const Workload &workload,
+                const FleetOptions &opts)
+{
+    ouroAssert(opts.numWafers >= 1,
+               "runFleetServing: need at least one wafer");
+    ouroAssert(sys.options().dynamicKv,
+               "runFleetServing: fleet serving requires the dynamic "
+               "KV pool");
+    const bool has_storm_wafer =
+        opts.stormWafer != FleetOptions::kNoStormWafer;
+    if (has_storm_wafer) {
+        ouroAssert(opts.stormWafer < opts.numWafers,
+                   "runFleetServing: storm wafer ", opts.stormWafer,
+                   " of ", opts.numWafers);
+    }
+    FleetResult result;
+
+    // Phase 0: resolve the storm schedule (pure in the schedule
+    // seed / recovery options; rebuilt per call, so replay is
+    // bitwise). Zero failures resolve to an empty schedule, leaving
+    // the run bit-identical to the no-storm fleet.
+    if (has_storm_wafer && opts.injector.failures > 0) {
+        ResolvedStorm resolved = resolveStormSchedule(
+                sys, opts.injector, opts.recovery);
+        result.events = std::move(resolved.events);
+        result.failuresInjected = resolved.failuresInjected;
+        result.failuresHandled = resolved.failuresHandled;
+        result.failuresSkipped = resolved.failuresSkipped;
+        result.kvCoresLost = resolved.kvCoresLost;
+        result.kvCoresAdopted = resolved.kvCoresAdopted;
+        result.borrows = resolved.borrows;
+    }
+
+    // Phase 1: dispatch, decided entirely from the per-wafer
+    // committed-work counters in request order - a pure function of
+    // (workload, fleet config), never of thread schedule. The storm
+    // wafer's weight is derated by the resolved net pool loss.
+    FleetDispatchConfig dispatch;
+    dispatch.numWafers = opts.numWafers;
+    dispatch.affinity = opts.affinity;
+    dispatch.capacityWeight.assign(opts.numWafers, 1.0);
+    if (!result.events.empty()) {
+        dispatch.capacityWeight[opts.stormWafer] =
+            std::max(stormCapacityFraction(sys, result.events),
+                     opts.minDispatchWeight);
+    }
+    result.dispatchWeight = dispatch.capacityWeight;
+    result.assignment = fleetDispatch(workload, dispatch);
+    const std::vector<Workload> shards = splitByAssignment(
+            workload, result.assignment, opts.numWafers);
+    result.requestsPerWafer.resize(opts.numWafers);
+    result.tokensCommitted.resize(opts.numWafers);
+    for (std::uint32_t w = 0; w < opts.numWafers; ++w) {
+        result.requestsPerWafer[w] = shards[w].requests.size();
+        result.tokensCommitted[w] = shards[w].totalTokens();
+    }
+
+    // Phase 2: independent per-wafer simulation into per-wafer
+    // result slots (the PR 1 sweep contract: no shared accumulators,
+    // so parallel == serial bit-identical and the result is
+    // invariant under any wafer completion order).
+    result.wafers.resize(opts.numWafers);
+    const auto simulate = [&](std::size_t w) {
+        BlockKvManager kv(sys.model(), sys.scorePool(),
+                          sys.contextPool(), 128,
+                          sys.options().kvThreshold);
+        PipelineOptions popts;
+        popts.kind = PipelineKind::TokenGrained;
+        popts.attentionParallelism = opts.attentionParallelism;
+        popts.cohortFastPath = opts.cohortFastPath;
+        popts.throughputBinSeconds = opts.throughputBinSeconds;
+        if (w == opts.stormWafer && !result.events.empty())
+            popts.stormSchedule = &result.events;
+        result.wafers[w] = runPipeline(shards[w], sys.model(),
+                                       sys.stageTiming(), kv, popts);
+    };
+    if (opts.serialExecution) {
+        if (opts.serialOrder.empty()) {
+            for (std::uint32_t w = 0; w < opts.numWafers; ++w)
+                simulate(w);
+        } else {
+            ouroAssert(opts.serialOrder.size() == opts.numWafers,
+                       "runFleetServing: serialOrder must visit "
+                       "every wafer exactly once");
+            std::vector<bool> seen(opts.numWafers, false);
+            for (const std::uint32_t w : opts.serialOrder) {
+                ouroAssert(w < opts.numWafers && !seen[w],
+                           "runFleetServing: serialOrder is not a "
+                           "permutation of [0, numWafers)");
+                seen[w] = true;
+                simulate(w);
+            }
+        }
+    } else {
+        parallelFor(opts.numWafers, simulate);
+    }
+
+    // Fleet totals: fold per-wafer slots in ascending wafer order
+    // (one fixed association, so the fold is replay- and thread-
+    // count-invariant). N=1 copies wafer 0 verbatim - the collapse
+    // oracle's other half.
+    result.fleet = result.wafers[0];
+    for (std::uint32_t w = 1; w < opts.numWafers; ++w)
+        result.fleet.mergeConcurrent(result.wafers[w]);
+    return result;
+}
+
+FleetResult
+runFleetServing(const OuroborosSystem &sys, const DayTrace &trace,
+                double t0, double t1, const FleetOptions &opts)
+{
+    return runFleetServing(sys, trace.window(t0, t1), opts);
+}
+
+} // namespace ouro

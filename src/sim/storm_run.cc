@@ -30,25 +30,22 @@ coordsMinus(const std::vector<CoreCoord> &a,
 
 } // namespace
 
-StormServingResult
-runStormServing(const OuroborosSystem &sys, const Workload &workload,
-                const StormServingOptions &opts)
+ResolvedStorm
+resolveStormSchedule(const OuroborosSystem &sys,
+                     const FailureInjectorParams &injector_params,
+                     const RecoveryServiceOptions &recovery)
 {
-    ouroAssert(sys.options().dynamicKv,
-               "runStormServing: storm serving requires the dynamic "
-               "KV pool");
-    StormServingResult result;
+    ResolvedStorm result;
 
-    // Phase 1: resolve the counter-seeded schedule against the
-    // recovery service's evolving serving-region state, mirroring
-    // every placement change into a pool event on the run clock. The
+    // Resolve the counter-seeded schedule against the recovery
+    // service's evolving serving-region state, mirroring every
+    // placement change into a pool event on the run clock. The
     // service is rebuilt from the immutable mapping on every call,
     // so the resolved sequence is a pure function of (schedule seed,
     // options) - the replay-determinism contract.
-    const FailureInjector injector(opts.injector);
+    const FailureInjector injector(injector_params);
     if (injector.numFailures() > 0) {
-        RecoveryService service =
-            sys.makeRecoveryService(0, opts.recovery);
+        RecoveryService service = sys.makeRecoveryService(0, recovery);
         service.setFailureObserver(
                 [&](CoreCoord, const FailureOutcome &out) {
                     result.borrows += out.borrows.size();
@@ -132,6 +129,30 @@ runStormServing(const OuroborosSystem &sys, const Workload &workload,
             result.kvCoresAdopted += ev.adopts.size();
             result.events.push_back(std::move(ev));
         }
+    }
+    return result;
+}
+
+StormServingResult
+runStormServing(const OuroborosSystem &sys, const Workload &workload,
+                const StormServingOptions &opts)
+{
+    ouroAssert(sys.options().dynamicKv,
+               "runStormServing: storm serving requires the dynamic "
+               "KV pool");
+    StormServingResult result;
+
+    // Phase 1: resolve the schedule (pure in schedule seed/options).
+    {
+        ResolvedStorm resolved =
+            resolveStormSchedule(sys, opts.injector, opts.recovery);
+        result.events = std::move(resolved.events);
+        result.failuresInjected = resolved.failuresInjected;
+        result.failuresHandled = resolved.failuresHandled;
+        result.failuresSkipped = resolved.failuresSkipped;
+        result.kvCoresLost = resolved.kvCoresLost;
+        result.kvCoresAdopted = resolved.kvCoresAdopted;
+        result.borrows = resolved.borrows;
     }
 
     // Phase 2: serve the workload with the mirrored schedule driving

@@ -56,6 +56,41 @@ struct StormServingOptions
     double attentionParallelism = 16.0;
 };
 
+/**
+ * A counter-seeded failure schedule resolved against the serving
+ * region: the mirrored pool events plus the resolution counters. A
+ * pure function of (system mapping, injector params, recovery
+ * options) - the recovery service is rebuilt from the immutable
+ * mapping on every resolution, so resolving twice is bit-identical
+ * (events AND counters).
+ */
+struct ResolvedStorm
+{
+    /** The mirrored pool schedule (sorted by nondecreasing time;
+     *  replay input for determinism checks). */
+    std::vector<KvPoolEvent> events;
+
+    std::uint64_t failuresInjected = 0; ///< schedule entries resolved
+    std::uint64_t failuresHandled = 0;  ///< service recoveries
+    std::uint64_t failuresSkipped = 0;  ///< empty pool / unrecoverable
+    std::uint64_t kvCoresLost = 0;      ///< dropCore events issued
+    std::uint64_t kvCoresAdopted = 0;   ///< adoptCore events issued
+    std::uint64_t borrows = 0;          ///< cross-block KV borrows
+};
+
+/**
+ * Resolve @p injector's schedule against @p sys's serving region
+ * (representative block, replica 0) through a recovery service
+ * rebuilt from the immutable mapping, mirroring every placement
+ * change into a KvPoolEvent. Shared by runStormServing and the
+ * fleet layer (sim/fleet.hh), which also prices a storm-degraded
+ * wafer's dispatch weight off the resolved pool delta.
+ */
+ResolvedStorm
+resolveStormSchedule(const OuroborosSystem &sys,
+                     const FailureInjectorParams &injector,
+                     const RecoveryServiceOptions &recovery = {});
+
 struct StormServingResult
 {
     PipelineStats stats;

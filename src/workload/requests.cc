@@ -94,4 +94,26 @@ paperWorkloads(std::size_t count, std::uint64_t seed)
     };
 }
 
+std::vector<Workload>
+splitByAssignment(const Workload &workload,
+                  const std::vector<std::uint32_t> &assignment,
+                  std::uint32_t parts)
+{
+    ouroAssert(parts > 0, "splitByAssignment: zero parts");
+    ouroAssert(assignment.size() == workload.requests.size(),
+               "splitByAssignment: assignment covers ",
+               assignment.size(), " requests, workload has ",
+               workload.requests.size());
+    std::vector<Workload> shards(parts);
+    for (std::uint32_t p = 0; p < parts; ++p)
+        shards[p].name = workload.name + "/w" + std::to_string(p);
+    for (std::size_t i = 0; i < workload.requests.size(); ++i) {
+        const std::uint32_t p = assignment[i];
+        ouroAssert(p < parts, "splitByAssignment: request ", i,
+                   " assigned to shard ", p, " of ", parts);
+        shards[p].requests.push_back(workload.requests[i]);
+    }
+    return shards;
+}
+
 } // namespace ouro

@@ -63,6 +63,19 @@ Workload wikiText2Like(std::size_t count, std::uint64_t max_len = 2048,
 std::vector<Workload> paperWorkloads(std::size_t count,
                                      std::uint64_t seed = 20260311);
 
+/**
+ * Split @p workload into @p parts shards by a per-request assignment
+ * (the fleet router's dispatch output, sim/fleet.hh): request i goes
+ * to shard assignment[i] < parts, PRESERVING request order within
+ * each shard - the dispatch order is the wafer's admission order.
+ * assignment.size() must equal workload.requests.size() (asserted).
+ * Shards are named "<name>/w<part>".
+ */
+std::vector<Workload>
+splitByAssignment(const Workload &workload,
+                  const std::vector<std::uint32_t> &assignment,
+                  std::uint32_t parts);
+
 } // namespace ouro
 
 #endif // OURO_WORKLOAD_REQUESTS_HH

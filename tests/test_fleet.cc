@@ -1,0 +1,355 @@
+/**
+ * @file
+ * PR 10 fleet-serving tests: the dispatch policy as a pure function
+ * (fast ordered-set path fuzzed against the linear-scan oracle,
+ * least-outstanding reference semantics, tie-breaks, weights,
+ * affinity pins), the two-phase router purity contract (result
+ * invariant under any serial visit order AND parallel == serial),
+ * the N=1 collapse oracle, and storm integration (zero-failure
+ * bit-identity, weight derating, replay determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "sim/fleet.hh"
+#include "sim/system.hh"
+#include "workload/requests.hh"
+#include "workload/trace.hh"
+
+namespace ouro
+{
+namespace
+{
+
+/** Every field of two PipelineStats must agree exactly (bin width
+ *  and histogram included). */
+bool
+sameStats(const PipelineStats &a, const PipelineStats &b)
+{
+    return a.makespanSeconds == b.makespanSeconds &&
+           a.tokensProcessed == b.tokensProcessed &&
+           a.outputTokens == b.outputTokens &&
+           a.bottleneckBusySeconds == b.bottleneckBusySeconds &&
+           a.utilization == b.utilization &&
+           a.bubbleFraction == b.bubbleFraction &&
+           a.evictions == b.evictions &&
+           a.recomputedTokens == b.recomputedTokens &&
+           a.stormEvictions == b.stormEvictions &&
+           a.stormReprefilledTokens == b.stormReprefilledTokens &&
+           a.skippedRequests == b.skippedRequests &&
+           a.peakConcurrency == b.peakConcurrency &&
+           a.avgContext == b.avgContext &&
+           a.itemsProcessed == b.itemsProcessed &&
+           a.contextTokensSum == b.contextTokensSum &&
+           a.stageBusySumSeconds == b.stageBusySumSeconds &&
+           a.ttftSamples == b.ttftSamples &&
+           a.interTokenSamples == b.interTokenSamples &&
+           a.outputTokenBins == b.outputTokenBins &&
+           a.throughputBinSeconds == b.throughputBinSeconds;
+}
+
+bool
+sameFleet(const FleetResult &a, const FleetResult &b)
+{
+    if (a.assignment != b.assignment ||
+        a.requestsPerWafer != b.requestsPerWafer ||
+        a.tokensCommitted != b.tokensCommitted ||
+        a.dispatchWeight != b.dispatchWeight ||
+        a.wafers.size() != b.wafers.size() ||
+        a.failuresInjected != b.failuresInjected ||
+        a.failuresHandled != b.failuresHandled ||
+        a.kvCoresLost != b.kvCoresLost ||
+        a.kvCoresAdopted != b.kvCoresAdopted ||
+        a.borrows != b.borrows ||
+        a.events.size() != b.events.size())
+        return false;
+    for (std::size_t w = 0; w < a.wafers.size(); ++w) {
+        if (!sameStats(a.wafers[w], b.wafers[w]))
+            return false;
+    }
+    return sameStats(a.fleet, b.fleet);
+}
+
+/** System-level fixtures (mirrors test_storm.cc). */
+OuroborosOptions
+fastOpts(std::uint64_t seed = 11)
+{
+    OuroborosOptions opts;
+    opts.smartMapping = false;
+    opts.seed = seed;
+    return opts;
+}
+
+TEST(FleetDispatch, LeastOutstandingReference)
+{
+    // Hand-checkable trace of the policy: equal-length requests over
+    // 3 unweighted wafers round-robin BY CONSTRUCTION of join-least-
+    // outstanding-work with the lowest-index tie-break (all counters
+    // tie at every multiple of 3).
+    FleetDispatchConfig cfg;
+    cfg.numWafers = 3;
+    const Workload w = fixedWorkload(64, 16, 9);
+    const auto a = fleetDispatch(w, cfg);
+    const std::vector<std::uint32_t> expect = {0, 1, 2, 0, 1, 2,
+                                               0, 1, 2};
+    EXPECT_EQ(a, expect);
+
+    // Variable lengths: every request joins the least-loaded wafer
+    // at its dispatch instant. Replay the counters by hand.
+    const Workload v = wikiText2Like(40, 256, 7);
+    const auto av = fleetDispatch(v, cfg);
+    std::vector<std::uint64_t> committed(cfg.numWafers, 0);
+    for (std::size_t i = 0; i < v.requests.size(); ++i) {
+        std::uint32_t best = 0;
+        for (std::uint32_t k = 1; k < cfg.numWafers; ++k) {
+            if (committed[k] < committed[best])
+                best = k;
+        }
+        EXPECT_EQ(av[i], best) << "request " << i;
+        committed[best] += v.requests[i].totalTokens();
+    }
+}
+
+TEST(FleetDispatch, FastMatchesScanOracleFuzz)
+{
+    // The ordered-set fast path must route every request exactly as
+    // the per-request linear scan, across wafer counts, weights and
+    // affinity pins (the PR's dispatch bit-identity oracle).
+    Rng rng(20260808);
+    for (int trial = 0; trial < 40; ++trial) {
+        FleetDispatchConfig cfg;
+        cfg.numWafers =
+            static_cast<std::uint32_t>(rng.uniformInt(1, 9));
+        if (trial % 2 == 1) {
+            for (std::uint32_t w = 0; w < cfg.numWafers; ++w)
+                cfg.capacityWeight.push_back(
+                        rng.uniform(0.05, 2.0));
+        }
+        if (trial % 3 == 2) {
+            const std::uint32_t pin_to =
+                static_cast<std::uint32_t>(
+                        rng.uniformInt(0, cfg.numWafers - 1));
+            cfg.affinity = [pin_to](const Request &r) {
+                return r.id % 5 == 0
+                           ? static_cast<std::int64_t>(pin_to)
+                           : std::int64_t{-1};
+            };
+        }
+        const Workload w = wikiText2Like(
+                static_cast<std::size_t>(rng.uniformInt(1, 200)),
+                512, rng.next());
+        EXPECT_EQ(fleetDispatch(w, cfg), fleetDispatchScan(w, cfg))
+            << "trial " << trial << " wafers " << cfg.numWafers;
+    }
+}
+
+TEST(FleetDispatch, CapacityWeightShiftsLoad)
+{
+    // A half-weight wafer looks twice as loaded per committed token,
+    // so it is offered about half the work.
+    FleetDispatchConfig cfg;
+    cfg.numWafers = 2;
+    cfg.capacityWeight = {0.5, 1.0};
+    const Workload w = fixedWorkload(64, 64, 300);
+    const auto a = fleetDispatch(w, cfg);
+    const auto on0 = std::count(a.begin(), a.end(), 0u);
+    EXPECT_GT(on0, 80);
+    EXPECT_LT(on0, 120); // ~1/3 of 300 at weight ratio 1:2
+}
+
+TEST(FleetDispatch, AffinityPinsAndStillChargesCounters)
+{
+    FleetDispatchConfig cfg;
+    cfg.numWafers = 3;
+    cfg.affinity = [](const Request &r) {
+        return r.id % 4 == 0 ? std::int64_t{2} : std::int64_t{-1};
+    };
+    const Workload w = fixedWorkload(64, 64, 120);
+    const auto a = fleetDispatch(w, cfg);
+    std::vector<std::uint64_t> count(3, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i % 4 == 0) {
+            EXPECT_EQ(a[i], 2u) << "request " << i;
+        }
+        ++count[a[i]];
+    }
+    // Pinned work charges wafer 2's counter, so the load policy
+    // steers free requests away: wafer 2 ends with its pinned 30
+    // plus at most a catch-up share, not 30 + a third of the rest.
+    EXPECT_EQ(count[2], 40u); // 120/3: pins charged -> totals even out
+    EXPECT_EQ(count[0] + count[1], 80u);
+}
+
+TEST(FleetServing, ParallelEqualsSerialUnderAnyVisitOrder)
+{
+    // The two-phase contract: dispatch never reads simulation
+    // results, wafers write only their own slot, so the fleet result
+    // is invariant under ANY execution order of phase 2 - parallel,
+    // serial ascending, or any serial permutation.
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = wikiText2Like(96, 512, 5);
+
+    FleetOptions opts;
+    opts.numWafers = 3;
+    const FleetResult parallel = runFleetServing(*sys, w, opts);
+
+    // Sanity: the router split the work and nothing was lost.
+    const std::uint64_t total = std::accumulate(
+            parallel.requestsPerWafer.begin(),
+            parallel.requestsPerWafer.end(), std::uint64_t{0});
+    EXPECT_EQ(total, w.requests.size());
+    EXPECT_GT(*std::min_element(parallel.requestsPerWafer.begin(),
+                                parallel.requestsPerWafer.end()),
+              0u);
+    EXPECT_EQ(parallel.fleet.outputTokens, w.totalOutputTokens());
+
+    FleetOptions serial = opts;
+    serial.serialExecution = true;
+    EXPECT_TRUE(sameFleet(parallel, runFleetServing(*sys, w,
+                                                    serial)));
+    for (const std::vector<std::uint32_t> &order :
+         {std::vector<std::uint32_t>{2, 0, 1},
+          std::vector<std::uint32_t>{1, 2, 0},
+          std::vector<std::uint32_t>{2, 1, 0}}) {
+        serial.serialOrder = order;
+        EXPECT_TRUE(sameFleet(parallel,
+                              runFleetServing(*sys, w, serial)));
+    }
+
+    // Replay determinism: same inputs, bit-identical result.
+    EXPECT_TRUE(sameFleet(parallel, runFleetServing(*sys, w,
+                                                    opts)));
+}
+
+TEST(FleetServing, SingleWaferCollapsesToPlainServing)
+{
+    // N=1 collapse oracle: the whole fleet layer must vanish - one
+    // wafer, no storm, is bit-identical to a direct runPipeline over
+    // the same pool and options.
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = wikiText2Like(64, 512, 9);
+
+    FleetOptions opts;
+    opts.numWafers = 1;
+    opts.throughputBinSeconds = 0.01;
+    const FleetResult fleet = runFleetServing(*sys, w, opts);
+    EXPECT_TRUE(std::all_of(fleet.assignment.begin(),
+                            fleet.assignment.end(),
+                            [](std::uint32_t a) { return a == 0; }));
+
+    BlockKvManager kv(model, sys->scorePool(), sys->contextPool(),
+                      128, sys->options().kvThreshold);
+    PipelineOptions popts;
+    popts.kind = PipelineKind::TokenGrained;
+    popts.attentionParallelism = opts.attentionParallelism;
+    popts.throughputBinSeconds = opts.throughputBinSeconds;
+    const PipelineStats plain =
+        runPipeline(w, model, sys->stageTiming(), kv, popts);
+    EXPECT_TRUE(sameStats(fleet.fleet, plain));
+    EXPECT_TRUE(sameStats(fleet.wafers[0], plain));
+}
+
+TEST(FleetServing, DayTraceWindowOverloadMatchesWorkload)
+{
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    DayTraceParams params;
+    params.requests = 80;
+    params.maxLen = 256;
+    params.seed = 3;
+    const DayTrace trace(params);
+
+    FleetOptions opts;
+    opts.numWafers = 2;
+    const FleetResult via_trace = runFleetServing(
+            *sys, trace, 0.0, trace.daySeconds(), opts);
+    const FleetResult via_workload = runFleetServing(
+            *sys, trace.window(0.0, trace.daySeconds()), opts);
+    EXPECT_TRUE(sameFleet(via_trace, via_workload));
+}
+
+TEST(FleetServing, ZeroFailureStormEqualsNoStormFleet)
+{
+    // Storm oracle: arming the injector with zero failures resolves
+    // to an empty schedule, an un-derated weight, and a fleet run
+    // bit-identical to the no-storm one.
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = wikiText2Like(64, 512, 13);
+
+    FleetOptions opts;
+    opts.numWafers = 2;
+    opts.throughputBinSeconds = 0.005;
+    const FleetResult nostorm = runFleetServing(*sys, w, opts);
+
+    FleetOptions zero = opts;
+    zero.stormWafer = 1;
+    zero.injector.failures = 0;
+    const FleetResult armed = runFleetServing(*sys, w, zero);
+    EXPECT_TRUE(sameFleet(nostorm, armed));
+    EXPECT_TRUE(armed.events.empty());
+    EXPECT_EQ(armed.dispatchWeight[1], 1.0);
+}
+
+TEST(FleetServing, StormDeratesWeightAndReplaysBitwise)
+{
+    const ModelConfig model = llama13b();
+    const auto sys = OuroborosSystem::build(model, {}, fastOpts());
+    ASSERT_TRUE(sys.has_value());
+    const Workload w = wikiText2Like(96, 512, 21);
+
+    FleetOptions opts;
+    opts.numWafers = 2;
+    const FleetResult nostorm = runFleetServing(*sys, w, opts);
+
+    FleetOptions storm_opts = opts;
+    storm_opts.stormWafer = 1;
+    storm_opts.injector.failures = 12;
+    storm_opts.injector.seed = 42;
+    storm_opts.injector.stormStart =
+        0.3 * nostorm.wafers[1].makespanSeconds;
+    storm_opts.injector.stormDuration =
+        0.2 * nostorm.wafers[1].makespanSeconds;
+    const FleetResult storm = runFleetServing(*sys, w, storm_opts);
+
+    // The schedule resolved, the router saw the degraded pool, and
+    // load shifted off the storm wafer.
+    EXPECT_GT(storm.failuresHandled, 0u);
+    EXPECT_FALSE(storm.events.empty());
+    EXPECT_GT(storm.kvCoresLost, 0u);
+    EXPECT_LT(storm.dispatchWeight[1], 1.0);
+    EXPECT_GE(storm.dispatchWeight[1], storm_opts.minDispatchWeight);
+    EXPECT_EQ(storm.dispatchWeight[0], 1.0);
+    EXPECT_LT(storm.requestsPerWafer[1],
+              nostorm.requestsPerWafer[1]);
+    EXPECT_EQ(storm.requestsPerWafer[0] + storm.requestsPerWafer[1],
+              w.requests.size());
+
+    // Only the storm wafer's simulation sees the schedule; the
+    // healthy wafer differs from its no-storm self ONLY through the
+    // dispatch shift, never through hidden storm state.
+    EXPECT_EQ(storm.wafers[0].stormEvictions, 0u);
+
+    // Whole-run replay determinism (stats, assignment AND events).
+    EXPECT_TRUE(sameFleet(storm, runFleetServing(*sys, w,
+                                                 storm_opts)));
+
+    // Parallel == serial holds under a storm too.
+    FleetOptions serial = storm_opts;
+    serial.serialExecution = true;
+    serial.serialOrder = {1, 0};
+    EXPECT_TRUE(sameFleet(storm, runFleetServing(*sys, w, serial)));
+}
+
+} // namespace
+} // namespace ouro

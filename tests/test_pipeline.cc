@@ -775,5 +775,111 @@ TEST(StatsMerge, MergeWithEmptyRunIsIdentityOnCounters)
     expectStatsIdentical(merged, a);
 }
 
+TEST(StatsMerge, ConcurrentAlignedBinsSumPreserved)
+{
+    // mergeConcurrent() is DEFINED as side-by-side runs on a shared
+    // clock: aligned histogram bins sum elementwise, the makespan is
+    // the slowest run's, and token conservation holds - the summed
+    // bins still account for every output token of both runs.
+    const ModelConfig cfg = pipeModel();
+    const StageTiming timing = uniformTiming();
+    PipelineOptions popts;
+    popts.throughputBinSeconds = 1e-4;
+
+    auto kv_a = bigKv(cfg);
+    const PipelineStats a = runPipeline(wikiText2Like(30, 512, 4),
+                                        cfg, timing, kv_a, popts);
+    auto kv_b = bigKv(cfg);
+    const PipelineStats b = runPipeline(fixedWorkload(128, 48, 20),
+                                        cfg, timing, kv_b, popts);
+    ASSERT_EQ(a.throughputBinSeconds, popts.throughputBinSeconds);
+    ASSERT_FALSE(a.outputTokenBins.empty());
+    ASSERT_FALSE(b.outputTokenBins.empty());
+
+    PipelineStats merged = a;
+    merged.mergeConcurrent(b);
+
+    // Elementwise sum over the longer histogram's length.
+    ASSERT_EQ(merged.outputTokenBins.size(),
+              std::max(a.outputTokenBins.size(),
+                       b.outputTokenBins.size()));
+    for (std::size_t i = 0; i < merged.outputTokenBins.size(); ++i) {
+        const std::uint64_t va =
+            i < a.outputTokenBins.size() ? a.outputTokenBins[i] : 0;
+        const std::uint64_t vb =
+            i < b.outputTokenBins.size() ? b.outputTokenBins[i] : 0;
+        EXPECT_EQ(merged.outputTokenBins[i], va + vb) << "bin " << i;
+    }
+
+    // Sum preservation: bins == outputTokens before AND after.
+    const auto bin_sum = [](const PipelineStats &s) {
+        std::uint64_t n = 0;
+        for (const std::uint64_t v : s.outputTokenBins)
+            n += v;
+        return n;
+    };
+    EXPECT_EQ(bin_sum(a), a.outputTokens);
+    EXPECT_EQ(bin_sum(b), b.outputTokens);
+    EXPECT_EQ(bin_sum(merged), merged.outputTokens);
+    EXPECT_EQ(merged.outputTokens, a.outputTokens + b.outputTokens);
+
+    // Side-by-side semantics on the other fields.
+    EXPECT_DOUBLE_EQ(merged.makespanSeconds,
+                     std::max(a.makespanSeconds, b.makespanSeconds));
+    EXPECT_EQ(merged.throughputBinSeconds,
+              popts.throughputBinSeconds);
+    EXPECT_EQ(merged.tokensProcessed,
+              a.tokensProcessed + b.tokensProcessed);
+    EXPECT_DOUBLE_EQ(merged.peakConcurrency,
+                     a.peakConcurrency + b.peakConcurrency);
+    EXPECT_DOUBLE_EQ(merged.bottleneckBusySeconds,
+                     std::max(a.bottleneckBusySeconds,
+                              b.bottleneckBusySeconds));
+    EXPECT_EQ(merged.itemsProcessed,
+              a.itemsProcessed + b.itemsProcessed);
+    EXPECT_DOUBLE_EQ(merged.avgContext,
+                     merged.contextTokensSum /
+                         static_cast<double>(merged.itemsProcessed));
+    EXPECT_DOUBLE_EQ(merged.utilization,
+                     std::min(merged.stageBusySumSeconds /
+                                  (kStagesPerBlock *
+                                   merged.makespanSeconds),
+                              1.0));
+    ASSERT_EQ(merged.ttftSamples.size(),
+              a.ttftSamples.size() + b.ttftSamples.size());
+}
+
+TEST(StatsMerge, ConcurrentWithDefaultStatsAdoptsBinWidth)
+{
+    const ModelConfig cfg = pipeModel();
+    PipelineOptions popts;
+    popts.throughputBinSeconds = 1e-4;
+    auto kv = bigKv(cfg);
+    const PipelineStats a = runPipeline(fixedWorkload(64, 16, 10),
+                                        cfg, uniformTiming(), kv,
+                                        popts);
+    // Folding into a default-constructed accumulator (the fleet
+    // fold's seed case) adopts the run's bins and width verbatim.
+    PipelineStats acc;
+    acc.mergeConcurrent(a);
+    EXPECT_EQ(acc.throughputBinSeconds, a.throughputBinSeconds);
+    EXPECT_EQ(acc.outputTokenBins, a.outputTokenBins);
+    EXPECT_EQ(acc.outputTokens, a.outputTokens);
+}
+
+TEST(StatsMerge, ConcurrentMismatchedBinWidthDies)
+{
+    // The aligned merge is only defined over one shared bin width;
+    // mixing widths must die loudly, not mis-sum histograms.
+    PipelineStats a;
+    a.throughputBinSeconds = 0.5;
+    a.outputTokenBins = {1, 2};
+    PipelineStats b;
+    b.throughputBinSeconds = 0.25;
+    b.outputTokenBins = {3};
+    EXPECT_DEATH({ a.mergeConcurrent(b); },
+                 "equal throughputBinSeconds");
+}
+
 } // namespace
 } // namespace ouro
